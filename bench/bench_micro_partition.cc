@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the Section 4.6 machinery that
+// dominates FASTOD's runtime: dictionary encoding, single-attribute
+// partition construction, the linear partition product, both swap-check
+// strategies, and the O(1)-after-product FD error check.
+#include <benchmark/benchmark.h>
+
+#include "data/encode.h"
+#include "gen/generators.h"
+#include "partition/sorted_partition.h"
+#include "partition/stripped_partition.h"
+
+namespace {
+
+using namespace fastod;
+
+const Table& FlightTable(int64_t rows) {
+  static Table table = GenFlightLike(100000, 12, 42);
+  static int64_t cached_rows = 100000;
+  (void)cached_rows;
+  if (rows > table.NumRows()) table = GenFlightLike(rows, 12, 42);
+  return table;
+}
+
+void BM_Encode(benchmark::State& state) {
+  Table table = FlightTable(state.range(0)).Head(state.range(0));
+  for (auto _ : state) {
+    auto rel = EncodedRelation::FromTable(table);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Encode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PartitionForAttribute(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  for (auto _ : state) {
+    StrippedPartition p = StrippedPartition::ForAttribute(
+        rel->ranks(3), rel->NumDistinct(3));  // month column
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionForAttribute)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  StrippedPartition month = StrippedPartition::ForAttribute(
+      rel->ranks(3), rel->NumDistinct(3));
+  StrippedPartition carrier = StrippedPartition::ForAttribute(
+      rel->ranks(6), rel->NumDistinct(6));
+  for (auto _ : state) {
+    StrippedPartition p = month.Product(carrier);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SwapCheckSortBased(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  SortedPartitions sorted(*rel);
+  SwapChecker checker(&*rel, &sorted, SwapCheckMethod::kSortBased);
+  StrippedPartition ctx = StrippedPartition::ForAttribute(
+      rel->ranks(6), rel->NumDistinct(6));  // carrier context
+  for (auto _ : state) {
+    bool ok = checker.IsOrderCompatible(ctx, 2, 3);  // date_sk ~ month
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SwapCheckSortBased)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SwapCheckTauBased(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  SortedPartitions sorted(*rel);
+  SwapChecker checker(&*rel, &sorted, SwapCheckMethod::kTauBased);
+  StrippedPartition ctx = StrippedPartition::ForAttribute(
+      rel->ranks(6), rel->NumDistinct(6));
+  for (auto _ : state) {
+    bool ok = checker.IsOrderCompatible(ctx, 2, 3);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SwapCheckTauBased)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FdErrorCheck(benchmark::State& state) {
+  // The O(1) constancy test: compare partition errors (after the product
+  // has been paid for). Measures the full product+compare path.
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  StrippedPartition month = StrippedPartition::ForAttribute(
+      rel->ranks(3), rel->NumDistinct(3));
+  StrippedPartition quarter = StrippedPartition::ForAttribute(
+      rel->ranks(4), rel->NumDistinct(4));
+  for (auto _ : state) {
+    StrippedPartition mq = month.Product(quarter);
+    bool fd = month.Error() == mq.Error();  // month -> quarter
+    benchmark::DoNotOptimize(fd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FdErrorCheck)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

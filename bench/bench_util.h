@@ -1,0 +1,106 @@
+// Shared helpers for the figure-reproduction benchmark harness.
+//
+// Every bench binary prints the rows of one paper figure at a reduced
+// default scale (absolute numbers are not comparable to the paper's Java/
+// Xeon setup; the *shapes* are the reproduction target — see
+// EXPERIMENTS.md). Pass --scale=N to multiply the workload sizes.
+#ifndef FASTOD_BENCH_BENCH_UTIL_H_
+#define FASTOD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "algo/fastod.h"
+#include "algo/order.h"
+#include "algo/tane.h"
+#include "common/timer.h"
+#include "data/encode.h"
+
+namespace fastod::bench {
+
+inline int ParseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      int s = std::atoi(argv[i] + 8);
+      if (s >= 1) return s;
+    }
+  }
+  return 1;
+}
+
+struct AlgoCell {
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::string counts;  // "total (fd + ocd)" or "-"
+
+  std::string TimeString() const {
+    char buf[48];
+    if (timed_out) {
+      std::snprintf(buf, sizeof(buf), "* %.2fs", seconds);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+    }
+    return buf;
+  }
+};
+
+inline AlgoCell RunFastod(const EncodedRelation& rel,
+                          FastodOptions options = FastodOptions()) {
+  options.collect_level_stats = false;
+  options.emit_ods = false;
+  Fastod algo(options);
+  WallTimer timer;
+  FastodResult result = algo.Discover(rel);
+  AlgoCell cell;
+  cell.seconds = timer.ElapsedSeconds();
+  cell.timed_out = result.timed_out;
+  cell.counts = result.CountsToString();
+  return cell;
+}
+
+inline AlgoCell RunTane(const EncodedRelation& rel, double timeout_seconds) {
+  TaneOptions options;
+  options.timeout_seconds = timeout_seconds;
+  Tane algo(options);
+  WallTimer timer;
+  TaneResult result = algo.Discover(rel);
+  AlgoCell cell;
+  cell.seconds = timer.ElapsedSeconds();
+  cell.timed_out = result.timed_out;
+  cell.counts = std::to_string(result.fds.size()) + " FDs";
+  return cell;
+}
+
+inline AlgoCell RunOrder(const EncodedRelation& rel, double timeout_seconds) {
+  OrderOptions options;
+  options.timeout_seconds = timeout_seconds;
+  OrderBaseline algo(options);
+  WallTimer timer;
+  OrderResult result = algo.Discover(rel);
+  AlgoCell cell;
+  cell.seconds = timer.ElapsedSeconds();
+  cell.timed_out = result.timed_out;
+  MappedCounts mapped = MapToCanonicalCounts(result.ods);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%lld list -> %lld (%lld + %lld)",
+                static_cast<long long>(result.ods.size()),
+                static_cast<long long>(mapped.Total()),
+                static_cast<long long>(mapped.num_constancy),
+                static_cast<long long>(mapped.num_compatibility));
+  cell.counts = buf;
+  return cell;
+}
+
+inline void PrintHeader(const char* title, const char* paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper reference: %s\n", paper_reference);
+  std::printf("(reduced scale; pass --scale=N to grow; '*' = timeout hit)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace fastod::bench
+
+#endif  // FASTOD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Conditional OD discovery (the paper's future-work item 3): business
+// rules that hold on *portions* of a relation. A flight-fare table where
+// "price increases with distance" holds per carrier class but not
+// globally — exactly the kind of rule unconditional discovery misses and
+// conditional refinement recovers.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "fastod/fastod.h"
+
+int main() {
+  using namespace fastod;
+
+  // Synthesize fares: budget carriers price ~linearly with distance;
+  // "premium" carriers price by demand (order-breaking); one legacy
+  // carrier uses distance bands (monotone but coarse).
+  Schema schema({{"carrier", DataType::kString},
+                 {"route_id", DataType::kInt},
+                 {"distance", DataType::kInt},
+                 {"fare", DataType::kInt}});
+  TableBuilder builder(schema);
+  Rng rng(2026);
+  const char* carriers[] = {"budget_air", "premium_air", "legacy_air"};
+  for (int i = 0; i < 1200; ++i) {
+    int carrier = static_cast<int>(rng.Uniform(3));
+    int64_t distance = 100 + rng.Uniform(4000);
+    int64_t fare;
+    switch (carrier) {
+      case 0:  // budget: strictly distance-driven
+        fare = 40 + distance / 10;
+        break;
+      case 1:  // premium: demand-driven, uncorrelated with distance
+        fare = 150 + rng.Uniform(900);
+        break;
+      default:  // legacy: banded by distance (monotone, with ties)
+        fare = 100 + (distance / 500) * 75;
+    }
+    builder.AddRowUnchecked({Value::Str(carriers[carrier]), Value::Int(i),
+                             Value::Int(distance), Value::Int(fare)});
+  }
+  Table table = builder.Build();
+  auto rel = EncodedRelation::FromTable(table);
+  if (!rel.ok()) return 1;
+
+  int distance_col = *schema.IndexOf("distance");
+  int fare_col = *schema.IndexOf("fare");
+  OdValidator validator(&*rel);
+  std::printf("Global check: {} : distance ~ fare   %s\n\n",
+              validator.IsOrderCompatible(AttributeSet::Empty(),
+                                          distance_col, fare_col)
+                  ? "holds"
+                  : "VIOLATED (premium carrier breaks it)");
+
+  ConditionalOdFinder finder(&*rel);
+  ConditionalOdOptions options;
+  options.min_support = 0.2;
+  std::printf("Conditional refinement on carrier:\n");
+  auto refined =
+      finder.Refine(CompatibilityOd(AttributeSet::Empty(), distance_col,
+                                    fare_col),
+                    *schema.IndexOf("carrier"), options);
+  if (refined.has_value()) {
+    // Render binding ranks as carrier names via witness rows.
+    std::printf("  distance ~ fare holds for carriers: ");
+    bool first = true;
+    for (int32_t rank : refined->binding_ranks) {
+      for (int64_t r = 0; r < table.NumRows(); ++r) {
+        if (rel->rank(r, 0) == rank) {
+          std::printf("%s%s", first ? "" : ", ",
+                      table.at(r, 0).AsString().c_str());
+          first = false;
+          break;
+        }
+      }
+    }
+    std::printf("   (support %.0f%%)\n\n", refined->support * 100.0);
+  }
+
+  std::printf("Full conditional scan (support >= 20%%):\n");
+  for (const ConditionalOd& c : finder.DiscoverConditional(options)) {
+    std::printf("  %s\n", c.ToString(schema).c_str());
+  }
+  std::printf(
+      "\nThe premium carrier's demand pricing hides the rule globally;\n"
+      "conditioning on carrier exposes where the business rule really\n"
+      "applies — and where violations would be actual data errors.\n");
+  return 0;
+}

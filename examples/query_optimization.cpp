@@ -1,0 +1,110 @@
+// Query optimization with discovered ODs on a TPC-DS-style date dimension
+// (Query 1 / Section 1.1 of the paper).
+//
+// Demonstrates the two rewrites the paper motivates:
+//  1. Join elimination: a BETWEEN predicate on d_year can be rewritten to a
+//     surrogate-key range because {d_date_sk} orders d_year — two probes
+//     into date_dim replace a full join.
+//  2. Order-by simplification: ORDER BY d_year, d_quarter, d_month can use
+//     an index on (d_year, d_month) because d_month orders d_quarter.
+#include <cstdio>
+
+#include "fastod/fastod.h"
+
+int main() {
+  using namespace fastod;
+
+  // Four years of the date dimension, surrogate keys assigned in date
+  // order (as every warehouse load job does).
+  Table date_dim = GenDateDim(4 * 365, 2012);
+  const Schema& schema = date_dim.schema();
+  std::printf("date_dim: %lld rows x %d attributes\n\n",
+              static_cast<long long>(date_dim.NumRows()),
+              date_dim.NumColumns());
+
+  Result<FastodResult> result = Fastod().Discover(date_dim);
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FASTOD found %s minimal ODs. The optimizer-relevant ones:\n",
+              result->CountsToString().c_str());
+
+  int sk = *schema.IndexOf("d_date_sk");
+  int year = *schema.IndexOf("d_year");
+  int month = *schema.IndexOf("d_month");
+  int quarter = *schema.IndexOf("d_quarter");
+
+  auto has_constancy = [&](AttributeSet ctx, int a) {
+    for (const ConstancyOd& od : result->constancy_ods) {
+      if (od.context == ctx && od.attribute == a) return true;
+    }
+    return false;
+  };
+  auto has_compat = [&](AttributeSet ctx, int a, int b) {
+    CompatibilityOd want(ctx, a, b);
+    for (const CompatibilityOd& od : result->compatibility_ods) {
+      if (od == want) return true;
+    }
+    return false;
+  };
+
+  bool sk_fd_year = has_constancy(AttributeSet::Single(sk), year);
+  bool sk_oc_year = has_compat(AttributeSet::Empty(), sk, year);
+  std::printf("  {d_date_sk}: [] -> d_year   %s\n",
+              sk_fd_year ? "found" : "MISSING");
+  std::printf("  {}: d_date_sk ~ d_year      %s\n",
+              sk_oc_year ? "found" : "MISSING");
+  bool m_fd_q = has_constancy(AttributeSet::Single(month), quarter);
+  bool m_oc_q = has_compat(AttributeSet::Empty(), month, quarter);
+  std::printf("  {d_month}: [] -> d_quarter  %s\n",
+              m_fd_q ? "found" : "MISSING");
+  std::printf("  {}: d_month ~ d_quarter     %s\n\n",
+              m_oc_q ? "found" : "MISSING");
+
+  // --- Rewrite 1: join elimination for the BETWEEN predicate. ---
+  // By Theorem 5, {d_date_sk}: []->d_year plus {}: d_date_sk ~ d_year is
+  // exactly [d_date_sk] orders [d_year], so year ranges map to contiguous
+  // surrogate-key ranges.
+  if (sk_fd_year && sk_oc_year) {
+    int64_t lo_sk = -1;
+    int64_t hi_sk = -1;
+    for (int64_t r = 0; r < date_dim.NumRows(); ++r) {
+      int64_t y = date_dim.at(r, year).AsInt();
+      if (y >= 2013 && y <= 2014) {
+        int64_t s = date_dim.at(r, sk).AsInt();
+        if (lo_sk < 0 || s < lo_sk) lo_sk = s;
+        if (s > hi_sk) hi_sk = s;
+      }
+    }
+    std::printf(
+        "Rewrite 1 (join elimination):\n"
+        "  d_year BETWEEN 2013 AND 2014\n"
+        "  ==>  ws.date_sk BETWEEN %lld AND %lld   -- two index probes,\n"
+        "       no join with date_dim needed ([d_date_sk] orders [d_year])\n\n",
+        static_cast<long long>(lo_sk), static_cast<long long>(hi_sk));
+  }
+
+  // --- Rewrite 2: order-by simplification. ---
+  if (m_fd_q && m_oc_q) {
+    std::printf(
+        "Rewrite 2 (sort simplification):\n"
+        "  ORDER BY d_year, d_quarter, d_month\n"
+        "  ==>  ORDER BY d_year, d_month           -- d_month orders\n"
+        "       d_quarter, so the (d_year, d_month) index yields the\n"
+        "       requested order with no extra sort\n\n");
+  }
+
+  // Show what the incomplete baseline would do with the same table.
+  OrderOptions order_opt;
+  order_opt.timeout_seconds = 5.0;
+  order_opt.max_level = 3;
+  OrderResult order = OrderBaseline(order_opt).Discover(
+      *EncodedRelation::FromTable(date_dim));
+  std::printf("For comparison, the ORDER baseline reports %zu list ODs "
+              "(timeout=%s); constants and embedded FDs are not among "
+              "them (Section 4.5).\n",
+              order.ods.size(), order.timed_out ? "hit" : "no");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "algo/approximate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fastod {
+
+int64_t ConstancyRemovals(const EncodedRelation& relation,
+                          const StrippedPartition& context_partition,
+                          int attribute) {
+  const std::vector<int32_t>& ranks = relation.ranks(attribute);
+  int64_t removals = 0;
+  std::unordered_map<int32_t, int32_t> freq;
+  for (int32_t c = 0; c < context_partition.NumClasses(); ++c) {
+    auto cls = context_partition.Class(c);
+    freq.clear();
+    int32_t best = 0;
+    for (int32_t t : cls) {
+      int32_t f = ++freq[ranks[t]];
+      best = std::max(best, f);
+    }
+    removals += static_cast<int64_t>(cls.size()) - best;
+  }
+  return removals;
+}
+
+int64_t CompatibilityRemovals(const EncodedRelation& relation,
+                              const StrippedPartition& context_partition,
+                              int a, int b, bool opposite) {
+  const std::vector<int32_t>& ranks_a = relation.ranks(a);
+  const std::vector<int32_t>& ranks_b = relation.ranks(b);
+  // For the descending (opposite) polarity, reflect B-ranks: descending
+  // compatibility of (A, B) is ascending compatibility of (A, B-reflected).
+  const int32_t flip_base = opposite ? relation.NumDistinct(b) - 1 : -1;
+  auto rank_b = [&](int32_t t) {
+    return flip_base < 0 ? ranks_b[t] : flip_base - ranks_b[t];
+  };
+  int64_t removals = 0;
+  std::vector<int32_t> buffer;
+  std::vector<int32_t> tails;  // patience-sorting tails of B-ranks
+  for (int32_t c = 0; c < context_partition.NumClasses(); ++c) {
+    auto cls = context_partition.Class(c);
+    buffer.assign(cls.begin(), cls.end());
+    std::sort(buffer.begin(), buffer.end(), [&](int32_t s, int32_t t) {
+      if (ranks_a[s] != ranks_a[t]) return ranks_a[s] < ranks_a[t];
+      return rank_b(s) < rank_b(t);
+    });
+    // Longest non-decreasing subsequence of B-ranks. Sorting ties in A by
+    // B ascending makes within-group selections free (they are already
+    // non-decreasing), so the LNDS equals the maximum swap-free subset.
+    tails.clear();
+    for (int32_t t : buffer) {
+      const int32_t rb = rank_b(t);
+      auto it = std::upper_bound(tails.begin(), tails.end(), rb);
+      if (it == tails.end()) {
+        tails.push_back(rb);
+      } else {
+        *it = rb;
+      }
+    }
+    removals += static_cast<int64_t>(cls.size()) -
+                static_cast<int64_t>(tails.size());
+  }
+  return removals;
+}
+
+double ConstancyError(const EncodedRelation& relation,
+                      const StrippedPartition& context_partition,
+                      int attribute) {
+  if (relation.NumRows() == 0) return 0.0;
+  return static_cast<double>(
+             ConstancyRemovals(relation, context_partition, attribute)) /
+         static_cast<double>(relation.NumRows());
+}
+
+double CompatibilityError(const EncodedRelation& relation,
+                          const StrippedPartition& context_partition, int a,
+                          int b, bool opposite) {
+  if (relation.NumRows() == 0) return 0.0;
+  return static_cast<double>(CompatibilityRemovals(
+             relation, context_partition, a, b, opposite)) /
+         static_cast<double>(relation.NumRows());
+}
+
+double CanonicalOdError(const EncodedRelation& relation,
+                        const CanonicalOd& od) {
+  AttributeSet context = std::holds_alternative<ConstancyOd>(od)
+                             ? std::get<ConstancyOd>(od).context
+                             : std::get<CompatibilityOd>(od).context;
+  StrippedPartition partition;
+  if (context.IsEmpty()) {
+    partition = StrippedPartition::Universe(relation.NumRows());
+  } else {
+    std::vector<const std::vector<int32_t>*> columns;
+    for (int a = context.First(); a >= 0; a = context.Next(a)) {
+      columns.push_back(&relation.ranks(a));
+    }
+    partition =
+        StrippedPartition::FromRankColumns(columns, relation.NumRows());
+  }
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    return ConstancyError(relation, partition,
+                          std::get<ConstancyOd>(od).attribute);
+  }
+  const CompatibilityOd& c = std::get<CompatibilityOd>(od);
+  return CompatibilityError(relation, partition, c.a, c.b);
+}
+
+}  // namespace fastod

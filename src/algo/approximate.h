@@ -1,0 +1,63 @@
+// Approximate ODs — the paper's Section 7 future-work extension.
+//
+// "We will also consider the notion of approximate ODs that almost hold
+// over a relation instance within a specified threshold." We adopt the
+// standard g3 removal semantics (as TANE does for approximate FDs): the
+// error of a dependency is the minimum fraction of tuples whose removal
+// makes it hold exactly.
+//
+//   * ConstancyError(X: [] -> A): within each class of Π_X keep only the
+//     most frequent A-value; the error is (removed tuples) / n.
+//   * CompatibilityError(X: A ~ B): within each class keep a maximum
+//     swap-free subset; with tuples sorted by (A-rank, B-rank), a subset is
+//     swap-free iff its B-ranks are non-decreasing *across strictly
+//     increasing A-groups* — which reduces exactly to the longest
+//     non-decreasing subsequence of B-ranks (ties inside an A-group are
+//     free and are neutralized by the secondary B sort). O(c log c) per
+//     class via patience sorting.
+//
+// Both errors are monotone non-increasing as the context grows (a removal
+// set for Y also repairs any X ⊇ Y, because Π_X refines Π_Y), so the
+// candidate-set pruning of FASTOD remains sound under threshold validity —
+// Fastod exposes this through FastodOptions-like ApproximateFastodOptions.
+#ifndef FASTOD_ALGO_APPROXIMATE_H_
+#define FASTOD_ALGO_APPROXIMATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/encode.h"
+#include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
+
+namespace fastod {
+
+/// Minimum number of tuples to remove so that A is constant within every
+/// class of `context_partition`.
+int64_t ConstancyRemovals(const EncodedRelation& relation,
+                          const StrippedPartition& context_partition,
+                          int attribute);
+
+/// Minimum number of tuples to remove so that no class of
+/// `context_partition` contains a swap between `a` and `b`. With
+/// opposite = true (bidirectional extension) the target is descending
+/// compatibility: B must be non-increasing across strictly increasing A.
+int64_t CompatibilityRemovals(const EncodedRelation& relation,
+                              const StrippedPartition& context_partition,
+                              int a, int b, bool opposite = false);
+
+/// g3 errors: removals / NumRows() (0 for an empty relation).
+double ConstancyError(const EncodedRelation& relation,
+                      const StrippedPartition& context_partition,
+                      int attribute);
+double CompatibilityError(const EncodedRelation& relation,
+                          const StrippedPartition& context_partition, int a,
+                          int b, bool opposite = false);
+
+/// Error of a canonical OD with the context partition built on demand.
+double CanonicalOdError(const EncodedRelation& relation,
+                        const CanonicalOd& od);
+
+}  // namespace fastod
+
+#endif  // FASTOD_ALGO_APPROXIMATE_H_

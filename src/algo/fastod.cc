@@ -1,0 +1,530 @@
+#include "algo/fastod.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "algo/approximate.h"
+#include "common/thread_pool.h"
+#include "partition/partition_cache.h"
+
+namespace fastod {
+
+namespace {
+
+// A pair {A,B} with A < B packed into 12 bits (A*64+B). Cs+(X) is a sorted
+// vector of these.
+using PairId = uint16_t;
+
+PairId MakePair(int a, int b) {
+  FASTOD_DCHECK(a != b);
+  if (a > b) std::swap(a, b);
+  return static_cast<PairId>(a * 64 + b);
+}
+int PairFirst(PairId p) { return p / 64; }
+int PairSecond(PairId p) { return p % 64; }
+
+bool SortedContains(const std::vector<PairId>& v, PairId p) {
+  return std::binary_search(v.begin(), v.end(), p);
+}
+
+struct Node {
+  AttributeSet set;
+  AttributeSet cc;            // Cc+(X), subset of R
+  std::vector<PairId> cs;     // Cs+(X), sorted
+};
+
+struct Level {
+  std::vector<Node> nodes;
+  std::unordered_map<AttributeSet, int32_t, AttributeSetHash> index;
+
+  Node* Find(AttributeSet set) {
+    auto it = index.find(set);
+    return it == index.end() ? nullptr : &nodes[it->second];
+  }
+  const Node* Find(AttributeSet set) const {
+    auto it = index.find(set);
+    return it == index.end() ? nullptr : &nodes[it->second];
+  }
+  void Add(Node node) {
+    index.emplace(node.set, static_cast<int32_t>(nodes.size()));
+    nodes.push_back(std::move(node));
+  }
+};
+
+// Per-node validation results, merged into the global result in node order
+// so that output is deterministic under any thread count.
+struct NodeOutcome {
+  int64_t num_constancy = 0;
+  int64_t num_compatibility = 0;
+  int64_t num_bidirectional = 0;
+  std::vector<ConstancyOd> constancy;             // only if emit_ods
+  std::vector<CompatibilityOd> compatibility;     // only if emit_ods
+  std::vector<BidiCompatibilityOd> bidirectional; // only if emit_ods
+  int64_t constancy_checks = 0;
+  int64_t swap_checks = 0;
+  int64_t key_prune_hits = 0;
+};
+
+// The whole per-run state of one discovery, so Discover() stays const and
+// re-entrant on the Fastod object.
+class Run {
+ public:
+  Run(const EncodedRelation& relation, const FastodOptions& options)
+      : relation_(relation),
+        options_(options),
+        full_set_(AttributeSet::FullSet(relation.NumAttributes())),
+        sorted_(relation),
+        serial_checker_(&relation, &sorted_, options.swap_method),
+        deadline_(options.timeout_seconds > 0.0
+                      ? Deadline::After(options.timeout_seconds)
+                      : Deadline::Infinite()) {
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+    }
+  }
+
+  FastodResult Execute() {
+    WallTimer total_timer;
+    InitializeLevels();
+    int l = 1;
+    while (!current_.nodes.empty()) {
+      if (options_.max_level > 0 && l > options_.max_level) break;
+      WallTimer level_timer;
+      FastodLevelStats stats;
+      stats.level = l;
+      stats.nodes = static_cast<int64_t>(current_.nodes.size());
+      result_.total_nodes += stats.nodes;
+
+      ComputeOds(l, &stats);
+      if (result_.timed_out) {
+        FinishLevel(level_timer, &stats);
+        break;
+      }
+      PruneLevels(l, &stats);
+      Level next = CalculateNextLevel(l);
+      FinishLevel(level_timer, &stats);
+      result_.levels_processed = l;
+
+      previous_ = std::move(current_);
+      current_ = std::move(next);
+      cache_.EvictBelow(l - 1);
+      ++l;
+      if (deadline_.Exceeded()) {
+        result_.timed_out = true;
+        break;
+      }
+    }
+    result_.seconds = total_timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  // Runs body(i) for i in [0, count) — on the pool when configured.
+  void ParallelOrSerial(int64_t count,
+                        const std::function<void(int64_t)>& body) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(count, body);
+    } else {
+      for (int64_t i = 0; i < count; ++i) body(i);
+    }
+  }
+
+  void InitializeLevels() {
+    const int64_t n = relation_.NumRows();
+    const int m = relation_.NumAttributes();
+    // L0 = { {} } with Cc+({}) = R, Cs+({}) = {}.
+    Node root;
+    root.set = AttributeSet::Empty();
+    root.cc = full_set_;
+    previous_.Add(std::move(root));
+    cache_.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(n));
+    // L1 = singletons.
+    for (int a = 0; a < m; ++a) {
+      Node node;
+      node.set = AttributeSet::Single(a);
+      current_.Add(std::move(node));
+      cache_.Put(1, AttributeSet::Single(a),
+                 StrippedPartition::ForAttribute(relation_.ranks(a),
+                                                 relation_.NumDistinct(a)));
+    }
+  }
+
+  // Algorithm 3: candidate-set maintenance plus validation at level l.
+  void ComputeOds(int l, FastodLevelStats* stats) {
+    const int64_t num_nodes = static_cast<int64_t>(current_.nodes.size());
+    // Phase 1: derive Cc+ / Cs+ for every node from the previous level
+    // (reads only the immutable previous level; writes only its own node).
+    if (options_.minimality_pruning) {
+      ParallelOrSerial(num_nodes, [&](int64_t i) {
+        ComputeCandidateSets(l, &current_.nodes[i]);
+      });
+    }
+    // Phase 2: validate every node against the partition cache (immutable
+    // during the phase), accumulating per-node outcomes.
+    std::vector<NodeOutcome> outcomes(num_nodes);
+    std::atomic<bool> expired{false};
+    ParallelOrSerial(num_nodes, [&](int64_t i) {
+      if (expired.load(std::memory_order_relaxed)) return;
+      if ((i & 0xff) == 0 && deadline_.Exceeded()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (pool_ == nullptr) {
+        // Serial: reuse the persistent checker's scratch buffers.
+        ValidateNode(l, &current_.nodes[i], &serial_checker_, &outcomes[i]);
+      } else {
+        SwapChecker checker(&relation_, &sorted_, options_.swap_method);
+        ValidateNode(l, &current_.nodes[i], &checker, &outcomes[i]);
+      }
+    });
+    if (expired.load()) result_.timed_out = true;
+    // Merge in node order: deterministic output for any thread count.
+    for (NodeOutcome& o : outcomes) {
+      result_.num_constancy += o.num_constancy;
+      result_.num_compatibility += o.num_compatibility;
+      result_.num_bidirectional += o.num_bidirectional;
+      stats->constancy_found += o.num_constancy;
+      stats->compatibility_found += o.num_compatibility;
+      stats->bidirectional_found += o.num_bidirectional;
+      stats->constancy_checks += o.constancy_checks;
+      stats->swap_checks += o.swap_checks;
+      stats->key_prune_hits += o.key_prune_hits;
+      if (options_.emit_ods) {
+        std::move(o.constancy.begin(), o.constancy.end(),
+                  std::back_inserter(result_.constancy_ods));
+        std::move(o.compatibility.begin(), o.compatibility.end(),
+                  std::back_inserter(result_.compatibility_ods));
+        std::move(o.bidirectional.begin(), o.bidirectional.end(),
+                  std::back_inserter(result_.bidirectional_ods));
+      }
+    }
+  }
+
+  void ComputeCandidateSets(int l, Node* node) {
+    // Cc+(X) = ∩_{A∈X} Cc+(X\A)  (Lemma 9).
+    AttributeSet cc = full_set_;
+    for (int a = node->set.First(); a >= 0; a = node->set.Next(a)) {
+      const Node* parent = previous_.Find(node->set.Without(a));
+      FASTOD_DCHECK(parent != nullptr);
+      cc = cc.Intersect(parent->cc);
+    }
+    node->cc = cc;
+
+    if (l == 2) {
+      // Cs+({A,B}) is initialized to the single pair {A,B} (Alg. 3 line 4).
+      int a = node->set.First();
+      int b = node->set.Next(a);
+      node->cs = {MakePair(a, b)};
+      return;
+    }
+    if (l < 2) return;
+    // Cs+(X) = { {A,B} ∈ ∪_{C∈X} Cs+(X\C) |
+    //            ∀D ∈ X\{A,B}: {A,B} ∈ Cs+(X\D) }   (Alg. 3 line 6).
+    std::vector<PairId> candidates;
+    for (int c = node->set.First(); c >= 0; c = node->set.Next(c)) {
+      const Node* parent = previous_.Find(node->set.Without(c));
+      FASTOD_DCHECK(parent != nullptr);
+      candidates.insert(candidates.end(), parent->cs.begin(),
+                        parent->cs.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<PairId> kept;
+    for (PairId p : candidates) {
+      const int a = PairFirst(p);
+      const int b = PairSecond(p);
+      bool in_all = true;
+      for (int d = node->set.First(); d >= 0 && in_all;
+           d = node->set.Next(d)) {
+        if (d == a || d == b) continue;
+        const Node* parent = previous_.Find(node->set.Without(d));
+        FASTOD_DCHECK(parent != nullptr);
+        if (!SortedContains(parent->cs, p)) in_all = false;
+      }
+      if (in_all) kept.push_back(p);
+    }
+    node->cs = std::move(kept);
+  }
+
+  void ValidateNode(int l, Node* node, SwapChecker* checker,
+                    NodeOutcome* out) {
+    if (options_.minimality_pruning) {
+      ValidateNodeMinimal(l, node, checker, out);
+    } else {
+      ValidateNodeExhaustive(l, *node, checker, out);
+    }
+  }
+
+  void ValidateNodeMinimal(int l, Node* node, SwapChecker* checker,
+                           NodeOutcome* out) {
+    const StrippedPartition& node_partition = cache_.Get(node->set);
+    // --- Constancy side: X\A: [] -> A for A ∈ X ∩ Cc+(X) (Lemma 7). ---
+    AttributeSet fd_candidates = node->set.Intersect(node->cc);
+    for (int a = fd_candidates.First(); a >= 0; a = fd_candidates.Next(a)) {
+      const AttributeSet context = node->set.Without(a);
+      const StrippedPartition& context_partition = cache_.Get(context);
+      bool valid;
+      if (options_.key_pruning && context_partition.IsSuperkey()) {
+        valid = true;  // Lemma 12: a superkey context forces constancy.
+        ++out->key_prune_hits;
+      } else {
+        ++out->constancy_checks;
+        valid = ConstancyHolds(context_partition, node_partition, a);
+      }
+      if (valid) {
+        RecordConstancy(ConstancyOd{context, a}, out);
+        node->cc = node->cc.Without(a);
+        // Line 14 (drop R \ X) rests on Lemma 5 / Strengthen, which does
+        // not survive threshold validity: two ε-repairs need not compose
+        // into one. Exact mode only; approximate mode keeps the plain
+        // subset-minimality candidates (cf. TANE's approximate variant).
+        if (options_.max_error <= 0.0) {
+          node->cc = node->cc.Intersect(node->set);
+        }
+      }
+    }
+    if (l < 2) return;
+    // --- Compatibility side: X\{A,B}: A ~ B for {A,B} ∈ Cs+(X). ---
+    std::vector<PairId> remaining;
+    remaining.reserve(node->cs.size());
+    for (PairId p : node->cs) {
+      const int a = PairFirst(p);
+      const int b = PairSecond(p);
+      // Line 18: drop pairs whose endpoints lost FD-candidacy (Propagate).
+      const Node* parent_xb = previous_.Find(node->set.Without(b));
+      const Node* parent_xa = previous_.Find(node->set.Without(a));
+      FASTOD_DCHECK(parent_xb != nullptr && parent_xa != nullptr);
+      if (!parent_xb->cc.Contains(a) || !parent_xa->cc.Contains(b)) {
+        continue;  // removed from Cs+
+      }
+      const AttributeSet context = node->set.Without(a).Without(b);
+      const StrippedPartition& context_partition = cache_.Get(context);
+      if (options_.key_pruning && context_partition.IsSuperkey()) {
+        // Lemma 13: valid but never minimal — remove without emitting.
+        ++out->key_prune_hits;
+        continue;
+      }
+      ++out->swap_checks;
+      if (CompatibilityHolds(checker, context_partition, a, b)) {
+        RecordCompatibility(CompatibilityOd(context, a, b), out);
+        continue;  // removed from Cs+ (line 22)
+      }
+      if (options_.discover_bidirectional) {
+        ++out->swap_checks;
+        if (BidiCompatibilityHolds(checker, context_partition, a, b)) {
+          RecordBidirectional(BidiCompatibilityOd(context, a, b), out);
+          continue;  // pair resolved with opposite polarity
+        }
+      }
+      remaining.push_back(p);
+    }
+    node->cs = std::move(remaining);
+  }
+
+  // The FASTOD-NoPruning configuration: validate every non-trivial OD at
+  // this node and count all valid ones, minimal or not (Exp-5/6).
+  void ValidateNodeExhaustive(int l, const Node& node, SwapChecker* checker,
+                              NodeOutcome* out) {
+    const StrippedPartition& node_partition = cache_.Get(node.set);
+    for (int a = node.set.First(); a >= 0; a = node.set.Next(a)) {
+      const AttributeSet context = node.set.Without(a);
+      ++out->constancy_checks;
+      if (ConstancyHolds(cache_.Get(context), node_partition, a)) {
+        RecordConstancy(ConstancyOd{context, a}, out);
+      }
+    }
+    if (l < 2) return;
+    for (int a = node.set.First(); a >= 0; a = node.set.Next(a)) {
+      for (int b = node.set.Next(a); b >= 0; b = node.set.Next(b)) {
+        const AttributeSet context = node.set.Without(a).Without(b);
+        ++out->swap_checks;
+        if (CompatibilityHolds(checker, cache_.Get(context), a, b)) {
+          RecordCompatibility(CompatibilityOd(context, a, b), out);
+        } else if (options_.discover_bidirectional) {
+          ++out->swap_checks;
+          if (BidiCompatibilityHolds(checker, cache_.Get(context), a, b)) {
+            RecordBidirectional(BidiCompatibilityOd(context, a, b), out);
+          }
+        }
+      }
+    }
+  }
+
+  // Algorithm 4: delete nodes whose candidate sets are both empty.
+  void PruneLevels(int l, FastodLevelStats* stats) {
+    if (!options_.minimality_pruning || !options_.level_pruning || l < 2) {
+      return;
+    }
+    Level pruned;
+    for (Node& node : current_.nodes) {
+      if (node.cc.IsEmpty() && node.cs.empty()) {
+        ++stats->nodes_pruned;
+        continue;
+      }
+      pruned.Add(std::move(node));
+    }
+    current_ = std::move(pruned);
+  }
+
+  // Algorithm 2: Apriori-style join of single-attribute-difference blocks,
+  // plus the all-subsets-present check; computes each new node's partition
+  // as the product of its two generating parents (Section 4.6). The
+  // products — the bulk of the level's work at scale — run in parallel.
+  Level CalculateNextLevel(int l) {
+    Level next;
+    // Block key: the node's set minus its highest attribute. Two nodes in
+    // the same block share an (l-1)-subset and differ in one attribute.
+    std::unordered_map<AttributeSet, std::vector<int32_t>, AttributeSetHash>
+        blocks;
+    for (int32_t i = 0; i < static_cast<int32_t>(current_.nodes.size());
+         ++i) {
+      AttributeSet set = current_.nodes[i].set;
+      int highest = -1;
+      for (int a = set.First(); a >= 0; a = set.Next(a)) highest = a;
+      blocks[set.Without(highest)].push_back(i);
+    }
+    // Deterministic iteration: sort block keys.
+    std::vector<AttributeSet> keys;
+    keys.reserve(blocks.size());
+    for (const auto& [key, members] : blocks) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    struct Pending {
+      AttributeSet set;
+      AttributeSet parent_a;
+      AttributeSet parent_b;
+      StrippedPartition product;
+    };
+    std::vector<Pending> pending;
+    for (const AttributeSet& key : keys) {
+      std::vector<int32_t>& members = blocks[key];
+      std::sort(members.begin(), members.end(),
+                [this](int32_t x, int32_t y) {
+                  return current_.nodes[x].set < current_.nodes[y].set;
+                });
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const AttributeSet a = current_.nodes[members[i]].set;
+          const AttributeSet b = current_.nodes[members[j]].set;
+          const AttributeSet candidate = a.Union(b);
+          if (candidate.Count() != l + 1) continue;
+          // All l-subsets must be live nodes of the current level.
+          bool all_present = true;
+          for (int x = candidate.First(); x >= 0 && all_present;
+               x = candidate.Next(x)) {
+            if (current_.Find(candidate.Without(x)) == nullptr) {
+              all_present = false;
+            }
+          }
+          if (!all_present) continue;
+          Node node;
+          node.set = candidate;
+          next.Add(std::move(node));
+          pending.push_back(Pending{candidate, a, b, {}});
+        }
+      }
+    }
+    ParallelOrSerial(static_cast<int64_t>(pending.size()), [&](int64_t i) {
+      pending[i].product =
+          cache_.Get(pending[i].parent_a).Product(
+              cache_.Get(pending[i].parent_b));
+    });
+    for (Pending& p : pending) {
+      cache_.Put(l + 1, p.set, std::move(p.product));
+    }
+    return next;
+  }
+
+  // Exact validity uses the O(1) partition-error identity of Section 4.6;
+  // approximate validity (max_error > 0) uses the g3 removal errors.
+  bool ConstancyHolds(const StrippedPartition& context_partition,
+                      const StrippedPartition& node_partition, int a) const {
+    if (options_.max_error <= 0.0) {
+      return context_partition.Error() == node_partition.Error();
+    }
+    return ConstancyError(relation_, context_partition, a) <=
+           options_.max_error;
+  }
+
+  bool CompatibilityHolds(SwapChecker* checker,
+                          const StrippedPartition& context_partition, int a,
+                          int b) const {
+    if (options_.max_error <= 0.0) {
+      return checker->IsOrderCompatible(context_partition, a, b);
+    }
+    return CompatibilityError(relation_, context_partition, a, b) <=
+           options_.max_error;
+  }
+
+  bool BidiCompatibilityHolds(SwapChecker* checker,
+                              const StrippedPartition& context_partition,
+                              int a, int b) const {
+    if (options_.max_error <= 0.0) {
+      return checker->IsOrderCompatibleDirected(context_partition, a, b,
+                                                /*opposite=*/true);
+    }
+    return CompatibilityError(relation_, context_partition, a, b,
+                              /*opposite=*/true) <= options_.max_error;
+  }
+
+  void RecordConstancy(ConstancyOd od, NodeOutcome* out) const {
+    ++out->num_constancy;
+    if (options_.emit_ods) out->constancy.push_back(od);
+  }
+
+  void RecordCompatibility(CompatibilityOd od, NodeOutcome* out) const {
+    ++out->num_compatibility;
+    if (options_.emit_ods) out->compatibility.push_back(od);
+  }
+
+  void RecordBidirectional(BidiCompatibilityOd od, NodeOutcome* out) const {
+    ++out->num_bidirectional;
+    if (options_.emit_ods) out->bidirectional.push_back(od);
+  }
+
+  void FinishLevel(const WallTimer& timer, FastodLevelStats* stats) {
+    stats->seconds = timer.ElapsedSeconds();
+    if (options_.collect_level_stats) result_.level_stats.push_back(*stats);
+  }
+
+  const EncodedRelation& relation_;
+  const FastodOptions& options_;
+  AttributeSet full_set_;
+  SortedPartitions sorted_;
+  SwapChecker serial_checker_;
+  Deadline deadline_;
+  std::unique_ptr<ThreadPool> pool_;
+  PartitionCache cache_;
+  Level previous_;  // level l-1 node state (final Cc+/Cs+ values)
+  Level current_;   // level l
+  FastodResult result_;
+};
+
+}  // namespace
+
+std::string FastodResult::CountsToString() const {
+  return std::to_string(NumOds()) + " (" + std::to_string(num_constancy) +
+         " + " + std::to_string(num_compatibility) +
+         (num_bidirectional > 0
+              ? " + " + std::to_string(num_bidirectional) + " bidi"
+              : "") +
+         ")";
+}
+
+Fastod::Fastod(FastodOptions options) : options_(options) {}
+
+FastodResult Fastod::Discover(const EncodedRelation& relation) const {
+  Run run(relation, options_);
+  return run.Execute();
+}
+
+Result<FastodResult> Fastod::Discover(const Table& table) const {
+  Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
+  if (!encoded.ok()) return encoded.status();
+  return Discover(*encoded);
+}
+
+}  // namespace fastod

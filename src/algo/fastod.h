@@ -1,0 +1,149 @@
+// FASTOD (Section 4 of the paper): complete, minimal discovery of set-based
+// canonical ODs by a level-wise walk of the set-containment lattice.
+//
+// At lattice node X (level l = |X|) the algorithm checks exactly the
+// non-trivial canonical shapes
+//     X\A: [] -> A        for A in X            (constancy / FD side)
+//     X\{A,B}: A ~ B      for {A,B} ⊆ X, A≠B    (order-compatibility side)
+// guided by the candidate sets Cc+(X) (Definition 7) and Cs+(X)
+// (Definition 8), which encode minimality with respect to the axioms
+// (Lemmas 5-8). Levels are pruned per Lemma 11, keys per Lemmas 12-13, and
+// validation uses stripped partitions (Section 4.6).
+//
+// Every pruning rule is individually switchable via FastodOptions, which is
+// how the paper's Exp-5/Exp-6 ("FASTOD-NoPruning") ablations are produced.
+#ifndef FASTOD_ALGO_FASTOD_H_
+#define FASTOD_ALGO_FASTOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "data/encode.h"
+#include "data/table.h"
+#include "od/bidirectional.h"
+#include "od/canonical_od.h"
+#include "partition/sorted_partition.h"
+
+namespace fastod {
+
+struct FastodOptions {
+  /// Use the candidate sets Cc+/Cs+ to check only potentially-minimal ODs
+  /// and emit a minimal cover (Sections 4.2/4.4). When false, every
+  /// non-trivial OD at every node is validated and every valid one counted,
+  /// minimal or not — the "FASTOD-NoPruning" configuration of Exp-5/6.
+  bool minimality_pruning = true;
+
+  /// Delete nodes with empty candidate sets (Lemma 11, Algorithm 4).
+  /// Only meaningful when minimality_pruning is on.
+  bool level_pruning = true;
+
+  /// Skip validation scans when the context partition certifies a
+  /// (super)key (Lemmas 12-13). Only meaningful when minimality_pruning is
+  /// on (without candidate sets there is nothing sound to skip).
+  bool key_pruning = true;
+
+  /// Swap-check strategy (Section 4.6; see partition/sorted_partition.h).
+  SwapCheckMethod swap_method = SwapCheckMethod::kAuto;
+
+  /// Keep the discovered ODs in the result (true) or only count them
+  /// (false). Counting mode exists because the no-pruning ablation can
+  /// produce tens of millions of non-minimal ODs (Exp-6).
+  bool emit_ods = true;
+
+  /// Stop after processing lattice level `max_level` (0 = no limit).
+  int max_level = 0;
+
+  /// Abort after this many seconds, returning partial results flagged
+  /// timed_out (0 = no limit). Mirrors the paper's 5-hour cutoff.
+  double timeout_seconds = 0.0;
+
+  /// Approximate discovery (the paper's future-work extension, algo/
+  /// approximate.h): accept an OD when its g3 removal error is at most
+  /// this threshold. 0 = exact discovery. Candidate pruning stays sound
+  /// because both error measures are monotone in the context.
+  double max_error = 0.0;
+
+  /// Bidirectional extension (future-work item 1, od/bidirectional.h):
+  /// when an ascending compatibility check X: A ~ B fails, additionally
+  /// try the opposite polarity (A ascending orders B descending) and emit
+  /// it as a BidiCompatibilityOd. Polarity resolution prefers ascending;
+  /// once either polarity holds for a pair, the pair leaves Cs+ — so each
+  /// pair is reported at its minimal context with its first-holding
+  /// polarity.
+  bool discover_bidirectional = false;
+
+  /// Record per-level statistics (Exp-7).
+  bool collect_level_stats = true;
+
+  /// Number of worker threads for intra-level parallelism (candidate-set
+  /// derivation, node validation, and partition products are each
+  /// embarrassingly parallel within a level). 1 = serial. Output is
+  /// bit-identical across thread counts: per-node results are merged in
+  /// node order.
+  int num_threads = 1;
+};
+
+/// Telemetry for one lattice level (drives Figure 7).
+struct FastodLevelStats {
+  int level = 0;
+  int64_t nodes = 0;              // nodes processed at this level
+  int64_t nodes_pruned = 0;       // nodes deleted by Lemma 11 afterwards
+  int64_t constancy_checks = 0;   // FD-side validations performed
+  int64_t swap_checks = 0;        // OCD-side validations performed
+  int64_t key_prune_hits = 0;     // validations skipped via Lemmas 12-13
+  int64_t constancy_found = 0;
+  int64_t compatibility_found = 0;
+  int64_t bidirectional_found = 0;
+  double seconds = 0.0;
+};
+
+struct FastodResult {
+  /// Minimal constancy ODs X: [] -> A (the paper's "FDs"); populated when
+  /// emit_ods is set.
+  std::vector<ConstancyOd> constancy_ods;
+  /// Minimal order-compatibility ODs X: A ~ B (the paper's "OCDs").
+  std::vector<CompatibilityOd> compatibility_ods;
+  /// Opposite-polarity OCDs X: A ~ B-descending (bidirectional extension;
+  /// empty unless FastodOptions::discover_bidirectional).
+  std::vector<BidiCompatibilityOd> bidirectional_ods;
+
+  /// Totals, valid in both emit and count-only modes.
+  int64_t num_constancy = 0;
+  int64_t num_compatibility = 0;
+  int64_t num_bidirectional = 0;
+  int64_t NumOds() const {
+    return num_constancy + num_compatibility + num_bidirectional;
+  }
+
+  bool timed_out = false;
+  int levels_processed = 0;
+  int64_t total_nodes = 0;
+  double seconds = 0.0;
+  std::vector<FastodLevelStats> level_stats;
+
+  /// "17 (16 + 1)" — the figure-caption rendering used in the paper.
+  std::string CountsToString() const;
+};
+
+class Fastod {
+ public:
+  explicit Fastod(FastodOptions options = FastodOptions());
+
+  /// Discovers the complete, minimal set of canonical ODs of `relation`.
+  FastodResult Discover(const EncodedRelation& relation) const;
+
+  /// Convenience: encodes the table first (fails if > 64 attributes).
+  Result<FastodResult> Discover(const Table& table) const;
+
+  const FastodOptions& options() const { return options_; }
+
+ private:
+  FastodOptions options_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_ALGO_FASTOD_H_

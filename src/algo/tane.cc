@@ -1,0 +1,210 @@
+#include "algo/tane.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "od/attribute_set.h"
+#include "partition/partition_cache.h"
+
+namespace fastod {
+
+namespace {
+
+struct Node {
+  AttributeSet set;
+  AttributeSet cc;  // Cc+(X)
+};
+
+struct Level {
+  std::vector<Node> nodes;
+  std::unordered_map<AttributeSet, int32_t, AttributeSetHash> index;
+
+  Node* Find(AttributeSet set) {
+    auto it = index.find(set);
+    return it == index.end() ? nullptr : &nodes[it->second];
+  }
+  void Add(Node node) {
+    index.emplace(node.set, static_cast<int32_t>(nodes.size()));
+    nodes.push_back(std::move(node));
+  }
+};
+
+class Run {
+ public:
+  Run(const EncodedRelation& relation, const TaneOptions& options)
+      : relation_(relation),
+        options_(options),
+        full_set_(AttributeSet::FullSet(relation.NumAttributes())),
+        deadline_(options.timeout_seconds > 0.0
+                      ? Deadline::After(options.timeout_seconds)
+                      : Deadline::Infinite()) {}
+
+  TaneResult Execute() {
+    WallTimer timer;
+    Initialize();
+    int l = 1;
+    while (!current_.nodes.empty()) {
+      if (options_.max_level > 0 && l > options_.max_level) break;
+      result_.total_nodes += static_cast<int64_t>(current_.nodes.size());
+      ComputeDependencies(l);
+      Prune();
+      Level next = CalculateNextLevel(l);
+      result_.levels_processed = l;
+      previous_ = std::move(current_);
+      current_ = std::move(next);
+      cache_.EvictBelow(l);
+      ++l;
+      if (deadline_.Exceeded()) {
+        result_.timed_out = true;
+        break;
+      }
+    }
+    result_.seconds = timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  void Initialize() {
+    const int64_t n = relation_.NumRows();
+    Node root;
+    root.set = AttributeSet::Empty();
+    root.cc = full_set_;
+    previous_.Add(std::move(root));
+    cache_.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(n));
+    for (int a = 0; a < relation_.NumAttributes(); ++a) {
+      Node node;
+      node.set = AttributeSet::Single(a);
+      current_.Add(std::move(node));
+      cache_.Put(1, AttributeSet::Single(a),
+                 StrippedPartition::ForAttribute(relation_.ranks(a),
+                                                 relation_.NumDistinct(a)));
+    }
+  }
+
+  void ComputeDependencies(int l) {
+    for (Node& node : current_.nodes) {
+      AttributeSet cc = full_set_;
+      for (int a = node.set.First(); a >= 0; a = node.set.Next(a)) {
+        Node* parent = previous_.Find(node.set.Without(a));
+        FASTOD_DCHECK(parent != nullptr);
+        cc = cc.Intersect(parent->cc);
+      }
+      node.cc = cc;
+    }
+    (void)l;
+    for (Node& node : current_.nodes) {
+      const StrippedPartition& node_partition = cache_.Get(node.set);
+      AttributeSet candidates = node.set.Intersect(node.cc);
+      for (int a = candidates.First(); a >= 0; a = candidates.Next(a)) {
+        const AttributeSet context = node.set.Without(a);
+        const StrippedPartition& context_partition = cache_.Get(context);
+        if (context_partition.Error() == node_partition.Error()) {
+          result_.fds.push_back(ConstancyOd{context, a});
+          node.cc = node.cc.Without(a);
+          node.cc = node.cc.Intersect(node.set);
+        }
+      }
+    }
+  }
+
+  // TANE pruning: delete Cc+-empty nodes; for (super)key nodes, emit the
+  // remaining minimal FDs X -> A (A outside X) and delete the node.
+  void Prune() {
+    Level pruned;
+    for (Node& node : current_.nodes) {
+      if (node.cc.IsEmpty()) continue;
+      const StrippedPartition& partition = cache_.Get(node.set);
+      if (partition.IsSuperkey()) {
+        AttributeSet outside = node.cc.Minus(node.set);
+        for (int a = outside.First(); a >= 0; a = outside.Next(a)) {
+          // X -> A is minimal iff A ∈ ∩_{B∈X} Cc+(X ∪ {A} \ {B}).
+          bool minimal = true;
+          for (int b = node.set.First(); b >= 0 && minimal;
+               b = node.set.Next(b)) {
+            Node* sibling = current_.Find(node.set.With(a).Without(b));
+            if (sibling == nullptr || !sibling->cc.Contains(a)) {
+              minimal = false;
+            }
+          }
+          if (minimal) {
+            result_.fds.push_back(ConstancyOd{node.set, a});
+          }
+        }
+        continue;  // delete key node
+      }
+      pruned.Add(std::move(node));
+    }
+    current_ = std::move(pruned);
+  }
+
+  Level CalculateNextLevel(int l) {
+    Level next;
+    std::unordered_map<AttributeSet, std::vector<int32_t>, AttributeSetHash>
+        blocks;
+    for (int32_t i = 0; i < static_cast<int32_t>(current_.nodes.size());
+         ++i) {
+      AttributeSet set = current_.nodes[i].set;
+      int highest = -1;
+      for (int a = set.First(); a >= 0; a = set.Next(a)) highest = a;
+      blocks[set.Without(highest)].push_back(i);
+    }
+    std::vector<AttributeSet> keys;
+    keys.reserve(blocks.size());
+    for (const auto& [key, members] : blocks) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const AttributeSet& key : keys) {
+      std::vector<int32_t>& members = blocks[key];
+      std::sort(members.begin(), members.end(),
+                [this](int32_t x, int32_t y) {
+                  return current_.nodes[x].set < current_.nodes[y].set;
+                });
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const AttributeSet a = current_.nodes[members[i]].set;
+          const AttributeSet b = current_.nodes[members[j]].set;
+          const AttributeSet candidate = a.Union(b);
+          bool all_present = true;
+          for (int x = candidate.First(); x >= 0 && all_present;
+               x = candidate.Next(x)) {
+            if (current_.Find(candidate.Without(x)) == nullptr) {
+              all_present = false;
+            }
+          }
+          if (!all_present) continue;
+          Node node;
+          node.set = candidate;
+          next.Add(std::move(node));
+          cache_.Put(l + 1, candidate, cache_.Get(a).Product(cache_.Get(b)));
+        }
+      }
+    }
+    return next;
+  }
+
+  const EncodedRelation& relation_;
+  const TaneOptions& options_;
+  AttributeSet full_set_;
+  Deadline deadline_;
+  PartitionCache cache_;
+  Level previous_;
+  Level current_;
+  TaneResult result_;
+};
+
+}  // namespace
+
+Tane::Tane(TaneOptions options) : options_(options) {}
+
+TaneResult Tane::Discover(const EncodedRelation& relation) const {
+  Run run(relation, options_);
+  return run.Execute();
+}
+
+Result<TaneResult> Tane::Discover(const Table& table) const {
+  Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
+  if (!encoded.ok()) return encoded.status();
+  return Discover(*encoded);
+}
+
+}  // namespace fastod

@@ -1,0 +1,222 @@
+#include "axioms/inference.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace fastod {
+
+namespace {
+
+uint16_t PackPair(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return static_cast<uint16_t>(a * 64 + b);
+}
+
+}  // namespace
+
+OdTheory::OdTheory(int num_attributes) : num_attributes_(num_attributes) {
+  FASTOD_CHECK(num_attributes >= 0 &&
+               num_attributes <= kMaxTheoryAttributes);
+}
+
+void OdTheory::Add(const ConstancyOd& od) {
+  constant_[od.context.bits()] |= uint64_t{1} << od.attribute;
+  closed_ = false;
+}
+
+void OdTheory::Add(const CompatibilityOd& od) {
+  compatible_[od.context.bits()].insert(PackPair(od.a, od.b));
+  closed_ = false;
+}
+
+void OdTheory::Add(const CanonicalOd& od) {
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    Add(std::get<ConstancyOd>(od));
+  } else {
+    Add(std::get<CompatibilityOd>(od));
+  }
+}
+
+void OdTheory::Close() {
+  const uint64_t num_contexts = uint64_t{1} << num_attributes_;
+  // Reflexivity: X: [] -> A for every A ∈ X.
+  for (uint64_t ctx = 0; ctx < num_contexts; ++ctx) {
+    constant_[ctx] |= ctx;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint64_t ctx = 0; ctx < num_contexts; ++ctx) {
+      uint64_t& consts = constant_[ctx];
+      std::set<uint16_t>& pairs = compatible_[ctx];
+
+      // Augmentation-I / II: push facts to every one-attribute superset.
+      for (int z = 0; z < num_attributes_; ++z) {
+        if (ctx & (uint64_t{1} << z)) continue;
+        const uint64_t super = ctx | (uint64_t{1} << z);
+        uint64_t& super_consts = constant_[super];
+        if ((super_consts | consts) != super_consts) {
+          super_consts |= consts;
+          changed = true;
+        }
+        std::set<uint16_t>& super_pairs = compatible_[super];
+        for (uint16_t p : pairs) {
+          if (super_pairs.insert(p).second) changed = true;
+        }
+      }
+
+      // Strengthen: X: [] -> A and XA: [] -> B imply X: [] -> B.
+      for (int a = 0; a < num_attributes_; ++a) {
+        if (!(consts & (uint64_t{1} << a))) continue;
+        if (ctx & (uint64_t{1} << a)) continue;  // XA == X, nothing new
+        const uint64_t xa = ctx | (uint64_t{1} << a);
+        auto it = constant_.find(xa);
+        if (it == constant_.end()) continue;
+        if ((consts | it->second) != consts) {
+          consts |= it->second;
+          changed = true;
+        }
+      }
+
+      // Propagate: X: [] -> A implies X: A ~ B for every B.
+      for (int a = 0; a < num_attributes_; ++a) {
+        if (!(consts & (uint64_t{1} << a))) continue;
+        for (int b = 0; b < num_attributes_; ++b) {
+          if (b == a) continue;
+          if (pairs.insert(PackPair(a, b)).second) changed = true;
+        }
+      }
+
+      // Chain (n = 1): X: A ~ B, X: B ~ C, XB: A ~ C imply X: A ~ C.
+      // Iterate over a snapshot: insertions invalidate set iterators.
+      std::vector<uint16_t> snapshot(pairs.begin(), pairs.end());
+      for (uint16_t p1 : snapshot) {
+        const int u = p1 / 64;
+        const int v = p1 % 64;
+        // Treat both orientations (Commutativity).
+        for (int flip = 0; flip < 2; ++flip) {
+          const int a = flip ? v : u;
+          const int mid = flip ? u : v;
+          for (int c = 0; c < num_attributes_; ++c) {
+            if (c == a || c == mid) continue;
+            if (pairs.count(PackPair(mid, c)) == 0) continue;
+            if (pairs.count(PackPair(a, c)) > 0) continue;
+            const uint64_t xb = ctx | (uint64_t{1} << mid);
+            auto it = compatible_.find(xb);
+            if (it == compatible_.end()) continue;
+            if (it->second.count(PackPair(a, c)) == 0) continue;
+            pairs.insert(PackPair(a, c));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  closed_ = true;
+}
+
+bool OdTheory::Implies(const ConstancyOd& od) const {
+  FASTOD_CHECK(closed_);
+  if (od.IsTrivial()) return true;
+  auto it = constant_.find(od.context.bits());
+  return it != constant_.end() &&
+         (it->second & (uint64_t{1} << od.attribute)) != 0;
+}
+
+bool OdTheory::Implies(const CompatibilityOd& od) const {
+  FASTOD_CHECK(closed_);
+  if (od.IsTrivial()) return true;
+  auto it = compatible_.find(od.context.bits());
+  return it != compatible_.end() &&
+         it->second.count(PackPair(od.a, od.b)) > 0;
+}
+
+bool OdTheory::Implies(const CanonicalOd& od) const {
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    return Implies(std::get<ConstancyOd>(od));
+  }
+  return Implies(std::get<CompatibilityOd>(od));
+}
+
+std::vector<ConstancyOd> OdTheory::ConstancyFacts() const {
+  std::vector<ConstancyOd> out;
+  for (const auto& [ctx, attrs] : constant_) {
+    AttributeSet context(ctx);
+    for (int a = 0; a < num_attributes_; ++a) {
+      if (!(attrs & (uint64_t{1} << a))) continue;
+      ConstancyOd od{context, a};
+      if (!od.IsTrivial()) out.push_back(od);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CompatibilityOd> OdTheory::CompatibilityFacts() const {
+  std::vector<CompatibilityOd> out;
+  for (const auto& [ctx, pairs] : compatible_) {
+    AttributeSet context(ctx);
+    for (uint16_t p : pairs) {
+      CompatibilityOd od(context, p / 64, p % 64);
+      if (!od.IsTrivial()) out.push_back(od);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CanonicalOdSet MinimalCover(const CanonicalOdSet& ods, int num_attributes) {
+  // Greedy removal, largest contexts first so that general (small-context)
+  // facts survive and specializations are dropped.
+  CanonicalOdSet cover = ods;
+  std::sort(cover.constancy.begin(), cover.constancy.end(),
+            [](const ConstancyOd& x, const ConstancyOd& y) {
+              if (x.context.Count() != y.context.Count()) {
+                return x.context.Count() > y.context.Count();
+              }
+              return x < y;
+            });
+  std::sort(cover.compatibility.begin(), cover.compatibility.end(),
+            [](const CompatibilityOd& x, const CompatibilityOd& y) {
+              if (x.context.Count() != y.context.Count()) {
+                return x.context.Count() > y.context.Count();
+              }
+              return x < y;
+            });
+
+  auto build_theory = [&](size_t skip_const, size_t skip_compat) {
+    OdTheory theory(num_attributes);
+    for (size_t i = 0; i < cover.constancy.size(); ++i) {
+      if (i != skip_const) theory.Add(cover.constancy[i]);
+    }
+    for (size_t i = 0; i < cover.compatibility.size(); ++i) {
+      if (i != skip_compat) theory.Add(cover.compatibility[i]);
+    }
+    theory.Close();
+    return theory;
+  };
+
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  for (size_t i = 0; i < cover.constancy.size();) {
+    OdTheory theory = build_theory(i, kNone);
+    if (theory.Implies(cover.constancy[i])) {
+      cover.constancy.erase(cover.constancy.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < cover.compatibility.size();) {
+    OdTheory theory = build_theory(kNone, i);
+    if (theory.Implies(cover.compatibility[i])) {
+      cover.compatibility.erase(cover.compatibility.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  std::sort(cover.constancy.begin(), cover.constancy.end());
+  std::sort(cover.compatibility.begin(), cover.compatibility.end());
+  return cover;
+}
+
+}  // namespace fastod

@@ -1,0 +1,84 @@
+// An executable form of the set-based axiomatization (Figure 2 of the
+// paper): a saturation-based inference engine over canonical ODs.
+//
+// OdTheory materializes the closure of a fact set under the axioms
+//   1. Reflexivity      X: [] -> A for A ∈ X
+//   2. Identity         X: A ~ A                      (answered at query time)
+//   3. Commutativity    pairs are stored unordered
+//   4. Strengthen       X: [] -> A, XA: [] -> B  ⟹  X: [] -> B
+//   5. Propagate        X: [] -> A  ⟹  X: A ~ B
+//   6. Augmentation-I   X: [] -> A  ⟹  ZX: [] -> A
+//   7. Augmentation-II  X: A ~ B    ⟹  ZX: A ~ B
+//   8. Chain            applied in its single-intermediate instance
+//                       (n = 1): X: A ~ B, X: B ~ C, XB: A ~ C ⟹ X: A ~ C
+// over the full powerset of a (small) schema. The engine is *sound* by
+// construction — every rule is one of the paper's axioms — and the tests
+// verify soundness empirically: anything derived from ODs valid on a table
+// is itself valid on that table. (Completeness of the engine is not
+// claimed: general Chain instances with longer intermediate sequences are
+// not enumerated. The paper proves the axiom *system* complete; enumerating
+// all Chain instances is exponential and unnecessary for our audits.)
+//
+// Intended for schemas of at most kMaxTheoryAttributes attributes: the
+// closure materializes facts for all 2^m contexts.
+#ifndef FASTOD_AXIOMS_INFERENCE_H_
+#define FASTOD_AXIOMS_INFERENCE_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "od/canonical_od.h"
+
+namespace fastod {
+
+class OdTheory {
+ public:
+  static constexpr int kMaxTheoryAttributes = 12;
+
+  /// The theory ranges over attributes {0, ..., num_attributes-1}.
+  explicit OdTheory(int num_attributes);
+
+  void Add(const ConstancyOd& od);
+  void Add(const CompatibilityOd& od);
+  void Add(const CanonicalOd& od);
+
+  /// Saturates the fact set under the axioms. Idempotent; call again after
+  /// adding more facts.
+  void Close();
+
+  /// Membership of `od` in the closure (trivial ODs are always implied).
+  /// Requires Close() after the last Add().
+  bool Implies(const ConstancyOd& od) const;
+  bool Implies(const CompatibilityOd& od) const;
+  bool Implies(const CanonicalOd& od) const;
+
+  /// Non-trivial facts currently materialized (after Close() this includes
+  /// derived facts; Reflexivity facts are excluded as trivial).
+  std::vector<ConstancyOd> ConstancyFacts() const;
+  std::vector<CompatibilityOd> CompatibilityFacts() const;
+
+  int num_attributes() const { return num_attributes_; }
+
+ private:
+  int num_attributes_;
+  bool closed_ = false;
+  // context bits -> bitset of constant attributes.
+  std::unordered_map<uint64_t, uint64_t> constant_;
+  // context bits -> set of packed pairs (a*64+b, a<b).
+  std::unordered_map<uint64_t, std::set<uint16_t>> compatible_;
+};
+
+/// Removes every OD implied by the remaining ones (greedy, deterministic:
+/// larger contexts dropped first). Used to audit that discovery output is
+/// non-redundant with respect to the axioms.
+struct CanonicalOdSet {
+  std::vector<ConstancyOd> constancy;
+  std::vector<CompatibilityOd> compatibility;
+};
+CanonicalOdSet MinimalCover(const CanonicalOdSet& ods, int num_attributes);
+
+}  // namespace fastod
+
+#endif  // FASTOD_AXIOMS_INFERENCE_H_

@@ -1,0 +1,395 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+
+#include "algo/approximate.h"
+#include "algo/conditional.h"
+#include "algo/fastod.h"
+#include "algo/order.h"
+#include "algo/tane.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/encode.h"
+#include "gen/date_dim.h"
+#include "gen/generators.h"
+#include "report/report.h"
+#include "validate/od_validator.h"
+#include "validate/violation_scanner.h"
+
+namespace fastod {
+
+namespace {
+
+const char kUsage[] =
+    "fastod — order dependency discovery (FASTOD, VLDB 2017)\n"
+    "\n"
+    "usage:\n"
+    "  fastod discover <file.csv> [--algorithm=fastod|tane|order]\n"
+    "                             [--max-error=E] [--bidirectional]\n"
+    "                             [--threads=T] [--timeout=SECONDS]\n"
+    "                             [--max-level=L] [--output=text|json]\n"
+    "                             [--delimiter=,] [--no-header]\n"
+    "                             [--max-rows=N]\n"
+    "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
+    "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
+    "  fastod conditional <file.csv> [--min-support=F] [--limit=N]\n"
+    "  fastod generate <flight|ncvoter|hepatitis|dbtesma|date_dim>\n"
+    "                             [--rows=N] [--attrs=K] [--seed=S]\n"
+    "  fastod help\n";
+
+struct CsvFlags {
+  std::string delimiter = ",";
+  bool no_header = false;
+  int64_t max_rows = -1;
+
+  void Register(FlagSet* flags) {
+    flags->AddString("delimiter", &delimiter, "CSV field delimiter");
+    flags->AddBool("no-header", &no_header,
+                   "first CSV record is data, not attribute names");
+    flags->AddInt("max-rows", &max_rows, "read at most N data rows (-1=all)");
+  }
+
+  Result<Table> Load(const std::string& path) const {
+    CsvOptions options;
+    if (delimiter.size() != 1) {
+      return Status::InvalidArgument("--delimiter must be one character");
+    }
+    options.delimiter = delimiter[0];
+    options.has_header = !no_header;
+    options.max_rows = max_rows;
+    return ReadCsvFile(path, options);
+  }
+};
+
+// Parses "colA,colB:desc" into a directed spec; direction defaults asc.
+Result<DirectedSpec> ParseDirectedSpec(const std::string& text,
+                                       const Schema& schema) {
+  DirectedSpec spec;
+  for (const std::string& piece : Split(text, ',')) {
+    std::string name(Trim(piece));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute in list '" + text +
+                                     "'");
+    }
+    SortDirection dir = SortDirection::kAsc;
+    size_t colon = name.rfind(':');
+    if (colon != std::string::npos) {
+      std::string suffix = name.substr(colon + 1);
+      name = name.substr(0, colon);
+      if (suffix == "desc") {
+        dir = SortDirection::kDesc;
+      } else if (suffix != "asc") {
+        return Status::InvalidArgument("unknown direction ':" + suffix +
+                                       "' (use :asc or :desc)");
+      }
+    }
+    Result<int> idx = schema.IndexOf(name);
+    if (!idx.ok()) return idx.status();
+    spec.push_back(DirectedAttribute{*idx, dir});
+  }
+  if (spec.empty()) {
+    return Status::InvalidArgument("attribute list must be non-empty");
+  }
+  return spec;
+}
+
+bool AllAscending(const DirectedSpec& spec) {
+  return std::all_of(spec.begin(), spec.end(),
+                     [](const DirectedAttribute& d) {
+                       return d.direction == SortDirection::kAsc;
+                     });
+}
+
+OrderSpec StripDirections(const DirectedSpec& spec) {
+  OrderSpec out;
+  out.reserve(spec.size());
+  for (const DirectedAttribute& d : spec) out.push_back(d.attr);
+  return out;
+}
+
+CliResult Fail(const Status& status) {
+  CliResult result;
+  result.exit_code = 1;
+  result.error = status.ToString() + "\n";
+  return result;
+}
+
+CliResult Discover(const std::vector<std::string>& args) {
+  std::string algorithm = "fastod";
+  std::string output = "text";
+  double max_error = 0.0;
+  double timeout = 0.0;
+  int64_t max_level = 0;
+  int64_t threads = 1;
+  bool bidirectional = false;
+  CsvFlags csv;
+  FlagSet flags;
+  flags.AddString("algorithm", &algorithm, "fastod, tane, or order");
+  flags.AddString("output", &output, "text or json");
+  flags.AddDouble("max-error", &max_error,
+                  "approximate discovery threshold (0 = exact)");
+  flags.AddDouble("timeout", &timeout, "abort after SECONDS (0 = none)");
+  flags.AddInt("max-level", &max_level, "stop after lattice level L (0 = "
+               "none)");
+  flags.AddInt("threads", &threads, "worker threads (fastod only)");
+  flags.AddBool("bidirectional", &bidirectional,
+                "also discover opposite-polarity compatibilities");
+  csv.Register(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "discover expects exactly one CSV path"));
+  }
+  if (output != "text" && output != "json") {
+    return Fail(Status::InvalidArgument("--output must be text or json"));
+  }
+  Result<Table> table = csv.Load(flags.positional()[0]);
+  if (!table.ok()) return Fail(table.status());
+  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
+  if (!rel.ok()) return Fail(rel.status());
+
+  RelationInfo info{rel->NumRows(), &rel->schema()};
+  CliResult result;
+  if (algorithm == "fastod") {
+    FastodOptions options;
+    options.max_error = max_error;
+    options.timeout_seconds = timeout;
+    options.max_level = static_cast<int>(max_level);
+    options.num_threads = static_cast<int>(threads);
+    options.discover_bidirectional = bidirectional;
+    FastodResult r = Fastod(options).Discover(*rel);
+    result.output = output == "json" ? FastodResultToJson(r, info)
+                                     : FastodResultToText(r, info);
+  } else if (algorithm == "tane") {
+    TaneOptions options;
+    options.timeout_seconds = timeout;
+    options.max_level = static_cast<int>(max_level);
+    TaneResult r = Tane(options).Discover(*rel);
+    result.output = output == "json" ? TaneResultToJson(r, info)
+                                     : TaneResultToText(r, info);
+  } else if (algorithm == "order") {
+    OrderOptions options;
+    options.timeout_seconds = timeout;
+    options.max_level = static_cast<int>(max_level);
+    OrderResult r = OrderBaseline(options).Discover(*rel);
+    result.output = output == "json" ? OrderResultToJson(r, info)
+                                     : OrderResultToText(r, info);
+  } else {
+    return Fail(Status::InvalidArgument("unknown --algorithm '" + algorithm +
+                                        "'"));
+  }
+  return result;
+}
+
+CliResult Validate(const std::vector<std::string>& args) {
+  std::string lhs_text;
+  std::string rhs_text;
+  CsvFlags csv;
+  FlagSet flags;
+  flags.AddString("lhs", &lhs_text, "ordering attribute list (X of X ↦ Y)");
+  flags.AddString("rhs", &rhs_text, "ordered attribute list (Y of X ↦ Y)");
+  csv.Register(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "validate expects exactly one CSV path"));
+  }
+  Result<Table> table = csv.Load(flags.positional()[0]);
+  if (!table.ok()) return Fail(table.status());
+  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
+  if (!rel.ok()) return Fail(rel.status());
+  Result<DirectedSpec> lhs = ParseDirectedSpec(lhs_text, rel->schema());
+  if (!lhs.ok()) return Fail(lhs.status());
+  Result<DirectedSpec> rhs = ParseDirectedSpec(rhs_text, rel->schema());
+  if (!rhs.ok()) return Fail(rhs.status());
+
+  OdValidator validator(&*rel);
+  bool holds;
+  std::string rendered;
+  if (AllAscending(*lhs) && AllAscending(*rhs)) {
+    ListOd od{StripDirections(*lhs), StripDirections(*rhs)};
+    holds = validator.Holds(od);
+    rendered = od.ToString(rel->schema());
+  } else {
+    BidirectionalListOd od{*lhs, *rhs};
+    holds = validator.Holds(od);
+    rendered = od.ToString(rel->schema());
+  }
+  CliResult result;
+  result.output = rendered + ": " + (holds ? "holds" : "violated") + "\n";
+  result.exit_code = holds ? 0 : 2;  // shell-scriptable
+  return result;
+}
+
+CliResult Violations(const std::vector<std::string>& args) {
+  std::string lhs_text;
+  std::string rhs_text;
+  int64_t limit = 20;
+  CsvFlags csv;
+  FlagSet flags;
+  flags.AddString("lhs", &lhs_text, "ordering attribute list");
+  flags.AddString("rhs", &rhs_text, "ordered attribute list");
+  flags.AddInt("limit", &limit, "maximum violating pairs to report");
+  csv.Register(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "violations expects exactly one CSV path"));
+  }
+  Result<Table> table = csv.Load(flags.positional()[0]);
+  if (!table.ok()) return Fail(table.status());
+  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
+  if (!rel.ok()) return Fail(rel.status());
+  Result<DirectedSpec> lhs = ParseDirectedSpec(lhs_text, rel->schema());
+  if (!lhs.ok()) return Fail(lhs.status());
+  Result<DirectedSpec> rhs = ParseDirectedSpec(rhs_text, rel->schema());
+  if (!rhs.ok()) return Fail(rhs.status());
+  if (!AllAscending(*lhs) || !AllAscending(*rhs)) {
+    return Fail(Status::InvalidArgument(
+        "violations currently supports ascending specifications only"));
+  }
+
+  ListOd od{StripDirections(*lhs), StripDirections(*rhs)};
+  ViolationScanner scanner(&*rel);
+  ScanOptions options;
+  options.max_violations = limit;
+  std::vector<Violation> violations = scanner.Scan(od, options);
+  CliResult result;
+  result.output = od.ToString(rel->schema()) + ": " +
+                  std::to_string(violations.size()) + " violating pair(s)";
+  if (static_cast<int64_t>(violations.size()) == limit) {
+    result.output += " (limit reached)";
+  }
+  result.output += "\n";
+  for (const Violation& v : violations) {
+    result.output += "  " + v.ToString() + "\n";
+  }
+  result.exit_code = violations.empty() ? 0 : 2;
+  return result;
+}
+
+CliResult Conditional(const std::vector<std::string>& args) {
+  double min_support = 0.25;
+  int64_t limit = 20;
+  CsvFlags csv;
+  FlagSet flags;
+  flags.AddDouble("min-support", &min_support,
+                  "minimum covered-tuple fraction for a conditional OD");
+  flags.AddInt("limit", &limit, "maximum conditional ODs to report");
+  csv.Register(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "conditional expects exactly one CSV path"));
+  }
+  Result<Table> table = csv.Load(flags.positional()[0]);
+  if (!table.ok()) return Fail(table.status());
+  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
+  if (!rel.ok()) return Fail(rel.status());
+
+  ConditionalOdFinder finder(&*rel);
+  ConditionalOdOptions options;
+  options.min_support = min_support;
+  options.max_results = limit;
+  std::vector<ConditionalOd> found = finder.DiscoverConditional(options);
+
+  // Render bindings as actual cell values rather than dense ranks: find a
+  // witness row per rank.
+  auto binding_value = [&](int attr, int32_t rank) -> std::string {
+    for (int64_t r = 0; r < table->NumRows(); ++r) {
+      if (rel->rank(r, attr) == rank) return table->at(r, attr).ToString();
+    }
+    std::string fallback = "#";
+    fallback += std::to_string(rank);
+    return fallback;
+  };
+  CliResult result;
+  result.output = std::to_string(found.size()) +
+                  " conditional OD(s) at support >= " +
+                  std::to_string(min_support) + "\n";
+  for (const ConditionalOd& c : found) {
+    std::string line = "  (";
+    line += table->schema().name(c.condition_attribute);
+    line += " in {";
+    for (size_t i = 0; i < c.binding_ranks.size(); ++i) {
+      if (i > 0) line += ",";
+      line += binding_value(c.condition_attribute, c.binding_ranks[i]);
+    }
+    char support_buf[32];
+    std::snprintf(support_buf, sizeof(support_buf), "%.0f%%",
+                  c.support * 100.0);
+    line += "}) => ";
+    line += CanonicalOdToString(c.od, table->schema());
+    line += "  [support ";
+    line += support_buf;
+    line += "]\n";
+    result.output += line;
+  }
+  return result;
+}
+
+CliResult Generate(const std::vector<std::string>& args) {
+  int64_t rows = 1000;
+  int64_t attrs = 10;
+  int64_t seed = 42;
+  FlagSet flags;
+  flags.AddInt("rows", &rows, "number of rows");
+  flags.AddInt("attrs", &attrs, "number of attributes (ignored by "
+               "date_dim)");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "generate expects one dataset name "
+        "(flight|ncvoter|hepatitis|dbtesma|date_dim)"));
+  }
+  const std::string& name = flags.positional()[0];
+  if (attrs < 1 || attrs > 64) {
+    return Fail(Status::InvalidArgument("--attrs must be in [1, 64]"));
+  }
+  Table table;
+  if (name == "flight") {
+    table = GenFlightLike(rows, static_cast<int>(attrs),
+                          static_cast<uint64_t>(seed));
+  } else if (name == "ncvoter") {
+    table = GenNcvoterLike(rows, static_cast<int>(attrs),
+                           static_cast<uint64_t>(seed));
+  } else if (name == "hepatitis") {
+    table = GenHepatitisLike(rows, static_cast<int>(attrs),
+                             static_cast<uint64_t>(seed));
+  } else if (name == "dbtesma") {
+    table = GenDbtesmaLike(rows, static_cast<int>(attrs),
+                           static_cast<uint64_t>(seed));
+  } else if (name == "date_dim") {
+    table = GenDateDim(rows);
+  } else {
+    return Fail(Status::InvalidArgument("unknown dataset '" + name + "'"));
+  }
+  CliResult result;
+  result.output = WriteCsvString(table);
+  return result;
+}
+
+}  // namespace
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    CliResult result;
+    result.output = kUsage;
+    return result;
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "discover") return Discover(rest);
+  if (command == "validate") return Validate(rest);
+  if (command == "violations") return Violations(rest);
+  if (command == "conditional") return Conditional(rest);
+  if (command == "generate") return Generate(rest);
+  CliResult result;
+  result.exit_code = 1;
+  result.error = "unknown command '" + command + "'\n\n" + kUsage;
+  return result;
+}
+
+}  // namespace fastod

@@ -1,0 +1,30 @@
+// The fastod command-line tool, as a testable library. tools/fastod_cli.cc
+// is a thin main() around RunCli().
+//
+// Commands:
+//   discover <csv>    run FASTOD / TANE / ORDER on a CSV file
+//   validate <csv>    check one OD (--lhs/--rhs column lists, ':desc'
+//                     suffixes allowed) against the data
+//   violations <csv>  list tuple pairs violating an OD (data cleaning)
+//   generate <name>   emit a synthetic benchmark dataset as CSV
+// Run with no arguments (or `help`) for full usage.
+#ifndef FASTOD_CLI_CLI_H_
+#define FASTOD_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace fastod {
+
+struct CliResult {
+  int exit_code = 0;
+  std::string output;  // stdout payload
+  std::string error;   // stderr payload
+};
+
+/// Executes one CLI invocation. `args` excludes the program name.
+CliResult RunCli(const std::vector<std::string>& args);
+
+}  // namespace fastod
+
+#endif  // FASTOD_CLI_CLI_H_

@@ -1,0 +1,116 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace fastod {
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  flags_.push_back(Flag{name, Type::kString, value, help, *value});
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t* value,
+                     const std::string& help) {
+  flags_.push_back(
+      Flag{name, Type::kInt, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  flags_.push_back(
+      Flag{name, Type::kDouble, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  flags_.push_back(
+      Flag{name, Type::kBool, value, help, *value ? "true" : "false"});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Apply(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::Ok();
+    case Type::kInt: {
+      auto parsed = ParseInt(value);
+      if (!parsed) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = *parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (value == "" || value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unhandled flag type");
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    size_t eq = body.find('=');
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value && flag->type != Type::kBool) {
+      return Status::InvalidArgument("--" + name + " requires a value");
+    }
+    Status s = Apply(*flag, value);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::HelpText() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    out += "  --" + f.name + " (default: " + f.default_repr + ")\n      " +
+           f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace fastod

@@ -1,0 +1,56 @@
+// A minimal command-line flag parser for the fastod CLI tool.
+//
+// Supports --name=value and --name (bools), typed registration with
+// defaults, and positional arguments. No global state: each FlagSet is
+// self-contained, so tests can drive parsing directly.
+#ifndef FASTOD_COMMON_FLAGS_H_
+#define FASTOD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fastod {
+
+class FlagSet {
+ public:
+  /// Registers a flag with a default. Pointers must outlive Parse().
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t* value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses arguments (excluding argv[0]). Arguments not starting with
+  /// "--" are collected as positionals. Unknown flags and malformed values
+  /// are errors.
+  Status Parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per flag: "  --name (default: ...)  help".
+  std::string HelpText() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+  Status Apply(const Flag& flag, const std::string& value);
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_COMMON_FLAGS_H_

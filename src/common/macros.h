@@ -1,0 +1,33 @@
+// Internal assertion and utility macros.
+//
+// The library reports user-facing errors through fastod::Status (see
+// common/status.h); these macros are reserved for internal invariants whose
+// violation indicates a bug in the library itself, never bad user input.
+#ifndef FASTOD_COMMON_MACROS_H_
+#define FASTOD_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// FASTOD_CHECK(cond): always-on invariant check. Aborts with a message on
+// failure. Used on cold paths (setup, level transitions).
+#define FASTOD_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FASTOD_CHECK failed: %s at %s:%d\n", #cond,    \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// FASTOD_DCHECK(cond): debug-only invariant check for hot paths (partition
+// products, per-tuple scans). Compiled out in release builds.
+#ifndef NDEBUG
+#define FASTOD_DCHECK(cond) FASTOD_CHECK(cond)
+#else
+#define FASTOD_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // FASTOD_COMMON_MACROS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared by the CSV layer and pretty-printers.
+#ifndef FASTOD_COMMON_STRING_UTIL_H_
+#define FASTOD_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastod {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Strict integer parse of the whole string; nullopt on any junk.
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// Strict double parse of the whole string; nullopt on any junk.
+std::optional<double> ParseDouble(std::string_view s);
+
+}  // namespace fastod
+
+#endif  // FASTOD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace fastod {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    ForLoop* loop = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ ||
+               (active_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      loop = active_;
+      ++loop->refs;  // the loop object stays alive while refs > 0
+    }
+    DrainLoop(loop);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --loop->refs;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::DrainLoop(ForLoop* loop) {
+  while (true) {
+    int64_t begin = loop->next.fetch_add(loop->chunk);
+    if (begin >= loop->count) break;
+    int64_t end = std::min(begin + loop->chunk, loop->count);
+    for (int64_t i = begin; i < end; ++i) {
+      (*loop->body)(i);
+    }
+    loop->done.fetch_add(end - begin);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& body) {
+  if (count <= 0) return;
+  ForLoop loop;
+  loop.count = count;
+  // Chunks sized for ~8 claims per worker to balance scheduling overhead
+  // against skew in per-node costs.
+  loop.chunk = std::max<int64_t>(
+      1, count / (static_cast<int64_t>(workers_.size() + 1) * 8));
+  loop.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ = &loop;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  DrainLoop(&loop);  // the caller works too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The loop may be destroyed only when every iteration has run AND no
+    // worker still holds a reference to it.
+    work_done_.wait(lock, [&] {
+      return loop.done.load() == loop.count && loop.refs == 0;
+    });
+    active_ = nullptr;
+  }
+}
+
+}  // namespace fastod

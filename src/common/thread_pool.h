@@ -1,0 +1,64 @@
+// A minimal fixed-size thread pool for intra-level parallelism in the
+// discovery algorithms.
+//
+// The level-wise structure of FASTOD makes parallelism easy to reason
+// about: within one level, node validations only read immutable state
+// (the partition cache and the previous level's candidate sets) and write
+// their own node, so ParallelFor over the node vector is safe. Results
+// are merged in node order, keeping output deterministic regardless of
+// thread count (verified by tests/parallel_test.cc).
+#ifndef FASTOD_COMMON_THREAD_POOL_H_
+#define FASTOD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastod {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(i) for every i in [0, count), distributing dynamically in
+  /// chunks; blocks until all iterations finish. The calling thread
+  /// participates. body must be safe to call concurrently for distinct i.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
+
+ private:
+  struct ForLoop {
+    int64_t count = 0;
+    int64_t chunk = 1;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    int refs = 0;  // workers currently draining; guarded by mutex_
+    const std::function<void(int64_t)>* body = nullptr;
+  };
+
+  void WorkerMain();
+  // Claims and runs chunks of the active loop; returns when exhausted.
+  void DrainLoop(ForLoop* loop);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  ForLoop* active_ = nullptr;  // guarded by mutex_ for hand-off
+  uint64_t generation_ = 0;    // bumps per ParallelFor to wake workers
+  bool shutdown_ = false;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,21 @@
+#include "common/timer.h"
+
+namespace fastod {
+
+double WallTimer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+int64_t WallTimer::ElapsedMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+int64_t WallTimer::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+}  // namespace fastod

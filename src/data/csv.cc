@@ -1,0 +1,246 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace fastod {
+
+namespace {
+
+// Splits CSV text into records of raw fields, honoring quotes. Returns an
+// error for unterminated quoted fields.
+Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text,
+                                                       char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once the current record has content
+  size_t i = 0;
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    field_started = false;
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // escaped quote
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      end_field();
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (field_started || !field.empty()) end_record();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {  // swallow; \r\n handled by the \n branch
+      ++i;
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty()) end_record();
+  return records;
+}
+
+DataType InferColumnType(const std::vector<std::vector<std::string>>& records,
+                         size_t first_data_row, size_t col, int64_t max_rows) {
+  bool all_int = true;
+  bool all_double = true;
+  bool any_value = false;
+  int64_t seen = 0;
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (max_rows >= 0 && seen >= max_rows) break;
+    ++seen;
+    if (col >= records[r].size()) continue;
+    std::string_view f = Trim(records[r][col]);
+    if (f.empty()) continue;  // NULL, no evidence
+    any_value = true;
+    if (all_int && !ParseInt(f).has_value()) all_int = false;
+    if (!all_int && all_double && !ParseDouble(f).has_value()) {
+      all_double = false;
+      break;
+    }
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value ParseField(const std::string& raw, DataType type) {
+  std::string_view f = Trim(raw);
+  if (f.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt:
+      if (auto v = ParseInt(f)) return Value::Int(*v);
+      return Value::Null();
+    case DataType::kDouble:
+      if (auto v = ParseDouble(f)) return Value::Double(*v);
+      return Value::Null();
+    default:
+      return Value::Str(std::string(f));
+  }
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  auto tokenized = Tokenize(text, options.delimiter);
+  if (!tokenized.ok()) return tokenized.status();
+  const std::vector<std::vector<std::string>>& records = *tokenized;
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input contains no records");
+  }
+
+  size_t num_cols = records[0].size();
+  for (const auto& rec : records) {
+    if (rec.size() != num_cols) {
+      return Status::InvalidArgument(
+          "ragged CSV: expected " + std::to_string(num_cols) +
+          " fields, found a record with " + std::to_string(rec.size()));
+    }
+  }
+
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& h : records[0]) {
+      names.emplace_back(Trim(h));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < num_cols; ++c) {
+      names.push_back("col" + std::to_string(c));
+    }
+  }
+
+  std::vector<AttributeDef> defs(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    defs[c].name = names[c];
+    defs[c].type = options.infer_types
+                       ? InferColumnType(records, first_data_row, c,
+                                         options.max_rows)
+                       : DataType::kString;
+  }
+
+  std::vector<DataType> col_types(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) col_types[c] = defs[c].type;
+
+  TableBuilder builder(Schema{std::move(defs)});
+  int64_t rows_added = 0;
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (options.max_rows >= 0 && rows_added >= options.max_rows) break;
+    std::vector<Value> row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      row.push_back(ParseField(records[r][c], col_types[c]));
+    }
+    Status s = builder.AddRow(std::move(row));
+    if (!s.ok()) return s;
+    ++rows_added;
+  }
+  return builder.Build();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  for (int c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += delimiter;
+    const std::string& name = table.schema().name(c);
+    out += NeedsQuoting(name, delimiter) ? QuoteField(name) : name;
+  }
+  out += '\n';
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    // A lone NULL in a single-column table would render as a blank line,
+    // which readers (including ours) skip; write a quoted empty field so
+    // the record survives the round trip.
+    if (table.NumColumns() == 1 && table.at(r, 0).is_null()) {
+      out += "\"\"\n";
+      continue;
+    }
+    for (int c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out += delimiter;
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;  // NULL renders as empty field
+      std::string s = v.ToString();
+      out += NeedsQuoting(s, delimiter) ? QuoteField(s) : s;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace fastod

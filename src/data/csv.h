@@ -1,0 +1,48 @@
+// CSV import/export with type inference.
+//
+// The evaluation datasets in the paper (flight, ncvoter, hepatitis, dbtesma)
+// are CSV files; this reader lets users run discovery on their own data.
+// Supports RFC-4180-style quoting ("a,b" fields, "" escapes), configurable
+// delimiter, optional header row, and per-column type inference
+// (int -> double -> string; empty fields become NULL).
+#ifndef FASTOD_DATA_CSV_H_
+#define FASTOD_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fastod {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, the first record provides attribute names; otherwise columns
+  /// are named col0, col1, ...
+  bool has_header = true;
+  /// If true, infer int/double column types where every non-empty field
+  /// parses; otherwise every column is string-typed.
+  bool infer_types = true;
+  /// Maximum number of data rows to read (-1 = all).
+  int64_t max_rows = -1;
+};
+
+/// Parses CSV text into a Table.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = CsvOptions());
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = CsvOptions());
+
+/// Serializes a table to CSV (always writes a header row; quotes fields
+/// containing the delimiter, quotes, or newlines).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace fastod
+
+#endif  // FASTOD_DATA_CSV_H_

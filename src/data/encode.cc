@@ -1,0 +1,47 @@
+#include "data/encode.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "od/attribute_set.h"
+
+namespace fastod {
+
+Result<EncodedRelation> EncodedRelation::FromTable(const Table& table) {
+  if (table.NumColumns() > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument(
+        "relation has " + std::to_string(table.NumColumns()) +
+        " attributes; the discovery lattice supports at most " +
+        std::to_string(AttributeSet::kMaxAttributes));
+  }
+  EncodedRelation rel;
+  rel.schema_ = table.schema();
+  rel.num_rows_ = table.NumRows();
+  rel.ranks_.resize(table.NumColumns());
+  rel.num_distinct_.resize(table.NumColumns(), 0);
+
+  const int64_t n = table.NumRows();
+  std::vector<int32_t> order(n);
+  for (int c = 0; c < table.NumColumns(); ++c) {
+    const std::vector<Value>& col = table.column(c);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&col](int32_t a, int32_t b) {
+      int cmp = Value::Compare(col[a], col[b]);
+      if (cmp != 0) return cmp < 0;
+      return a < b;  // stable tiebreak for determinism
+    });
+    std::vector<int32_t>& ranks = rel.ranks_[c];
+    ranks.assign(n, 0);
+    int32_t next_rank = -1;
+    for (int64_t i = 0; i < n; ++i) {
+      if (i == 0 || Value::Compare(col[order[i - 1]], col[order[i]]) != 0) {
+        ++next_rank;
+      }
+      ranks[order[i]] = next_rank;
+    }
+    rel.num_distinct_[c] = n == 0 ? 0 : next_rank + 1;
+  }
+  return rel;
+}
+
+}  // namespace fastod

@@ -1,0 +1,59 @@
+// Order-preserving dictionary encoding.
+//
+// Section 4.6 of the paper: "The values of the columns are replaced with
+// integers 1, 2, ..., n, in a way that the equivalence classes do not change
+// and the ordering is preserved." All discovery algorithms run over this
+// encoded form: equal values share a rank, and rank order equals value
+// order, so both split detection (equality) and swap detection (ordering)
+// reduce to integer comparisons.
+#ifndef FASTOD_DATA_ENCODE_H_
+#define FASTOD_DATA_ENCODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fastod {
+
+/// The integer-encoded image of a Table: per column, a dense rank in
+/// [0, NumDistinct) for every tuple. Ranks are assigned in ascending value
+/// order (ties = equal values share a rank), under the Value total order
+/// (NULLs first).
+class EncodedRelation {
+ public:
+  EncodedRelation() = default;
+
+  /// Encodes every column of `table`. Fails if the table has more than
+  /// AttributeSet::kMaxAttributes columns.
+  static Result<EncodedRelation> FromTable(const Table& table);
+
+  int NumAttributes() const { return static_cast<int>(ranks_.size()); }
+  int64_t NumRows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Rank of every tuple on attribute `attr` (size NumRows()).
+  const std::vector<int32_t>& ranks(int attr) const {
+    FASTOD_DCHECK(attr >= 0 && attr < NumAttributes());
+    return ranks_[attr];
+  }
+
+  int32_t rank(int64_t row, int attr) const { return ranks(attr)[row]; }
+
+  /// Number of distinct values in column `attr`.
+  int32_t NumDistinct(int attr) const {
+    FASTOD_DCHECK(attr >= 0 && attr < NumAttributes());
+    return num_distinct_[attr];
+  }
+
+ private:
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  std::vector<std::vector<int32_t>> ranks_;
+  std::vector<int32_t> num_distinct_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_DATA_ENCODE_H_

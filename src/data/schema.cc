@@ -1,0 +1,56 @@
+#include "data/schema.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fastod {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(names.size());
+  for (const std::string& n : names) {
+    defs.push_back(AttributeDef{n, DataType::kString});
+  }
+  return Schema(std::move(defs));
+}
+
+const AttributeDef& Schema::attribute(int index) const {
+  FASTOD_CHECK(index >= 0 && index < NumAttributes());
+  return attributes_[index];
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < NumAttributes(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Result<std::vector<int>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    Result<int> idx = IndexOf(n);
+    if (!idx.ok()) return idx.status();
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (NumAttributes() != other.NumAttributes()) return false;
+  for (int i = 0; i < NumAttributes(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastod

@@ -1,0 +1,51 @@
+// Relation schemas: ordered attribute (column) definitions.
+#ifndef FASTOD_DATA_SCHEMA_H_
+#define FASTOD_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace fastod {
+
+/// One attribute: a name and a declared type.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// An ordered list of attributes. Attribute indices (0-based positions) are
+/// the attribute identifiers used throughout the library — AttributeSet,
+/// canonical ODs, and partitions all speak in indices; Schema translates
+/// back to names for display.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  /// Convenience: all-string schema from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  int NumAttributes() const { return static_cast<int>(attributes_.size()); }
+  const AttributeDef& attribute(int index) const;
+  const std::string& name(int index) const { return attribute(index).name; }
+  DataType type(int index) const { return attribute(index).type; }
+
+  /// Index of the attribute called `name`, or an error if absent.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Resolves a list of names to indices; fails on the first unknown name.
+  Result<std::vector<int>> IndicesOf(
+      const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_DATA_SCHEMA_H_

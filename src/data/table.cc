@@ -1,0 +1,119 @@
+#include "data/table.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fastod {
+
+Table::Table(Schema schema, std::vector<std::vector<Value>> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  FASTOD_CHECK(static_cast<int>(columns_.size()) == schema_.NumAttributes());
+  for (size_t c = 1; c < columns_.size(); ++c) {
+    FASTOD_CHECK(columns_[c].size() == columns_[0].size());
+  }
+}
+
+const Value& Table::at(int64_t row, int col) const {
+  FASTOD_DCHECK(col >= 0 && col < NumColumns());
+  FASTOD_DCHECK(row >= 0 && row < NumRows());
+  return columns_[col][row];
+}
+
+const std::vector<Value>& Table::column(int col) const {
+  FASTOD_CHECK(col >= 0 && col < NumColumns());
+  return columns_[col];
+}
+
+Table Table::Project(const std::vector<int>& column_indices) const {
+  std::vector<AttributeDef> defs;
+  std::vector<std::vector<Value>> cols;
+  defs.reserve(column_indices.size());
+  cols.reserve(column_indices.size());
+  for (int c : column_indices) {
+    FASTOD_CHECK(c >= 0 && c < NumColumns());
+    defs.push_back(schema_.attribute(c));
+    cols.push_back(columns_[c]);
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+Table Table::Head(int64_t n) const {
+  if (n >= NumRows()) return *this;
+  std::vector<std::vector<Value>> cols(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    cols[c].assign(columns_[c].begin(), columns_[c].begin() + n);
+  }
+  return Table(schema_, std::move(cols));
+}
+
+Table Table::SelectRows(const std::vector<int64_t>& row_indices) const {
+  std::vector<std::vector<Value>> cols(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    cols[c].reserve(row_indices.size());
+    for (int64_t r : row_indices) {
+      FASTOD_CHECK(r >= 0 && r < NumRows());
+      cols[c].push_back(columns_[c][r]);
+    }
+  }
+  return Table(schema_, std::move(cols));
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::string out;
+  for (int c = 0; c < NumColumns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema_.name(c);
+  }
+  out += "\n";
+  int64_t limit = NumRows() < max_rows ? NumRows() : max_rows;
+  for (int64_t r = 0; r < limit; ++r) {
+    for (int c = 0; c < NumColumns(); ++c) {
+      if (c > 0) out += " | ";
+      out += at(r, c).ToString();
+    }
+    out += "\n";
+  }
+  if (limit < NumRows()) {
+    out += "... (" + std::to_string(NumRows() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.NumAttributes());
+}
+
+Status TableBuilder::AddRow(std::vector<Value> row) {
+  if (static_cast<int>(row.size()) != schema_.NumAttributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.NumAttributes()) + " attributes");
+  }
+  for (int c = 0; c < schema_.NumAttributes(); ++c) {
+    if (!row[c].is_null() && row[c].type() != schema_.type(c)) {
+      return Status::InvalidArgument(
+          "column '" + schema_.name(c) + "' expects " +
+          DataTypeName(schema_.type(c)) + ", got " +
+          DataTypeName(row[c].type()));
+    }
+  }
+  AddRowUnchecked(std::move(row));
+  return Status::Ok();
+}
+
+void TableBuilder::AddRowUnchecked(std::vector<Value> row) {
+  FASTOD_DCHECK(static_cast<int>(row.size()) == schema_.NumAttributes());
+  for (size_t c = 0; c < row.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+}
+
+Table TableBuilder::Build() {
+  Table t(schema_, std::move(columns_));
+  columns_.clear();
+  columns_.resize(schema_.NumAttributes());
+  return t;
+}
+
+}  // namespace fastod

@@ -1,0 +1,75 @@
+// In-memory relation instances (column-oriented).
+#ifndef FASTOD_DATA_TABLE_H_
+#define FASTOD_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace fastod {
+
+/// A relation instance: a Schema plus columnar Value storage. Tables are
+/// immutable once built (use TableBuilder); all algorithms take tables by
+/// const reference.
+class Table {
+ public:
+  Table() = default;
+  Table(Schema schema, std::vector<std::vector<Value>> columns);
+
+  const Schema& schema() const { return schema_; }
+  int64_t NumRows() const {
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].size());
+  }
+  int NumColumns() const { return schema_.NumAttributes(); }
+
+  const Value& at(int64_t row, int col) const;
+  const std::vector<Value>& column(int col) const;
+
+  /// A new table containing only the given columns, in the given order.
+  Table Project(const std::vector<int>& column_indices) const;
+
+  /// A new table with the first `n` rows (or fewer if the table is smaller).
+  Table Head(int64_t n) const;
+
+  /// A new table with rows at the given indices (duplicates allowed).
+  Table SelectRows(const std::vector<int64_t>& row_indices) const;
+
+  /// Human-readable rendering of the first `max_rows` rows.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+/// Row-at-a-time construction with per-row validation.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row. The row must have exactly one value per attribute;
+  /// each non-null value must match the declared column type.
+  Status AddRow(std::vector<Value> row);
+
+  /// Unchecked append for generators that construct well-typed rows.
+  void AddRowUnchecked(std::vector<Value> row);
+
+  int64_t NumRows() const {
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].size());
+  }
+
+  /// Finalizes the table. The builder is left empty.
+  Table Build();
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_DATA_TABLE_H_

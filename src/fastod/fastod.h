@@ -1,0 +1,45 @@
+// Umbrella header: the full public API of the FASTOD library.
+//
+// Quickstart:
+//
+//   #include "fastod/fastod.h"
+//
+//   fastod::Result<fastod::Table> table = fastod::ReadCsvFile("data.csv");
+//   fastod::Fastod discovery;
+//   fastod::Result<fastod::FastodResult> result =
+//       discovery.Discover(*table);
+//   for (const auto& od : result->constancy_ods)
+//     std::cout << od.ToString(table->schema()) << "\n";
+//   for (const auto& od : result->compatibility_ods)
+//     std::cout << od.ToString(table->schema()) << "\n";
+//
+// See README.md for the architecture overview and examples/ for complete
+// programs.
+#ifndef FASTOD_FASTOD_FASTOD_H_
+#define FASTOD_FASTOD_FASTOD_H_
+
+#include "algo/approximate.h"
+#include "algo/brute_force_discovery.h"
+#include "algo/conditional.h"
+#include "algo/fastod.h"
+#include "algo/order.h"
+#include "algo/tane.h"
+#include "axioms/inference.h"
+#include "common/status.h"
+#include "data/csv.h"
+#include "data/encode.h"
+#include "data/table.h"
+#include "gen/date_dim.h"
+#include "gen/generators.h"
+#include "gen/random_table.h"
+#include "od/attribute_set.h"
+#include "od/bidirectional.h"
+#include "od/canonical_od.h"
+#include "od/knowledge.h"
+#include "od/list_od.h"
+#include "od/mapping.h"
+#include "validate/brute_force.h"
+#include "validate/od_validator.h"
+#include "validate/violation_scanner.h"
+
+#endif  // FASTOD_FASTOD_FASTOD_H_

@@ -1,0 +1,64 @@
+#include "gen/date_dim.h"
+
+#include <cstdio>
+
+namespace fastod {
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30,
+                                31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Table GenDateDim(int64_t num_days, int start_year, int64_t first_date_sk) {
+  Schema schema({{"d_date_sk", DataType::kInt},
+                 {"d_date", DataType::kString},
+                 {"d_year", DataType::kInt},
+                 {"d_quarter", DataType::kInt},
+                 {"d_month", DataType::kInt},
+                 {"d_week", DataType::kInt},
+                 {"d_dom", DataType::kInt},
+                 {"d_dow", DataType::kInt}});
+  TableBuilder b(schema);
+
+  int year = start_year;
+  int month = 1;
+  int dom = 1;
+  int doy = 1;  // day of year, 1-based
+  for (int64_t i = 0; i < num_days; ++i) {
+    char date_str[16];
+    std::snprintf(date_str, sizeof(date_str), "%04d-%02d-%02d", year, month,
+                  dom);
+    const int quarter = (month - 1) / 3 + 1;
+    const int week = (doy - 1) / 7 + 1;
+    const int dow = static_cast<int>((first_date_sk + i) % 7);
+    b.AddRowUnchecked({Value::Int(first_date_sk + i), Value::Str(date_str),
+                       Value::Int(year), Value::Int(quarter),
+                       Value::Int(month), Value::Int(week), Value::Int(dom),
+                       Value::Int(dow)});
+    // Advance one day.
+    ++dom;
+    ++doy;
+    if (dom > DaysInMonth(year, month)) {
+      dom = 1;
+      ++month;
+      if (month > 12) {
+        month = 1;
+        doy = 1;
+        ++year;
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace fastod

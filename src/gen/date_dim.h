@@ -1,0 +1,30 @@
+// A TPC-DS-style date dimension (Query 1 / Section 1.1 of the paper).
+//
+// The paper motivates OD-based query optimization with the TPC-DS date_dim
+// table: d_date_sk is a surrogate key assigned in increasing date order, so
+// d_date_sk orders d_date and d_year (enabling join elimination for
+// between-predicates on year), and d_month orders d_quarter (enabling
+// order-by/group-by simplification). This generator produces exactly that
+// structure; examples/query_optimization.cc discovers and interprets the
+// ODs.
+#ifndef FASTOD_GEN_DATE_DIM_H_
+#define FASTOD_GEN_DATE_DIM_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace fastod {
+
+/// `num_days` consecutive days starting January 1 of `start_year`.
+/// Columns: d_date_sk (int, surrogate), d_date (ISO string), d_year,
+/// d_quarter (1-4), d_month (1-12, the month-of-year), d_week (week of
+/// year), d_dom (day of month), d_dow (day of week 0-6).
+/// Calendar arithmetic uses real Gregorian month lengths including leap
+/// years.
+Table GenDateDim(int64_t num_days, int start_year = 1998,
+                 int64_t first_date_sk = 2450815);
+
+}  // namespace fastod
+
+#endif  // FASTOD_GEN_DATE_DIM_H_

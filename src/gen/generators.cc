@@ -1,0 +1,238 @@
+#include "gen/generators.h"
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace fastod {
+
+namespace {
+
+// Deterministic value scrambler: FD-preserving (equal inputs -> equal
+// outputs) but order-destroying, used to plant FDs without OCDs.
+int64_t Scramble(int64_t v, uint64_t salt) {
+  uint64_t z = static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ULL + salt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return static_cast<int64_t>((z ^ (z >> 27)) & 0x7fffffff);
+}
+
+std::string PooledString(const char* prefix, int64_t id) {
+  // Zero-padded so lexicographic order equals numeric order.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06lld", prefix,
+                static_cast<long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+Table EmployeeTaxTable() {
+  Schema schema({{"ID", DataType::kInt},
+                 {"yr", DataType::kInt},
+                 {"posit", DataType::kString},
+                 {"bin", DataType::kInt},
+                 {"sal", DataType::kInt},
+                 {"perc", DataType::kInt},
+                 {"tax", DataType::kInt},
+                 {"grp", DataType::kString},
+                 {"subg", DataType::kString}});
+  TableBuilder b(schema);
+  auto row = [&](int64_t id, int64_t yr, const char* posit, int64_t bin,
+                 int64_t sal, int64_t perc, int64_t tax, const char* grp,
+                 const char* subg) {
+    b.AddRowUnchecked({Value::Int(id), Value::Int(yr), Value::Str(posit),
+                       Value::Int(bin), Value::Int(sal), Value::Int(perc),
+                       Value::Int(tax), Value::Str(grp), Value::Str(subg)});
+  };
+  // Table 1 of the paper (salaries in dollars, percentages in points).
+  row(10, 16, "secr", 1, 5000, 20, 1000, "A", "III");
+  row(11, 16, "mngr", 2, 8000, 25, 2000, "C", "II");
+  row(12, 16, "direct", 3, 10000, 30, 3000, "D", "I");
+  row(10, 15, "secr", 1, 4500, 20, 900, "A", "III");
+  row(11, 15, "mngr", 2, 6000, 25, 1500, "C", "I");
+  row(12, 15, "direct", 3, 8000, 25, 2000, "C", "II");
+  return b.Build();
+}
+
+Table GenFlightLike(int64_t rows, int attributes, uint64_t seed) {
+  FASTOD_CHECK(attributes >= 1 && attributes <= 64);
+  Rng rng(seed);
+  std::vector<AttributeDef> defs;
+  std::vector<std::vector<Value>> cols(attributes);
+  for (int c = 0; c < attributes; ++c) cols[c].reserve(rows);
+
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t date_sk = r;  // data loaded in arrival order
+    const int64_t month = rows <= 1 ? 1 : 1 + (r * 12) / rows;
+    const int64_t quarter = (month - 1) / 3 + 1;
+    const int64_t day = r % 30 + 1;
+    const int64_t carrier = rng.Uniform(8);
+    const int64_t origin = rng.Uniform(50);
+    const int64_t dest = rng.Uniform(50);
+    const int64_t distance = 200 + Scramble(origin * 50 + dest, 7) % 3000;
+    const int64_t duration = distance / 8 + 30;  // monotone in distance
+    const int64_t delay = rng.UniformRange(-10, 120);
+    for (int c = 0; c < attributes; ++c) {
+      Value v;
+      switch (c % 14) {
+        case 0:  v = Value::Int(2012); break;                       // constant year
+        case 1:  v = Value::Int(r); break;                          // key
+        case 2:  v = Value::Int(date_sk); break;                    // surrogate
+        case 3:  v = Value::Int(month); break;
+        case 4:  v = Value::Int(quarter); break;
+        case 5:  v = Value::Int(day); break;
+        case 6:  v = Value::Str(PooledString("CA", carrier)); break;
+        case 7:  v = Value::Str(PooledString("AP", origin)); break;
+        case 8:  v = Value::Str(PooledString("AP", dest)); break;
+        case 9:  v = Value::Int(distance); break;
+        case 10: v = Value::Int(duration); break;
+        case 11: v = Value::Int(delay); break;
+        case 12: v = Value::Str(PooledString("TL", rng.Uniform(
+                     std::max<int64_t>(1, rows / 3)))); break;      // tail num
+        default: v = Value::Int(Scramble(rng.Uniform(64), 100 + c / 14) %
+                                (4 + c / 14));                      // filler
+      }
+      cols[c].push_back(std::move(v));
+    }
+  }
+
+  static const char* kNames[14] = {"year",    "flight_id", "date_sk",
+                                   "month",   "quarter",   "day",
+                                   "carrier", "origin",    "dest",
+                                   "distance", "duration", "delay",
+                                   "tailnum", "filler"};
+  for (int c = 0; c < attributes; ++c) {
+    std::string name = kNames[c % 14];
+    if (c >= 14) {
+      name += '_';
+      name += std::to_string(c / 14);
+    }
+    DataType type = cols[c].empty() ? DataType::kInt : cols[c][0].type();
+    defs.push_back(AttributeDef{name, type});
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+Table GenNcvoterLike(int64_t rows, int attributes, uint64_t seed) {
+  FASTOD_CHECK(attributes >= 1 && attributes <= 64);
+  Rng rng(seed);
+  std::vector<AttributeDef> defs;
+  std::vector<std::vector<Value>> cols(attributes);
+  for (int c = 0; c < attributes; ++c) cols[c].reserve(rows);
+
+  const int64_t name_pool = std::max<int64_t>(2, rows / 2);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t city = rng.Uniform(80);
+    const int64_t zip = 27000 + city * 9 + Scramble(city, 3) % 9;  // FD city->zip
+    const int64_t precinct = city * 10 + rng.Uniform(10);
+    const int64_t age = rng.UniformRange(18, 100);
+    const int64_t birth_year = 2016 - age;  // DESC correlation: swaps abound
+    for (int c = 0; c < attributes; ++c) {
+      Value v;
+      switch (c % 12) {
+        case 0:  v = Value::Int(r); break;                             // voter id (key)
+        case 1:  v = Value::Str(PooledString("LN", rng.Uniform(name_pool))); break;
+        case 2:  v = Value::Str(PooledString("FN", rng.Uniform(200))); break;
+        case 3:  v = Value::Str(PooledString("CI", city)); break;
+        case 4:  v = Value::Int(zip); break;
+        case 5:  v = Value::Int(precinct); break;
+        case 6:  v = Value::Int(age); break;
+        case 7:  v = Value::Int(birth_year); break;
+        case 8:  v = Value::Str(PooledString("ST", rng.Uniform(3))); break;  // status
+        case 9:  v = Value::Int(rng.Uniform(3650)); break;             // reg date
+        case 10: v = Value::Str(PooledString("PH", rng.Uniform(
+                     std::max<int64_t>(2, rows - rows / 100)))); break;  // phone
+        default: v = Value::Int(rng.Uniform(5 + c / 12)); break;       // filler
+      }
+      cols[c].push_back(std::move(v));
+    }
+  }
+
+  static const char* kNames[12] = {"voter_id", "last_name", "first_name",
+                                   "city",     "zip",       "precinct",
+                                   "age",      "birth_year", "status",
+                                   "reg_date", "phone",     "filler"};
+  for (int c = 0; c < attributes; ++c) {
+    std::string name = kNames[c % 12];
+    if (c >= 12) {
+      name += '_';
+      name += std::to_string(c / 12);
+    }
+    DataType type = cols[c].empty() ? DataType::kInt : cols[c][0].type();
+    defs.push_back(AttributeDef{name, type});
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+Table GenHepatitisLike(int64_t rows, int attributes, uint64_t seed) {
+  FASTOD_CHECK(attributes >= 1 && attributes <= 64);
+  Rng rng(seed);
+  std::vector<AttributeDef> defs;
+  std::vector<std::vector<Value>> cols(attributes);
+  // Per-column domain sizes: mostly binary/ternary clinical flags, a few
+  // wider (age bins, lab measurements), one constant.
+  std::vector<int64_t> domains(attributes);
+  for (int c = 0; c < attributes; ++c) {
+    if (c == 2) {
+      domains[c] = 1;  // a constant column (e.g. "dataset version")
+    } else if (c % 5 == 0) {
+      domains[c] = 7;  // age-bin-like
+    } else {
+      domains[c] = 2 + rng.Uniform(3);  // 2..4 categories
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < attributes; ++c) {
+      cols[c].push_back(Value::Int(rng.Uniform(domains[c])));
+    }
+  }
+  for (int c = 0; c < attributes; ++c) {
+    defs.push_back(
+        AttributeDef{"attr" + std::to_string(c), DataType::kInt});
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+Table GenDbtesmaLike(int64_t rows, int attributes, uint64_t seed) {
+  FASTOD_CHECK(attributes >= 1 && attributes <= 64);
+  Rng rng(seed);
+  std::vector<AttributeDef> defs;
+  std::vector<std::vector<Value>> cols(attributes);
+  for (int c = 0; c < attributes; ++c) cols[c].reserve(rows);
+
+  // Columns come in planted FD chains of three: base (categorical),
+  // derived1 = scramble(base), derived2 = scramble(base, derived1). The
+  // scrambling keeps the FDs (equal bases -> equal derivations) while
+  // destroying order compatibility, matching dbtesma's FD-heavy profile.
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<int64_t> base(attributes / 3 + 1, 0);
+    for (size_t g = 0; g < base.size(); ++g) {
+      base[g] = rng.Uniform(40 + static_cast<int64_t>(g) * 7);
+    }
+    for (int c = 0; c < attributes; ++c) {
+      const int group = c / 3;
+      const int role = c % 3;
+      int64_t v;
+      if (role == 0) {
+        v = base[group];
+      } else if (role == 1) {
+        v = Scramble(base[group], 1000 + group) % 97;
+      } else {
+        v = Scramble(base[group] * 131 + Scramble(base[group], 1000 + group),
+                     2000 + group) %
+            53;
+      }
+      cols[c].push_back(Value::Int(v));
+    }
+  }
+  for (int c = 0; c < attributes; ++c) {
+    const char* role = (c % 3 == 0) ? "base" : (c % 3 == 1 ? "dv1" : "dv2");
+    defs.push_back(AttributeDef{
+        std::string(role) + "_" + std::to_string(c / 3), DataType::kInt});
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+}  // namespace fastod

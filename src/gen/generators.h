@@ -1,0 +1,49 @@
+// Synthetic dataset generators standing in for the paper's evaluation data.
+//
+// The paper evaluates on flight (HPI, 500K×40), ncvoter (UCI, 1M×20),
+// hepatitis (155×20) and dbtesma (synthetic, 250K×30). Those files are not
+// redistributable here, so each generator below reproduces the *structural*
+// properties that drive the reported behaviour (see DESIGN.md's
+// substitution table): constants, keys, FD chains, order-compatible
+// hierarchies, and swap-heavy column pairs, in proportions chosen per
+// dataset. All generators are deterministic in (rows, attributes, seed).
+//
+// Column recipes cycle when more attributes are requested than a recipe
+// defines, so scalability-in-|R| sweeps (Exp-2) can request any width up
+// to 64.
+#ifndef FASTOD_GEN_GENERATORS_H_
+#define FASTOD_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace fastod {
+
+/// Table 1 of the paper, verbatim: employee salary/tax records.
+/// Columns: ID, yr, posit, bin, sal, perc, tax, grp, subg.
+Table EmployeeTaxTable();
+
+/// flight-like: a constant column (all flights in year 2012 — the OD
+/// {}: [] -> year that ORDER cannot represent), a surrogate-key/date
+/// hierarchy (date_sk orders month orders quarter), a route -> distance ->
+/// duration FD/OCD chain, a key column, and categorical filler.
+Table GenFlightLike(int64_t rows, int attributes, uint64_t seed = 42);
+
+/// ncvoter-like: personal-data mix — key ids, name pools, city -> zip FDs,
+/// an age/birth-year *descending* correlation (swaps under ascending
+/// semantics, so few top-level OCDs and an early-death ORDER lattice).
+Table GenNcvoterLike(int64_t rows, int attributes, uint64_t seed = 42);
+
+/// hepatitis-like: tiny relation, many small-domain categorical columns —
+/// hundreds of accidental FDs/OCDs at deeper contexts.
+Table GenHepatitisLike(int64_t rows, int attributes, uint64_t seed = 42);
+
+/// dbtesma-like: FD-rich benchmark table — planted FD chains through
+/// hash-scrambled derivations (FDs hold, order compatibility does not),
+/// so the FD side dominates the OCD side as in the paper's counts.
+Table GenDbtesmaLike(int64_t rows, int attributes, uint64_t seed = 42);
+
+}  // namespace fastod
+
+#endif  // FASTOD_GEN_GENERATORS_H_

@@ -1,0 +1,81 @@
+#include "gen/random_table.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace fastod {
+
+Table GenRandomTable(const RandomTableOptions& options) {
+  FASTOD_CHECK(options.num_columns >= 1 && options.num_columns <= 64);
+  Rng rng(options.seed);
+  const int m = options.num_columns;
+  const int64_t n = options.num_rows;
+
+  // Decide each column's recipe up front: independent categorical, or a
+  // monotone derivation of an earlier column (div by 2: order-preserving
+  // and coarsening, creating FDs + OCDs).
+  std::vector<int64_t> domain(m);
+  std::vector<int> derived_from(m, -1);
+  for (int c = 0; c < m; ++c) {
+    domain[c] = 1 + rng.Uniform(options.max_domain);
+    if (c > 0 && rng.Chance(options.derived_fraction)) {
+      derived_from[c] = static_cast<int>(rng.Uniform(c));
+    }
+  }
+
+  std::vector<std::vector<Value>> cols(m);
+  for (int c = 0; c < m; ++c) cols[c].reserve(n);
+  std::vector<int64_t> row(m);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int c = 0; c < m; ++c) {
+      if (derived_from[c] >= 0) {
+        row[c] = row[derived_from[c]] / 2;
+      } else {
+        row[c] = rng.Uniform(domain[c]);
+      }
+      cols[c].push_back(Value::Int(row[c]));
+    }
+  }
+
+  std::vector<AttributeDef> defs;
+  defs.reserve(m);
+  for (int c = 0; c < m; ++c) {
+    defs.push_back(AttributeDef{std::string(1, static_cast<char>('A' + c)),
+                                DataType::kInt});
+  }
+  return Table(Schema(std::move(defs)), std::move(cols));
+}
+
+Table GenRandomTable(int64_t rows, int columns, int64_t max_domain,
+                     uint64_t seed) {
+  RandomTableOptions options;
+  options.num_rows = rows;
+  options.num_columns = columns;
+  options.max_domain = max_domain;
+  options.seed = seed;
+  return GenRandomTable(options);
+}
+
+Table SampleRows(const Table& table, int64_t count, uint64_t seed) {
+  const int64_t n = table.NumRows();
+  if (count >= n) return table;
+  if (count <= 0) return table.Head(0);
+  // Partial Fisher-Yates over row indices, then restore original order so
+  // sampled tables keep the source's physical ordering properties.
+  Rng rng(seed);
+  std::vector<int64_t> indices(n);
+  for (int64_t i = 0; i < n; ++i) indices[i] = i;
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t j = i + rng.Uniform(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  std::sort(indices.begin(), indices.end());
+  return table.SelectRows(indices);
+}
+
+}  // namespace fastod

@@ -1,0 +1,43 @@
+#include "od/attribute_set.h"
+
+#include "data/schema.h"
+
+namespace fastod {
+
+std::vector<int> AttributeSet::ToIndices() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  for (int a = First(); a >= 0; a = Next(a)) out.push_back(a);
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int a = First(); a >= 0; a = Next(a)) {
+    if (!first) out += ",";
+    first = false;
+    if (a < 26) {
+      out += static_cast<char>('A' + a);
+    } else {
+      out += "#" + std::to_string(a);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string AttributeSet::ToString(const Schema& schema) const {
+  std::string out = "{";
+  bool first = true;
+  for (int a = First(); a >= 0; a = Next(a)) {
+    if (!first) out += ",";
+    first = false;
+    out += a < schema.NumAttributes() ? schema.name(a)
+                                      : "#" + std::to_string(a);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fastod

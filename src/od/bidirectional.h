@@ -1,0 +1,102 @@
+// Bidirectional order dependencies — the paper's first future-work item
+// (Section 7): "we plan to extend our OD discovery framework to
+// bidirectional ODs [25]", i.e. ODs over order specifications that mix
+// ascending and descending attributes (SQL: ORDER BY A ASC, B DESC).
+//
+// Two layers are provided:
+//  * list-level: DirectedSpec / BidirectionalListOd with full validation
+//    in validate/od_validator.h;
+//  * canonical-level: a polarity bit on order compatibility. Within a
+//    context, "A ~ B opposite" means sorting a class by A ascending sorts
+//    it by B *descending* (equivalently: ascending compatibility of A with
+//    the rank-reversed B). Discovery of opposite-polarity OCDs is switched
+//    on by FastodOptions::discover_bidirectional; see algo/fastod.h for
+//    the minimality semantics of the extension.
+#ifndef FASTOD_OD_BIDIRECTIONAL_H_
+#define FASTOD_OD_BIDIRECTIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "od/attribute_set.h"
+#include "od/canonical_od.h"
+
+namespace fastod {
+
+class Schema;
+
+enum class SortDirection { kAsc, kDesc };
+
+/// One attribute of a directional order specification.
+struct DirectedAttribute {
+  int attr = -1;
+  SortDirection direction = SortDirection::kAsc;
+
+  bool operator==(const DirectedAttribute& o) const {
+    return attr == o.attr && direction == o.direction;
+  }
+};
+
+/// ORDER BY A ASC, B DESC, ... — a lexicographic order with per-attribute
+/// direction.
+using DirectedSpec = std::vector<DirectedAttribute>;
+
+std::string DirectedSpecToString(const DirectedSpec& spec);
+std::string DirectedSpecToString(const DirectedSpec& spec,
+                                 const Schema& schema);
+
+/// Convenience constructors.
+DirectedAttribute Asc(int attr);
+DirectedAttribute Desc(int attr);
+
+/// X ↦ Y over directional specifications.
+struct BidirectionalListOd {
+  DirectedSpec lhs;
+  DirectedSpec rhs;
+
+  bool operator==(const BidirectionalListOd& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Canonical bidirectional order compatibility: within every equivalence
+/// class of Π_X, sorting by A ascending sorts B descending (and vice
+/// versa). The pair is stored unordered (the relation is symmetric:
+/// reversing both directions preserves it).
+struct BidiCompatibilityOd {
+  AttributeSet context;
+  int a = -1;
+  int b = -1;
+
+  BidiCompatibilityOd() = default;
+  BidiCompatibilityOd(AttributeSet ctx, int attr_a, int attr_b)
+      : context(ctx),
+        a(attr_a < attr_b ? attr_a : attr_b),
+        b(attr_a < attr_b ? attr_b : attr_a) {}
+
+  bool operator==(const BidiCompatibilityOd& o) const {
+    return context == o.context && a == o.a && b == o.b;
+  }
+  bool operator<(const BidiCompatibilityOd& o) const {
+    if (context != o.context) return context < o.context;
+    if (a != o.a) return a < o.a;
+    return b < o.b;
+  }
+
+  /// Same triviality rules as the ascending shape, except A = B is not
+  /// trivial here — it is *unsatisfiable* on classes with two distinct
+  /// A-values, so it is excluded from candidates instead.
+  bool IsTrivial() const {
+    return a == b || context.Contains(a) || context.Contains(b);
+  }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_OD_BIDIRECTIONAL_H_

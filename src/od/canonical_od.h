@@ -1,0 +1,97 @@
+// Set-based canonical ODs (Definition 6 of the paper).
+//
+// Every list-based OD maps (Theorem 5) into a conjunction of two canonical
+// shapes over a *context* set X:
+//   * constancy      X: [] -> A   — A is constant within every equivalence
+//                                   class of Π_X (equivalently the FD X → A),
+//   * compatibility  X: A ~ B     — no swap between A and B within any
+//                                   equivalence class of Π_X.
+// FASTOD discovers exactly these two shapes; the paper abbreviates the first
+// as "FDs" and the second as "OCDs" in the experiment figures.
+#ifndef FASTOD_OD_CANONICAL_OD_H_
+#define FASTOD_OD_CANONICAL_OD_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "od/attribute_set.h"
+
+namespace fastod {
+
+class Schema;
+
+/// X: [] -> A (constancy; the FD X -> A).
+struct ConstancyOd {
+  AttributeSet context;
+  int attribute = -1;
+
+  bool operator==(const ConstancyOd& o) const {
+    return context == o.context && attribute == o.attribute;
+  }
+  bool operator<(const ConstancyOd& o) const {
+    if (context != o.context) return context < o.context;
+    return attribute < o.attribute;
+  }
+
+  /// Trivial iff A ∈ X (Reflexivity axiom).
+  bool IsTrivial() const { return context.Contains(attribute); }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// X: A ~ B (order compatibility within the context). Canonicalized with
+/// a < b; order compatibility is symmetric (Commutativity axiom).
+struct CompatibilityOd {
+  AttributeSet context;
+  int a = -1;
+  int b = -1;
+
+  CompatibilityOd() = default;
+  CompatibilityOd(AttributeSet ctx, int attr_a, int attr_b)
+      : context(ctx),
+        a(attr_a < attr_b ? attr_a : attr_b),
+        b(attr_a < attr_b ? attr_b : attr_a) {}
+
+  bool operator==(const CompatibilityOd& o) const {
+    return context == o.context && a == o.a && b == o.b;
+  }
+  bool operator<(const CompatibilityOd& o) const {
+    if (context != o.context) return context < o.context;
+    if (a != o.a) return a < o.a;
+    return b < o.b;
+  }
+
+  /// Trivial iff A = B (Identity) or A ∈ X or B ∈ X (Normalization).
+  bool IsTrivial() const {
+    return a == b || context.Contains(a) || context.Contains(b);
+  }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+struct ConstancyOdHash {
+  size_t operator()(const ConstancyOd& od) const {
+    return AttributeSetHash()(od.context) * 131 +
+           static_cast<size_t>(od.attribute);
+  }
+};
+
+struct CompatibilityOdHash {
+  size_t operator()(const CompatibilityOd& od) const {
+    return AttributeSetHash()(od.context) * 131 +
+           static_cast<size_t>(od.a) * 67 + static_cast<size_t>(od.b);
+  }
+};
+
+/// Either canonical shape, for APIs that return mixed sets.
+using CanonicalOd = std::variant<ConstancyOd, CompatibilityOd>;
+
+std::string CanonicalOdToString(const CanonicalOd& od);
+std::string CanonicalOdToString(const CanonicalOd& od, const Schema& schema);
+
+}  // namespace fastod
+
+#endif  // FASTOD_OD_CANONICAL_OD_H_

@@ -1,0 +1,84 @@
+#include "od/knowledge.h"
+
+#include <algorithm>
+
+#include "od/mapping.h"
+
+namespace fastod {
+
+namespace {
+
+int PackPair(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return a * 64 + b;
+}
+
+bool AnySubsetOf(const std::vector<AttributeSet>& contexts,
+                 AttributeSet context) {
+  for (AttributeSet y : contexts) {
+    if (context.ContainsAll(y)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OdKnowledge::OdKnowledge(const FastodResult& result) {
+  for (const ConstancyOd& od : result.constancy_ods) {
+    constancy_[od.attribute].push_back(od.context);
+    ++num_constancy_facts_;
+  }
+  for (const CompatibilityOd& od : result.compatibility_ods) {
+    compatibility_[PackPair(od.a, od.b)].push_back(od.context);
+    ++num_compatibility_facts_;
+  }
+}
+
+bool OdKnowledge::ImpliesConstancy(AttributeSet context,
+                                   int attribute) const {
+  if (context.Contains(attribute)) return true;  // trivial (Reflexivity)
+  auto it = constancy_.find(attribute);
+  return it != constancy_.end() && AnySubsetOf(it->second, context);
+}
+
+bool OdKnowledge::ImpliesCompatibility(AttributeSet context, int a,
+                                       int b) const {
+  if (a == b) return true;                                  // Identity
+  if (context.Contains(a) || context.Contains(b)) return true;  // Lemma 4
+  auto it = compatibility_.find(PackPair(a, b));
+  if (it != compatibility_.end() && AnySubsetOf(it->second, context)) {
+    return true;
+  }
+  // Propagate: endpoint constancy in (a subset of) the context.
+  return ImpliesConstancy(context, a) || ImpliesConstancy(context, b);
+}
+
+bool OdKnowledge::Implies(const CanonicalOd& od) const {
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    const ConstancyOd& c = std::get<ConstancyOd>(od);
+    return ImpliesConstancy(c.context, c.attribute);
+  }
+  const CompatibilityOd& c = std::get<CompatibilityOd>(od);
+  return ImpliesCompatibility(c.context, c.a, c.b);
+}
+
+bool OdKnowledge::Implies(const ListOd& od) const {
+  for (const CanonicalOd& piece : MapListOdToCanonical(od)) {
+    if (!Implies(piece)) return false;
+  }
+  return true;
+}
+
+std::vector<ListOd> OdKnowledge::UnaryListOds(int num_attributes) const {
+  std::vector<ListOd> out;
+  for (int a = 0; a < num_attributes; ++a) {
+    for (int b = 0; b < num_attributes; ++b) {
+      if (a == b) continue;
+      ListOd od{{a}, {b}};
+      if (Implies(od)) out.push_back(od);
+    }
+  }
+  return out;
+}
+
+}  // namespace fastod

@@ -1,0 +1,69 @@
+// OdKnowledge: exact implication queries against a discovery result.
+//
+// Because FASTOD's output is *complete and minimal* (Theorem 8), every
+// valid canonical OD of the relation is derivable from the emitted set by
+// exactly two rules:
+//   * constancy:      X: [] -> A holds  iff  some emitted Y: [] -> A has
+//                     Y ⊆ X (Augmentation-I + completeness);
+//   * compatibility:  X: A ~ B holds  iff  some emitted Y: A ~ B has
+//                     Y ⊆ X, or X: [] -> A holds, or X: [] -> B holds
+//                     (Augmentation-II / Propagate + completeness).
+// OdKnowledge indexes the result to answer these queries without touching
+// the data again, and lifts them to list-based ODs through the Theorem 5
+// mapping — "does [X] order [Y] follow from what was discovered?" — the
+// question a query optimizer asks.
+//
+// The queries are exact (sound AND complete) only when constructed from a
+// complete minimal discovery (default FastodOptions; no timeout hit, no
+// max_level cap, exact validity). Built from partial results the answers
+// remain sound: true still means the OD holds.
+#ifndef FASTOD_OD_KNOWLEDGE_H_
+#define FASTOD_OD_KNOWLEDGE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algo/fastod.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+
+class OdKnowledge {
+ public:
+  /// Indexes `result` (which must outlive nothing — contents are copied).
+  explicit OdKnowledge(const FastodResult& result);
+
+  /// X: [] -> A — equivalently the FD X -> A.
+  bool ImpliesConstancy(AttributeSet context, int attribute) const;
+
+  /// X: A ~ B.
+  bool ImpliesCompatibility(AttributeSet context, int a, int b) const;
+
+  bool Implies(const CanonicalOd& od) const;
+
+  /// X ↦ Y via the Theorem 5 decomposition: all |Y| constancy pieces and
+  /// all |X|·|Y| compatibility pieces must be implied.
+  bool Implies(const ListOd& od) const;
+
+  /// All unary list ODs [A] ↦ [B] (A ≠ B) implied by the knowledge —
+  /// the single-attribute rewrites (order-by substitution, join
+  /// elimination) optimizers consume first.
+  std::vector<ListOd> UnaryListOds(int num_attributes) const;
+
+  int64_t NumFacts() const {
+    return num_constancy_facts_ + num_compatibility_facts_;
+  }
+
+ private:
+  // attribute -> minimal contexts in which it is constant.
+  std::unordered_map<int, std::vector<AttributeSet>> constancy_;
+  // packed pair (a*64+b, a<b) -> minimal compatibility contexts.
+  std::unordered_map<int, std::vector<AttributeSet>> compatibility_;
+  int64_t num_constancy_facts_ = 0;
+  int64_t num_compatibility_facts_ = 0;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_OD_KNOWLEDGE_H_

@@ -1,0 +1,62 @@
+// List-based order dependencies X ↦ Y (Definition 2 of the paper).
+//
+// The natural, SQL-order-by-style OD representation: both sides are
+// *order specifications*, i.e. attribute lists defining lexicographic
+// orders. The ORDER baseline works directly on these; FASTOD reaches them
+// through the canonical mapping (od/mapping.h).
+#ifndef FASTOD_OD_LIST_OD_H_
+#define FASTOD_OD_LIST_OD_H_
+
+#include <string>
+#include <vector>
+
+#include "od/attribute_set.h"
+
+namespace fastod {
+
+class Schema;
+
+/// An attribute list [A, B, C] interpreted lexicographically (sort by A,
+/// break ties by B, then C), as in a SQL ORDER BY clause.
+using OrderSpec = std::vector<int>;
+
+std::string OrderSpecToString(const OrderSpec& spec);
+std::string OrderSpecToString(const OrderSpec& spec, const Schema& schema);
+
+/// The set of attributes appearing in `spec`.
+AttributeSet OrderSpecSet(const OrderSpec& spec);
+
+/// True iff `prefix` is a (possibly improper) prefix of `list`.
+bool IsPrefixOf(const OrderSpec& prefix, const OrderSpec& list);
+
+/// X ↦ Y: "X orders Y" — sorting by X lexicographically implies the table
+/// is also sorted by Y.
+struct ListOd {
+  OrderSpec lhs;
+  OrderSpec rhs;
+
+  bool operator==(const ListOd& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator<(const ListOd& o) const {
+    if (lhs != o.lhs) return lhs < o.lhs;
+    return rhs < o.rhs;
+  }
+
+  std::string ToString() const;
+  std::string ToString(const Schema& schema) const;
+};
+
+struct ListOdHash {
+  size_t operator()(const ListOd& od) const {
+    size_t h = 1469598103934665603ULL;
+    for (int a : od.lhs) h = h * 1099511628211ULL + static_cast<size_t>(a + 1);
+    h = h * 1099511628211ULL + 0xffff;  // side separator
+    for (int a : od.rhs) h = h * 1099511628211ULL + static_cast<size_t>(a + 1);
+    return h;
+  }
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_OD_LIST_OD_H_

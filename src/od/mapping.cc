@@ -1,0 +1,47 @@
+#include "od/mapping.h"
+
+namespace fastod {
+
+std::vector<ConstancyOd> MapPrefixOdToCanonical(const OrderSpec& lhs,
+                                                const OrderSpec& rhs) {
+  // Theorem 3: X ↦ XY iff ∀j, {X}: [] -> Y_j.
+  std::vector<ConstancyOd> out;
+  out.reserve(rhs.size());
+  AttributeSet context = OrderSpecSet(lhs);
+  for (int y : rhs) {
+    out.push_back(ConstancyOd{context, y});
+  }
+  return out;
+}
+
+std::vector<CompatibilityOd> MapOrderCompatibilityToCanonical(
+    const OrderSpec& lhs, const OrderSpec& rhs) {
+  // Theorem 4: X ~ Y iff ∀i,j, {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j.
+  std::vector<CompatibilityOd> out;
+  out.reserve(lhs.size() * rhs.size());
+  AttributeSet lhs_prefix;  // {X_1..X_{i-1}}
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    AttributeSet context = lhs_prefix;  // plus {Y_1..Y_{j-1}} built below
+    for (size_t j = 0; j < rhs.size(); ++j) {
+      out.emplace_back(context, lhs[i], rhs[j]);
+      context = context.With(rhs[j]);
+    }
+    lhs_prefix = lhs_prefix.With(lhs[i]);
+  }
+  return out;
+}
+
+std::vector<CanonicalOd> MapListOdToCanonical(const ListOd& od) {
+  // Theorem 5 = Theorem 3 ∧ Theorem 4.
+  std::vector<CanonicalOd> out;
+  for (ConstancyOd& c : MapPrefixOdToCanonical(od.lhs, od.rhs)) {
+    out.emplace_back(std::move(c));
+  }
+  for (CompatibilityOd& c :
+       MapOrderCompatibilityToCanonical(od.lhs, od.rhs)) {
+    out.emplace_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace fastod

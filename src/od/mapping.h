@@ -1,0 +1,36 @@
+// The polynomial mapping from list-based ODs to set-based canonical ODs
+// (Theorems 3-5 of the paper) — the paper's first key contribution.
+//
+//   X ↦ Y  holds  iff
+//     (i)  ∀j:   {X}: [] -> Y_j                       (Theorem 3: X ↦ XY)
+//     (ii) ∀i,j: {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j   (Theorem 4: X ~ Y)
+//
+// The mapping has size |X|·|Y| + |Y| — quadratic, which is what makes a
+// set-lattice discovery algorithm possible at all.
+#ifndef FASTOD_OD_MAPPING_H_
+#define FASTOD_OD_MAPPING_H_
+
+#include <vector>
+
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+
+/// The full canonical image of X ↦ Y per Theorem 5. Trivial canonical ODs
+/// (e.g. {A}: [] -> A) are included verbatim; callers that want the reduced
+/// image should filter with IsTrivial().
+std::vector<CanonicalOd> MapListOdToCanonical(const ListOd& od);
+
+/// Canonical image of the order-compatibility statement X ~ Y only
+/// (Theorem 4).
+std::vector<CompatibilityOd> MapOrderCompatibilityToCanonical(
+    const OrderSpec& lhs, const OrderSpec& rhs);
+
+/// Canonical image of the FD-equivalent statement X ↦ XY only (Theorem 3).
+std::vector<ConstancyOd> MapPrefixOdToCanonical(const OrderSpec& lhs,
+                                                const OrderSpec& rhs);
+
+}  // namespace fastod
+
+#endif  // FASTOD_OD_MAPPING_H_

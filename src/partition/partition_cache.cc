@@ -1,0 +1,36 @@
+#include "partition/partition_cache.h"
+
+#include <utility>
+
+namespace fastod {
+
+void PartitionCache::Put(int level, AttributeSet set,
+                         StrippedPartition partition) {
+  partitions_[set] = Entry{level, std::move(partition)};
+}
+
+const StrippedPartition& PartitionCache::Get(AttributeSet set) const {
+  auto it = partitions_.find(set);
+  FASTOD_CHECK(it != partitions_.end());
+  return it->second.partition;
+}
+
+void PartitionCache::EvictBelow(int level) {
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (it->second.level < level) {
+      it = partitions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t PartitionCache::TotalElements() const {
+  int64_t total = 0;
+  for (const auto& [set, entry] : partitions_) {
+    total += entry.partition.NumElements();
+  }
+  return total;
+}
+
+}  // namespace fastod

@@ -1,0 +1,56 @@
+// A level-aware cache of stripped partitions keyed by AttributeSet.
+//
+// The level-wise algorithms (FASTOD, TANE) compute Π*_X for every lattice
+// node X as the product of two parent partitions from the previous level
+// (Section 4.6: "only partitions from the previous level are needed").
+// FASTOD's order-compatibility checks additionally read contexts two levels
+// up (X \ {A,B} has |X| - 2 attributes), so the cache retains a sliding
+// window of levels and evicts older ones to bound memory.
+#ifndef FASTOD_PARTITION_PARTITION_CACHE_H_
+#define FASTOD_PARTITION_PARTITION_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "od/attribute_set.h"
+#include "partition/stripped_partition.h"
+
+namespace fastod {
+
+class PartitionCache {
+ public:
+  PartitionCache() = default;
+
+  /// Registers Π*_X at lattice level `level` (= |X|).
+  void Put(int level, AttributeSet set, StrippedPartition partition);
+
+  /// Π*_X, which must be present (guaranteed by level-wise construction:
+  /// every subset of a live node is a live node of its level).
+  const StrippedPartition& Get(AttributeSet set) const;
+
+  /// True iff Π*_X is cached.
+  bool Contains(AttributeSet set) const {
+    return partitions_.find(set) != partitions_.end();
+  }
+
+  /// Evicts every partition of level < `level`.
+  void EvictBelow(int level);
+
+  int64_t NumCached() const {
+    return static_cast<int64_t>(partitions_.size());
+  }
+
+  /// Total tuples held across cached partitions (memory telemetry).
+  int64_t TotalElements() const;
+
+ private:
+  struct Entry {
+    int level;
+    StrippedPartition partition;
+  };
+  std::unordered_map<AttributeSet, Entry, AttributeSetHash> partitions_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_PARTITION_PARTITION_CACHE_H_

@@ -1,0 +1,160 @@
+#include "partition/stripped_partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fastod {
+
+StrippedPartition StrippedPartition::Universe(int64_t num_rows) {
+  PartitionBuilder builder(num_rows);
+  builder.BeginClass();
+  for (int64_t t = 0; t < num_rows; ++t) {
+    builder.AddTuple(static_cast<int32_t>(t));
+  }
+  builder.EndClass();
+  return builder.Build();
+}
+
+StrippedPartition StrippedPartition::ForAttribute(
+    const std::vector<int32_t>& ranks, int32_t num_distinct) {
+  const int64_t n = static_cast<int64_t>(ranks.size());
+  // Counting sort by rank keeps classes in ascending value order.
+  std::vector<int32_t> counts(num_distinct + 1, 0);
+  for (int32_t r : ranks) {
+    FASTOD_DCHECK(r >= 0 && r < num_distinct);
+    ++counts[r + 1];
+  }
+  for (int32_t v = 0; v < num_distinct; ++v) counts[v + 1] += counts[v];
+  std::vector<int32_t> by_rank(n);
+  std::vector<int32_t> cursor(counts.begin(), counts.end() - 1);
+  for (int64_t t = 0; t < n; ++t) {
+    by_rank[cursor[ranks[t]]++] = static_cast<int32_t>(t);
+  }
+  PartitionBuilder builder(n);
+  for (int32_t v = 0; v < num_distinct; ++v) {
+    builder.BeginClass();
+    for (int32_t i = counts[v]; i < counts[v + 1]; ++i) {
+      builder.AddTuple(by_rank[i]);
+    }
+    builder.EndClass();
+  }
+  return builder.Build();
+}
+
+StrippedPartition StrippedPartition::FromRankColumns(
+    const std::vector<const std::vector<int32_t>*>& columns,
+    int64_t num_rows) {
+  if (columns.empty()) return Universe(num_rows);
+  // Group tuples by their full rank vector via a hash of composed keys.
+  // Reference implementation only; quadratic-ish memory is fine at test
+  // scales.
+  struct VecHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      size_t h = 1469598103934665603ULL;
+      for (int32_t x : v) {
+        h ^= static_cast<size_t>(x) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<int32_t>, std::vector<int32_t>, VecHash>
+      groups;
+  std::vector<int32_t> key(columns.size());
+  for (int64_t t = 0; t < num_rows; ++t) {
+    for (size_t c = 0; c < columns.size(); ++c) key[c] = (*columns[c])[t];
+    groups[key].push_back(static_cast<int32_t>(t));
+  }
+  // Deterministic class order: sort group keys.
+  std::vector<const std::vector<int32_t>*> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, v] : groups) keys.push_back(&k);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::vector<int32_t>* a, const std::vector<int32_t>* b) {
+              return *a < *b;
+            });
+  PartitionBuilder builder(num_rows);
+  for (const std::vector<int32_t>* k : keys) {
+    builder.BeginClass();
+    for (int32_t t : groups[*k]) builder.AddTuple(t);
+    builder.EndClass();
+  }
+  return builder.Build();
+}
+
+StrippedPartition StrippedPartition::Product(
+    const StrippedPartition& other) const {
+  FASTOD_DCHECK(num_rows_ == other.num_rows_);
+  // TANE-style linear product. Mark membership of `*this` classes in a
+  // probe array, then split each class of `other` by probe value.
+  std::vector<int32_t> probe(num_rows_, -1);
+  for (int32_t c = 0; c < NumClasses(); ++c) {
+    for (int32_t t : Class(c)) probe[t] = c;
+  }
+  // scratch[i] accumulates the intersection of the current `other` class
+  // with this->Class(i).
+  std::vector<std::vector<int32_t>> scratch(NumClasses());
+  std::vector<int32_t> touched;
+  PartitionBuilder builder(num_rows_);
+  for (int32_t oc = 0; oc < other.NumClasses(); ++oc) {
+    touched.clear();
+    for (int32_t t : other.Class(oc)) {
+      int32_t pc = probe[t];
+      if (pc < 0) continue;  // singleton in *this: cannot form a pair
+      if (scratch[pc].empty()) touched.push_back(pc);
+      scratch[pc].push_back(t);
+    }
+    // Emit classes in ascending first-class index for determinism.
+    std::sort(touched.begin(), touched.end());
+    for (int32_t pc : touched) {
+      builder.BeginClass();
+      for (int32_t t : scratch[pc]) builder.AddTuple(t);
+      builder.EndClass();
+      scratch[pc].clear();
+    }
+  }
+  return builder.Build();
+}
+
+void StrippedPartition::FillClassIndex(std::vector<int32_t>* class_of) const {
+  class_of->assign(num_rows_, -1);
+  for (int32_t c = 0; c < NumClasses(); ++c) {
+    for (int32_t t : Class(c)) (*class_of)[t] = c;
+  }
+}
+
+bool StrippedPartition::operator==(const StrippedPartition& other) const {
+  if (num_rows_ != other.num_rows_ || NumClasses() != other.NumClasses()) {
+    return false;
+  }
+  // Classes are canonical up to ordering: compare as sorted sets of sorted
+  // classes. Members are already ascending; order classes by first element.
+  auto canonical = [](const StrippedPartition& p) {
+    std::vector<std::vector<int32_t>> classes;
+    classes.reserve(p.NumClasses());
+    for (int32_t c = 0; c < p.NumClasses(); ++c) {
+      auto cls = p.Class(c);
+      classes.emplace_back(cls.begin(), cls.end());
+    }
+    std::sort(classes.begin(), classes.end());
+    return classes;
+  };
+  return canonical(*this) == canonical(other);
+}
+
+std::string StrippedPartition::ToString() const {
+  std::string out = "{";
+  for (int32_t c = 0; c < NumClasses(); ++c) {
+    if (c > 0) out += ",";
+    out += "{";
+    auto cls = Class(c);
+    for (size_t i = 0; i < cls.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(cls[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fastod

@@ -1,0 +1,218 @@
+#include "report/report.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace fastod {
+
+namespace {
+
+std::string AttrName(const RelationInfo& info, int attr) {
+  FASTOD_CHECK(info.schema != nullptr);
+  return info.schema->name(attr);
+}
+
+std::string ContextJson(const RelationInfo& info, AttributeSet context) {
+  std::string out = "[";
+  bool first = true;
+  for (int a = context.First(); a >= 0; a = context.Next(a)) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(AttrName(info, a));
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+std::string HeaderJson(const char* algorithm, const RelationInfo& info,
+                       double seconds, bool timed_out) {
+  std::string out = "{\n  \"algorithm\": \"";
+  out += algorithm;
+  out += "\",\n  \"relation\": {\"rows\": " + std::to_string(info.rows) +
+         ", \"attributes\": [";
+  for (int i = 0; i < info.schema->NumAttributes(); ++i) {
+    if (i > 0) out += ",";
+    out += '"';
+    out += JsonEscape(info.schema->name(i));
+    out += '"';
+  }
+  char seconds_buf[32];
+  std::snprintf(seconds_buf, sizeof(seconds_buf), "%.6f", seconds);
+  out += "]},\n  \"stats\": {\"seconds\": ";
+  out += seconds_buf;
+  out += ", \"timed_out\": ";
+  out += timed_out ? "true" : "false";
+  out += "},\n";
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FastodResultToJson(const FastodResult& result,
+                               const RelationInfo& info) {
+  std::string out =
+      HeaderJson("fastod", info, result.seconds, result.timed_out);
+  out += "  \"constancy_ods\": [\n";
+  for (size_t i = 0; i < result.constancy_ods.size(); ++i) {
+    const ConstancyOd& od = result.constancy_ods[i];
+    out += "    {\"context\": " + ContextJson(info, od.context) +
+           ", \"attribute\": \"" + JsonEscape(AttrName(info, od.attribute)) +
+           "\"}";
+    if (i + 1 < result.constancy_ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"compatibility_ods\": [\n";
+  for (size_t i = 0; i < result.compatibility_ods.size(); ++i) {
+    const CompatibilityOd& od = result.compatibility_ods[i];
+    out += "    {\"context\": " + ContextJson(info, od.context) +
+           ", \"a\": \"" + JsonEscape(AttrName(info, od.a)) + "\", \"b\": \"" +
+           JsonEscape(AttrName(info, od.b)) + "\"}";
+    if (i + 1 < result.compatibility_ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"bidirectional_ods\": [\n";
+  for (size_t i = 0; i < result.bidirectional_ods.size(); ++i) {
+    const BidiCompatibilityOd& od = result.bidirectional_ods[i];
+    out += "    {\"context\": " + ContextJson(info, od.context) +
+           ", \"a\": \"" + JsonEscape(AttrName(info, od.a)) + "\", \"b\": \"" +
+           JsonEscape(AttrName(info, od.b)) +
+           "\", \"polarity\": \"opposite\"}";
+    if (i + 1 < result.bidirectional_ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string FastodResultToText(const FastodResult& result,
+                               const RelationInfo& info) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "FASTOD: %lld ODs (%lld constancy + %lld compatibility + "
+                "%lld bidirectional) in %.3fs%s\n",
+                static_cast<long long>(result.NumOds()),
+                static_cast<long long>(result.num_constancy),
+                static_cast<long long>(result.num_compatibility),
+                static_cast<long long>(result.num_bidirectional),
+                result.seconds, result.timed_out ? " [TIMED OUT]" : "");
+  std::string out = buf;
+  for (const ConstancyOd& od : result.constancy_ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  for (const CompatibilityOd& od : result.compatibility_ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  for (const BidiCompatibilityOd& od : result.bidirectional_ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  return out;
+}
+
+std::string TaneResultToJson(const TaneResult& result,
+                             const RelationInfo& info) {
+  std::string out = HeaderJson("tane", info, result.seconds,
+                               result.timed_out);
+  out += "  \"fds\": [\n";
+  for (size_t i = 0; i < result.fds.size(); ++i) {
+    const ConstancyOd& od = result.fds[i];
+    out += "    {\"lhs\": " + ContextJson(info, od.context) +
+           ", \"rhs\": \"" + JsonEscape(AttrName(info, od.attribute)) +
+           "\"}";
+    if (i + 1 < result.fds.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string TaneResultToText(const TaneResult& result,
+                             const RelationInfo& info) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "TANE: %lld minimal FDs in %.3fs%s\n",
+                static_cast<long long>(result.fds.size()), result.seconds,
+                result.timed_out ? " [TIMED OUT]" : "");
+  std::string out = buf;
+  for (const ConstancyOd& od : result.fds) {
+    out += "  " + od.context.ToString(*info.schema) + " -> " +
+           AttrName(info, od.attribute) + "\n";
+  }
+  return out;
+}
+
+std::string OrderResultToJson(const OrderResult& result,
+                              const RelationInfo& info) {
+  std::string out = HeaderJson("order", info, result.seconds,
+                               result.timed_out);
+  out += "  \"ods\": [\n";
+  for (size_t i = 0; i < result.ods.size(); ++i) {
+    const ListOd& od = result.ods[i];
+    auto spec_json = [&](const OrderSpec& spec) {
+      std::string s = "[";
+      for (size_t j = 0; j < spec.size(); ++j) {
+        if (j > 0) s += ",";
+        s += '"';
+        s += JsonEscape(AttrName(info, spec[j]));
+        s += '"';
+      }
+      s += "]";
+      return s;
+    };
+    out += "    {\"lhs\": " + spec_json(od.lhs) +
+           ", \"rhs\": " + spec_json(od.rhs) + "}";
+    if (i + 1 < result.ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string OrderResultToText(const OrderResult& result,
+                              const RelationInfo& info) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ORDER: %lld list ODs in %.3fs%s\n",
+                static_cast<long long>(result.ods.size()), result.seconds,
+                result.timed_out ? " [TIMED OUT]" : "");
+  std::string out = buf;
+  for (const ListOd& od : result.ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fastod

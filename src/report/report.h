@@ -1,0 +1,51 @@
+// Rendering of discovery results for humans (text) and machines (JSON).
+//
+// The JSON shape is stable and documented here so downstream tooling can
+// rely on it:
+// {
+//   "algorithm": "fastod",
+//   "relation": {"rows": N, "attributes": [names...]},
+//   "stats": {"seconds": ..., "levels": ..., "nodes": ..., "timed_out": b},
+//   "constancy_ods":     [{"context": ["a","b"], "attribute": "c"}, ...],
+//   "compatibility_ods": [{"context": [...], "a": ..., "b": ...}, ...],
+//   "bidirectional_ods": [{"context": [...], "a": ..., "b": ...,
+//                          "polarity": "opposite"}, ...]
+// }
+#ifndef FASTOD_REPORT_REPORT_H_
+#define FASTOD_REPORT_REPORT_H_
+
+#include <string>
+
+#include "algo/fastod.h"
+#include "algo/order.h"
+#include "algo/tane.h"
+#include "data/schema.h"
+
+namespace fastod {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string JsonEscape(const std::string& s);
+
+struct RelationInfo {
+  int64_t rows = 0;
+  const Schema* schema = nullptr;  // must outlive the call
+};
+
+std::string FastodResultToJson(const FastodResult& result,
+                               const RelationInfo& info);
+std::string FastodResultToText(const FastodResult& result,
+                               const RelationInfo& info);
+
+std::string TaneResultToJson(const TaneResult& result,
+                             const RelationInfo& info);
+std::string TaneResultToText(const TaneResult& result,
+                             const RelationInfo& info);
+
+std::string OrderResultToJson(const OrderResult& result,
+                              const RelationInfo& info);
+std::string OrderResultToText(const OrderResult& result,
+                              const RelationInfo& info);
+
+}  // namespace fastod
+
+#endif  // FASTOD_REPORT_REPORT_H_

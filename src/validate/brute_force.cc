@@ -1,0 +1,105 @@
+#include "validate/brute_force.h"
+
+namespace fastod {
+
+namespace {
+
+// Equality of two tuples on an attribute set.
+bool EqualOnSet(const EncodedRelation& rel, AttributeSet set, int64_t r,
+                int64_t s) {
+  for (int a = set.First(); a >= 0; a = set.Next(a)) {
+    if (rel.rank(r, a) != rel.rank(s, a)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TuplePrecedesEq(const EncodedRelation& rel, const OrderSpec& spec,
+                     int64_t r, int64_t s) {
+  // Definition 1: [] precedes everything; otherwise compare the head and
+  // recurse on ties. Implemented iteratively.
+  for (int a : spec) {
+    int32_t rr = rel.rank(r, a);
+    int32_t rs = rel.rank(s, a);
+    if (rr < rs) return true;
+    if (rr > rs) return false;
+  }
+  return true;  // all equal (or empty spec)
+}
+
+bool TuplePrecedesStrict(const EncodedRelation& rel, const OrderSpec& spec,
+                         int64_t r, int64_t s) {
+  return TuplePrecedesEq(rel, spec, r, s) &&
+         !TuplePrecedesEq(rel, spec, s, r);
+}
+
+bool BruteHolds(const EncodedRelation& rel, const ListOd& od) {
+  const int64_t n = rel.NumRows();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t s = 0; s < n; ++s) {
+      if (TuplePrecedesEq(rel, od.lhs, r, s) &&
+          !TuplePrecedesEq(rel, od.rhs, r, s)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BruteIsConstant(const EncodedRelation& rel, AttributeSet context,
+                     int attribute) {
+  const int64_t n = rel.NumRows();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t s = r + 1; s < n; ++s) {
+      if (EqualOnSet(rel, context, r, s) &&
+          rel.rank(r, attribute) != rel.rank(s, attribute)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BruteIsOrderCompatible(const EncodedRelation& rel, AttributeSet context,
+                            int a, int b) {
+  const int64_t n = rel.NumRows();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t s = 0; s < n; ++s) {
+      if (!EqualOnSet(rel, context, r, s)) continue;
+      // Swap (Definition 5): r ≺_A s but s ≺_B r.
+      if (rel.rank(r, a) < rel.rank(s, a) &&
+          rel.rank(s, b) < rel.rank(r, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BruteIsBidiOrderCompatible(const EncodedRelation& rel,
+                                AttributeSet context, int a, int b) {
+  const int64_t n = rel.NumRows();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t s = 0; s < n; ++s) {
+      if (!EqualOnSet(rel, context, r, s)) continue;
+      // Violation: both attributes strictly increase together.
+      if (rel.rank(r, a) < rel.rank(s, a) &&
+          rel.rank(r, b) < rel.rank(s, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BruteHolds(const EncodedRelation& rel, const CanonicalOd& od) {
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    const ConstancyOd& c = std::get<ConstancyOd>(od);
+    return BruteIsConstant(rel, c.context, c.attribute);
+  }
+  const CompatibilityOd& c = std::get<CompatibilityOd>(od);
+  return BruteIsOrderCompatible(rel, c.context, c.a, c.b);
+}
+
+}  // namespace fastod

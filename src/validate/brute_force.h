@@ -1,0 +1,43 @@
+// Brute-force O(n^2) dependency checks straight from the definitions.
+//
+// These are deliberately naive transliterations of Definitions 1-6 of the
+// paper, used as test oracles for the partition-based validator and the
+// discovery algorithms. Never use these on large relations.
+#ifndef FASTOD_VALIDATE_BRUTE_FORCE_H_
+#define FASTOD_VALIDATE_BRUTE_FORCE_H_
+
+#include "data/encode.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+
+/// r ⪯_X s under Definition 1 (weak lexicographic order).
+bool TuplePrecedesEq(const EncodedRelation& rel, const OrderSpec& spec,
+                     int64_t r, int64_t s);
+
+/// r ≺_X s: r ⪯_X s and not s ⪯_X r.
+bool TuplePrecedesStrict(const EncodedRelation& rel, const OrderSpec& spec,
+                         int64_t r, int64_t s);
+
+/// Definition 2, checked over all tuple pairs.
+bool BruteHolds(const EncodedRelation& rel, const ListOd& od);
+
+/// X: [] -> A over all pairs: equal context values force equal A values.
+bool BruteIsConstant(const EncodedRelation& rel, AttributeSet context,
+                     int attribute);
+
+/// X: A ~ B over all pairs: no swap within any context class.
+bool BruteIsOrderCompatible(const EncodedRelation& rel, AttributeSet context,
+                            int a, int b);
+
+/// Bidirectional extension: within every context class, A ascending must
+/// order B descending — violated by a pair with r <_A s and r <_B s.
+bool BruteIsBidiOrderCompatible(const EncodedRelation& rel,
+                                AttributeSet context, int a, int b);
+
+bool BruteHolds(const EncodedRelation& rel, const CanonicalOd& od);
+
+}  // namespace fastod
+
+#endif  // FASTOD_VALIDATE_BRUTE_FORCE_H_

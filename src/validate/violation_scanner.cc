@@ -1,0 +1,142 @@
+#include "validate/violation_scanner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "od/mapping.h"
+#include "partition/stripped_partition.h"
+
+namespace fastod {
+
+std::string Violation::ToString() const {
+  return std::string(kind == ViolationKind::kSplit ? "split" : "swap") +
+         "(t" + std::to_string(tuple_s) + ", t" + std::to_string(tuple_t) +
+         ")";
+}
+
+ViolationScanner::ViolationScanner(const EncodedRelation* relation)
+    : relation_(relation) {
+  FASTOD_CHECK(relation_ != nullptr);
+}
+
+namespace {
+
+StrippedPartition BuildContextPartition(const EncodedRelation& rel,
+                                        AttributeSet context) {
+  if (context.IsEmpty()) return StrippedPartition::Universe(rel.NumRows());
+  std::vector<const std::vector<int32_t>*> columns;
+  for (int a = context.First(); a >= 0; a = context.Next(a)) {
+    columns.push_back(&rel.ranks(a));
+  }
+  return StrippedPartition::FromRankColumns(columns, rel.NumRows());
+}
+
+bool Full(const std::vector<Violation>& v, const ScanOptions& options) {
+  return options.max_violations > 0 &&
+         static_cast<int64_t>(v.size()) >= options.max_violations;
+}
+
+}  // namespace
+
+std::vector<Violation> ViolationScanner::ScanConstancy(
+    AttributeSet context, int attribute, const ScanOptions& options) {
+  std::vector<Violation> out;
+  StrippedPartition partition = BuildContextPartition(*relation_, context);
+  const std::vector<int32_t>& ranks = relation_->ranks(attribute);
+  for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
+       ++c) {
+    auto cls = partition.Class(c);
+    // Group class members by the attribute's rank; any two members in
+    // different groups form a split pair. Report pairs against the first
+    // member of the first differing group to keep output size linear-ish.
+    for (size_t i = 1; i < cls.size() && !Full(out, options); ++i) {
+      if (ranks[cls[i]] != ranks[cls[0]]) {
+        out.push_back(Violation{ViolationKind::kSplit, cls[0], cls[i]});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> ViolationScanner::ScanCompatibility(
+    AttributeSet context, int a, int b, const ScanOptions& options) {
+  std::vector<Violation> out;
+  StrippedPartition partition = BuildContextPartition(*relation_, context);
+  const std::vector<int32_t>& ranks_a = relation_->ranks(a);
+  const std::vector<int32_t>& ranks_b = relation_->ranks(b);
+  std::vector<int32_t> buffer;
+  for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
+       ++c) {
+    auto cls = partition.Class(c);
+    buffer.assign(cls.begin(), cls.end());
+    std::sort(buffer.begin(), buffer.end(),
+              [&ranks_a](int32_t s, int32_t t) {
+                return ranks_a[s] < ranks_a[t];
+              });
+    // Track the running max-B tuple over strictly smaller A-groups; every
+    // tuple B-below it forms a swap pair with it.
+    int32_t run_max_tuple = -1;
+    size_t i = 0;
+    while (i < buffer.size() && !Full(out, options)) {
+      size_t j = i;
+      int32_t group_max_tuple = buffer[i];
+      while (j < buffer.size() &&
+             ranks_a[buffer[j]] == ranks_a[buffer[i]]) {
+        if (ranks_b[buffer[j]] > ranks_b[group_max_tuple]) {
+          group_max_tuple = buffer[j];
+        }
+        if (run_max_tuple >= 0 &&
+            ranks_b[buffer[j]] < ranks_b[run_max_tuple]) {
+          out.push_back(
+              Violation{ViolationKind::kSwap, run_max_tuple, buffer[j]});
+          if (Full(out, options)) break;
+        }
+        ++j;
+      }
+      if (run_max_tuple < 0 ||
+          ranks_b[group_max_tuple] > ranks_b[run_max_tuple]) {
+        run_max_tuple = group_max_tuple;
+      }
+      i = j;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> ViolationScanner::Scan(const CanonicalOd& od,
+                                              const ScanOptions& options) {
+  if (std::holds_alternative<ConstancyOd>(od)) {
+    const ConstancyOd& c = std::get<ConstancyOd>(od);
+    return ScanConstancy(c.context, c.attribute, options);
+  }
+  const CompatibilityOd& c = std::get<CompatibilityOd>(od);
+  return ScanCompatibility(c.context, c.a, c.b, options);
+}
+
+std::vector<Violation> ViolationScanner::Scan(const ListOd& od,
+                                              const ScanOptions& options) {
+  std::vector<Violation> out;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const CanonicalOd& piece : MapListOdToCanonical(od)) {
+    for (const Violation& v : Scan(piece, options)) {
+      auto key = std::minmax(v.tuple_s, v.tuple_t);
+      if (seen.insert({key.first, key.second}).second) {
+        out.push_back(v);
+        if (Full(out, options)) return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ViolationScanner::TupleViolationCounts(
+    const std::vector<Violation>& violations) const {
+  std::vector<int64_t> counts(relation_->NumRows(), 0);
+  for (const Violation& v : violations) {
+    ++counts[v.tuple_s];
+    ++counts[v.tuple_t];
+  }
+  return counts;
+}
+
+}  // namespace fastod

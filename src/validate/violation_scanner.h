@@ -1,0 +1,67 @@
+// Violation reporting for data cleaning (Section 1.1 / Section 2.3).
+//
+// ODs "describe intended semantics and business rules; their violations
+// point out possible data errors". ViolationScanner finds the concrete
+// tuple pairs that violate a dependency: *splits* (Definition 4 — equal
+// context, different consequent) and *swaps* (Definition 5 — ordered one
+// way on A, the opposite way on B). The data-cleaning example application
+// ranks dirty tuples by how many violations they participate in.
+#ifndef FASTOD_VALIDATE_VIOLATION_SCANNER_H_
+#define FASTOD_VALIDATE_VIOLATION_SCANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/encode.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+
+enum class ViolationKind { kSplit, kSwap };
+
+struct Violation {
+  ViolationKind kind;
+  int64_t tuple_s;
+  int64_t tuple_t;
+
+  std::string ToString() const;
+};
+
+struct ScanOptions {
+  /// Stop after this many violations (0 = unlimited).
+  int64_t max_violations = 1000;
+};
+
+class ViolationScanner {
+ public:
+  explicit ViolationScanner(const EncodedRelation* relation);
+
+  /// Split pairs violating X: [] -> A.
+  std::vector<Violation> ScanConstancy(AttributeSet context, int attribute,
+                                       const ScanOptions& options = {});
+
+  /// Swap pairs violating X: A ~ B.
+  std::vector<Violation> ScanCompatibility(AttributeSet context, int a, int b,
+                                           const ScanOptions& options = {});
+
+  std::vector<Violation> Scan(const CanonicalOd& od,
+                              const ScanOptions& options = {});
+
+  /// Violations of a list-based OD: the union of violations of its
+  /// canonical image (Theorem 5), deduplicated by tuple pair.
+  std::vector<Violation> Scan(const ListOd& od,
+                              const ScanOptions& options = {});
+
+  /// Per-tuple violation participation counts — a simple dirtiness score.
+  std::vector<int64_t> TupleViolationCounts(
+      const std::vector<Violation>& violations) const;
+
+ private:
+  const EncodedRelation* relation_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_VALIDATE_VIOLATION_SCANNER_H_

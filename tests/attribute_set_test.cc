@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/schema.h"
+#include "od/attribute_set.h"
+
+namespace fastod {
+namespace {
+
+TEST(AttributeSetTest, EmptyAndSingle) {
+  AttributeSet e;
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Count(), 0);
+  EXPECT_EQ(e.First(), -1);
+
+  AttributeSet s = AttributeSet::Single(5);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 5);
+  EXPECT_EQ(s.Next(5), -1);
+}
+
+TEST(AttributeSetTest, FullSetBoundaries) {
+  EXPECT_EQ(AttributeSet::FullSet(0).Count(), 0);
+  EXPECT_EQ(AttributeSet::FullSet(1).Count(), 1);
+  EXPECT_EQ(AttributeSet::FullSet(64).Count(), 64);
+  EXPECT_TRUE(AttributeSet::FullSet(64).Contains(63));
+  EXPECT_FALSE(AttributeSet::FullSet(63).Contains(63));
+}
+
+TEST(AttributeSetTest, SetOperations) {
+  AttributeSet x = AttributeSet::FromIndices({0, 2, 4});
+  AttributeSet y = AttributeSet::FromIndices({2, 3});
+  EXPECT_EQ(x.Union(y), AttributeSet::FromIndices({0, 2, 3, 4}));
+  EXPECT_EQ(x.Intersect(y), AttributeSet::Single(2));
+  EXPECT_EQ(x.Minus(y), AttributeSet::FromIndices({0, 4}));
+  EXPECT_TRUE(x.ContainsAll(AttributeSet::FromIndices({0, 4})));
+  EXPECT_FALSE(x.ContainsAll(y));
+  EXPECT_TRUE(x.Intersects(y));
+  EXPECT_FALSE(x.Intersects(AttributeSet::Single(1)));
+}
+
+TEST(AttributeSetTest, WithWithoutAreNonMutating) {
+  AttributeSet x = AttributeSet::Single(1);
+  AttributeSet y = x.With(3);
+  EXPECT_EQ(x.Count(), 1);
+  EXPECT_EQ(y.Count(), 2);
+  EXPECT_EQ(y.Without(1), AttributeSet::Single(3));
+}
+
+TEST(AttributeSetTest, IterationAscending) {
+  AttributeSet x = AttributeSet::FromIndices({7, 0, 63, 31});
+  std::vector<int> got;
+  for (int a = x.First(); a >= 0; a = x.Next(a)) got.push_back(a);
+  EXPECT_EQ(got, (std::vector<int>{0, 7, 31, 63}));
+  EXPECT_EQ(x.ToIndices(), got);
+}
+
+TEST(AttributeSetTest, RangeAdapter) {
+  AttributeSet x = AttributeSet::FromIndices({1, 4});
+  std::vector<int> got;
+  for (int a : Members(x)) got.push_back(a);
+  EXPECT_EQ(got, (std::vector<int>{1, 4}));
+}
+
+TEST(AttributeSetTest, NextPastEnd) {
+  AttributeSet x = AttributeSet::Single(63);
+  EXPECT_EQ(x.Next(63), -1);
+  EXPECT_EQ(AttributeSet().Next(0), -1);
+}
+
+TEST(AttributeSetTest, ToStringPlaceholders) {
+  EXPECT_EQ(AttributeSet().ToString(), "{}");
+  EXPECT_EQ(AttributeSet::FromIndices({0, 2}).ToString(), "{A,C}");
+  EXPECT_EQ(AttributeSet::Single(30).ToString(), "{#30}");
+}
+
+TEST(AttributeSetTest, ToStringWithSchema) {
+  Schema s = Schema::FromNames({"year", "salary"});
+  EXPECT_EQ(AttributeSet::FromIndices({0, 1}).ToString(s), "{year,salary}");
+}
+
+TEST(AttributeSetTest, HashDistributesDistinctSets) {
+  std::unordered_set<size_t> hashes;
+  AttributeSetHash h;
+  for (int a = 0; a < 64; ++a) {
+    hashes.insert(h(AttributeSet::Single(a)));
+  }
+  // All 64 singletons should hash distinctly with a decent mixer.
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(AttributeSetTest, OrderingIsTotal) {
+  AttributeSet a = AttributeSet::Single(0);
+  AttributeSet b = AttributeSet::Single(1);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace fastod

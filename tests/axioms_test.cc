@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "algo/brute_force_discovery.h"
+#include "axioms/inference.h"
+#include "data/encode.h"
+#include "gen/random_table.h"
+#include "validate/brute_force.h"
+
+namespace fastod {
+namespace {
+
+AttributeSet S(std::initializer_list<int> attrs) {
+  AttributeSet s;
+  for (int a : attrs) s = s.With(a);
+  return s;
+}
+
+TEST(OdTheoryTest, ReflexivityIsAlwaysImplied) {
+  OdTheory theory(3);
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(ConstancyOd{S({0, 1}), 0}));  // A ∈ X
+  EXPECT_FALSE(theory.Implies(ConstancyOd{S({0, 1}), 2}));
+}
+
+TEST(OdTheoryTest, IdentityAndNormalizationAreTrivial) {
+  OdTheory theory(3);
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(CompatibilityOd(S({}), 1, 1)));   // Identity
+  EXPECT_TRUE(theory.Implies(CompatibilityOd(S({0}), 0, 2)));  // A ∈ X
+}
+
+TEST(OdTheoryTest, PropagateExample6) {
+  // Example 6: {salary}: [] -> tax implies {salary}: tax ~ year.
+  // Attributes: 0=salary, 1=tax, 2=year.
+  OdTheory theory(3);
+  theory.Add(ConstancyOd{S({0}), 1});
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(CompatibilityOd(S({0}), 1, 2)));
+}
+
+TEST(OdTheoryTest, AugmentationI) {
+  OdTheory theory(3);
+  theory.Add(ConstancyOd{S({0}), 1});
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(ConstancyOd{S({0, 2}), 1}));
+  // Not downward: {}: [] -> B must not follow.
+  EXPECT_FALSE(theory.Implies(ConstancyOd{S({}), 1}));
+}
+
+TEST(OdTheoryTest, AugmentationII) {
+  OdTheory theory(4);
+  theory.Add(CompatibilityOd(S({0}), 1, 2));
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(CompatibilityOd(S({0, 3}), 1, 2)));
+  EXPECT_FALSE(theory.Implies(CompatibilityOd(S({}), 1, 2)));
+}
+
+TEST(OdTheoryTest, Strengthen) {
+  // X: []->A and XA: []->B imply X: []->B. X={0}, A=1, B=2.
+  OdTheory theory(3);
+  theory.Add(ConstancyOd{S({0}), 1});
+  theory.Add(ConstancyOd{S({0, 1}), 2});
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(ConstancyOd{S({0}), 2}));
+}
+
+TEST(OdTheoryTest, StrengthenChainsTransitively) {
+  // {}: []->A, {A}: []->B, {A,B}: []->C  ⟹  {}: []->C (Lemma 2 shape).
+  OdTheory theory(3);
+  theory.Add(ConstancyOd{S({}), 0});
+  theory.Add(ConstancyOd{S({0}), 1});
+  theory.Add(ConstancyOd{S({0, 1}), 2});
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(ConstancyOd{S({}), 2}));
+  EXPECT_TRUE(theory.Implies(ConstancyOd{S({}), 1}));
+}
+
+TEST(OdTheoryTest, ChainSingleIntermediate) {
+  // X: A~B, X: B~C, XB: A~C ⟹ X: A~C with X={}, A=0, B=1, C=2.
+  OdTheory theory(3);
+  theory.Add(CompatibilityOd(S({}), 0, 1));
+  theory.Add(CompatibilityOd(S({}), 1, 2));
+  theory.Add(CompatibilityOd(S({1}), 0, 2));
+  theory.Close();
+  EXPECT_TRUE(theory.Implies(CompatibilityOd(S({}), 0, 2)));
+}
+
+TEST(OdTheoryTest, ChainNeedsTheLiftedPremise) {
+  // Without XB: A~C the conclusion must NOT follow (order compatibility
+  // is not transitive on its own).
+  OdTheory theory(3);
+  theory.Add(CompatibilityOd(S({}), 0, 1));
+  theory.Add(CompatibilityOd(S({}), 1, 2));
+  theory.Close();
+  EXPECT_FALSE(theory.Implies(CompatibilityOd(S({}), 0, 2)));
+}
+
+TEST(OdTheoryTest, FactsListsExcludeTrivia) {
+  OdTheory theory(2);
+  theory.Add(ConstancyOd{S({}), 0});
+  theory.Close();
+  for (const ConstancyOd& od : theory.ConstancyFacts()) {
+    EXPECT_FALSE(od.IsTrivial());
+  }
+  for (const CompatibilityOd& od : theory.CompatibilityFacts()) {
+    EXPECT_FALSE(od.IsTrivial());
+  }
+  // {}: []->A present; propagated {}: A~B present.
+  EXPECT_FALSE(theory.ConstancyFacts().empty());
+  EXPECT_FALSE(theory.CompatibilityFacts().empty());
+}
+
+// Soundness: every fact derived from ODs valid on a table is itself valid
+// on that table. This exercises all axiom implementations at once against
+// ground truth.
+class AxiomSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AxiomSoundnessTest, ClosureOfValidFactsStaysValid) {
+  Table t = GenRandomTable(18, 4, 3, GetParam());
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  // Seed the theory with the complete minimal OD set of the table.
+  BruteForceDiscoveryResult truth = BruteForceDiscoverOds(*rel);
+  OdTheory theory(4);
+  for (const ConstancyOd& od : truth.constancy_ods) theory.Add(od);
+  for (const CompatibilityOd& od : truth.compatibility_ods) theory.Add(od);
+  theory.Close();
+  for (const ConstancyOd& od : theory.ConstancyFacts()) {
+    EXPECT_TRUE(BruteIsConstant(*rel, od.context, od.attribute))
+        << od.ToString();
+  }
+  for (const CompatibilityOd& od : theory.CompatibilityFacts()) {
+    EXPECT_TRUE(BruteIsOrderCompatible(*rel, od.context, od.a, od.b))
+        << od.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxiomSoundnessTest,
+                         ::testing::Values(7, 21, 42, 84, 168));
+
+TEST(MinimalCoverTest, DropsAugmentedFacts) {
+  CanonicalOdSet ods;
+  ods.constancy.push_back(ConstancyOd{S({0}), 2});
+  ods.constancy.push_back(ConstancyOd{S({0, 1}), 2});  // implied by Aug-I
+  CanonicalOdSet cover = MinimalCover(ods, 3);
+  ASSERT_EQ(cover.constancy.size(), 1u);
+  EXPECT_EQ(cover.constancy[0], (ConstancyOd{S({0}), 2}));
+}
+
+TEST(MinimalCoverTest, DropsPropagatedCompatibility) {
+  CanonicalOdSet ods;
+  ods.constancy.push_back(ConstancyOd{S({0}), 1});
+  ods.compatibility.push_back(CompatibilityOd(S({0}), 1, 2));  // Propagate
+  CanonicalOdSet cover = MinimalCover(ods, 3);
+  EXPECT_EQ(cover.constancy.size(), 1u);
+  EXPECT_TRUE(cover.compatibility.empty());
+}
+
+TEST(MinimalCoverTest, KeepsIndependentFacts) {
+  CanonicalOdSet ods;
+  ods.constancy.push_back(ConstancyOd{S({0}), 1});
+  ods.compatibility.push_back(CompatibilityOd(S({}), 2, 3));
+  CanonicalOdSet cover = MinimalCover(ods, 4);
+  EXPECT_EQ(cover.constancy.size(), 1u);
+  EXPECT_EQ(cover.compatibility.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/schema.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+namespace {
+
+TEST(ConstancyOdTest, TrivialityFollowsReflexivity) {
+  // X: [] -> A is trivial iff A ∈ X.
+  EXPECT_TRUE((ConstancyOd{AttributeSet::FromIndices({0, 1}), 1}).IsTrivial());
+  EXPECT_FALSE(
+      (ConstancyOd{AttributeSet::FromIndices({0, 1}), 2}).IsTrivial());
+  EXPECT_FALSE((ConstancyOd{AttributeSet::Empty(), 0}).IsTrivial());
+}
+
+TEST(CompatibilityOdTest, ConstructorNormalizesPairOrder) {
+  CompatibilityOd od(AttributeSet::Empty(), 5, 2);
+  EXPECT_EQ(od.a, 2);
+  EXPECT_EQ(od.b, 5);
+  EXPECT_EQ(od, CompatibilityOd(AttributeSet::Empty(), 2, 5));
+}
+
+TEST(CompatibilityOdTest, TrivialityRules) {
+  AttributeSet ctx = AttributeSet::FromIndices({0, 1});
+  // A = B (Identity).
+  EXPECT_TRUE(CompatibilityOd(AttributeSet::Empty(), 3, 3).IsTrivial());
+  // A ∈ X (Normalization, Lemma 4).
+  EXPECT_TRUE(CompatibilityOd(ctx, 1, 3).IsTrivial());
+  EXPECT_TRUE(CompatibilityOd(ctx, 3, 0).IsTrivial());
+  EXPECT_FALSE(CompatibilityOd(ctx, 2, 3).IsTrivial());
+}
+
+TEST(CanonicalOdTest, ToStringPlaceholderNames) {
+  ConstancyOd c{AttributeSet::FromIndices({0, 2}), 1};
+  EXPECT_EQ(c.ToString(), "{A,C}: [] -> B");
+  CompatibilityOd p(AttributeSet::Single(3), 0, 1);
+  EXPECT_EQ(p.ToString(), "{D}: A ~ B");
+}
+
+TEST(CanonicalOdTest, ToStringSchemaNames) {
+  Schema s = Schema::FromNames({"year", "salary", "bin"});
+  ConstancyOd c{AttributeSet::Single(0), 2};
+  EXPECT_EQ(c.ToString(s), "{year}: [] -> bin");
+  CompatibilityOd p(AttributeSet::Single(0), 2, 1);
+  EXPECT_EQ(p.ToString(s), "{year}: salary ~ bin");
+}
+
+TEST(CanonicalOdTest, VariantToString) {
+  CanonicalOd od = ConstancyOd{AttributeSet::Empty(), 0};
+  EXPECT_EQ(CanonicalOdToString(od), "{}: [] -> A");
+  od = CompatibilityOd(AttributeSet::Empty(), 0, 1);
+  EXPECT_EQ(CanonicalOdToString(od), "{}: A ~ B");
+}
+
+TEST(CanonicalOdTest, OrderingIsDeterministic) {
+  ConstancyOd a{AttributeSet::Single(0), 1};
+  ConstancyOd b{AttributeSet::Single(0), 2};
+  ConstancyOd c{AttributeSet::Single(1), 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);  // context ordering dominates
+}
+
+TEST(CanonicalOdTest, HashingSupportsSets) {
+  std::unordered_set<ConstancyOd, ConstancyOdHash> consts;
+  consts.insert(ConstancyOd{AttributeSet::Single(0), 1});
+  consts.insert(ConstancyOd{AttributeSet::Single(0), 1});  // dup
+  consts.insert(ConstancyOd{AttributeSet::Single(0), 2});
+  EXPECT_EQ(consts.size(), 2u);
+
+  std::unordered_set<CompatibilityOd, CompatibilityOdHash> pairs;
+  pairs.insert(CompatibilityOd(AttributeSet::Empty(), 1, 0));
+  pairs.insert(CompatibilityOd(AttributeSet::Empty(), 0, 1));  // same OD
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(OrderSpecTest, ToStringAndSet) {
+  OrderSpec spec{2, 0, 1};
+  EXPECT_EQ(OrderSpecToString(spec), "[C,A,B]");
+  EXPECT_EQ(OrderSpecSet(spec), AttributeSet::FromIndices({0, 1, 2}));
+  EXPECT_EQ(OrderSpecToString(OrderSpec{}), "[]");
+}
+
+TEST(OrderSpecTest, PrefixPredicate) {
+  OrderSpec abc{0, 1, 2};
+  EXPECT_TRUE(IsPrefixOf({}, abc));
+  EXPECT_TRUE(IsPrefixOf({0}, abc));
+  EXPECT_TRUE(IsPrefixOf({0, 1, 2}, abc));
+  EXPECT_FALSE(IsPrefixOf({1}, abc));
+  EXPECT_FALSE(IsPrefixOf({0, 1, 2, 3}, abc));
+}
+
+TEST(ListOdTest, ToStringAndEquality) {
+  ListOd od{{0}, {1, 2}};
+  EXPECT_EQ(od.ToString(), "[A] orders [B,C]");
+  EXPECT_EQ(od, (ListOd{{0}, {1, 2}}));
+  EXPECT_FALSE(od == (ListOd{{0}, {2, 1}}));  // lists, not sets!
+}
+
+TEST(ListOdTest, HashDiffersAcrossSideSplits) {
+  // [A,B] ↦ [C] vs [A] ↦ [B,C] must not collide via naive concatenation.
+  ListOdHash h;
+  EXPECT_NE(h(ListOd{{0, 1}, {2}}), h(ListOd{{0}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/cli.h"
+#include "data/csv.h"
+
+namespace fastod {
+namespace {
+
+// Writes a small CSV fixture and returns its path.
+std::string WriteFixture(const std::string& name, const std::string& body) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() {
+    // month determines quarter; salary anti-correlates with rank.
+    path_ = WriteFixture("cli_test.csv",
+                         "month,quarter,salary,rank\n"
+                         "1,1,100,9\n"
+                         "2,1,200,8\n"
+                         "4,2,300,7\n"
+                         "5,2,400,6\n");
+  }
+  ~CliTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CliTest, HelpOnNoArgs) {
+  CliResult r = RunCli({});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  CliResult r = RunCli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverTextOutput) {
+  CliResult r = RunCli({"discover", path_});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("FASTOD:"), std::string::npos);
+  EXPECT_NE(r.output.find("{month}: [] -> quarter"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverJsonOutput) {
+  CliResult r = RunCli({"discover", path_, "--output=json"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("\"algorithm\": \"fastod\""), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverTane) {
+  CliResult r = RunCli({"discover", path_, "--algorithm=tane"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("TANE:"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverOrder) {
+  CliResult r = RunCli({"discover", path_, "--algorithm=order"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("ORDER:"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverBidirectional) {
+  CliResult r = RunCli({"discover", path_, "--bidirectional"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  // salary ~ rank desc is an opposite-polarity OCD on this fixture.
+  EXPECT_NE(r.output.find("salary ~ rank desc"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverRejectsBadAlgorithm) {
+  CliResult r = RunCli({"discover", path_, "--algorithm=magic"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverMissingFileIsIoError) {
+  CliResult r = RunCli({"discover", "/no/such/file.csv"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("IoError"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateHoldingOd) {
+  CliResult r =
+      RunCli({"validate", path_, "--lhs=month", "--rhs=quarter"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("holds"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateViolatedOdExitsTwo) {
+  CliResult r = RunCli({"validate", path_, "--lhs=salary", "--rhs=rank"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("violated"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateDescendingDirection) {
+  CliResult r =
+      RunCli({"validate", path_, "--lhs=salary", "--rhs=rank:desc"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("rank desc"), std::string::npos);
+  EXPECT_NE(r.output.find("holds"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateUnknownColumn) {
+  CliResult r = RunCli({"validate", path_, "--lhs=nope", "--rhs=rank"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("nope"), std::string::npos);
+}
+
+TEST_F(CliTest, ViolationsListsPairs) {
+  CliResult r = RunCli(
+      {"violations", path_, "--lhs=salary", "--rhs=rank", "--limit=2"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("violating pair"), std::string::npos);
+  EXPECT_NE(r.output.find("swap("), std::string::npos);
+}
+
+TEST_F(CliTest, ViolationsCleanOdExitsZero) {
+  CliResult r =
+      RunCli({"violations", path_, "--lhs=month", "--rhs=quarter"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("0 violating pair(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverWithThreadsMatchesSerial) {
+  CliResult serial = RunCli({"discover", path_});
+  CliResult parallel = RunCli({"discover", path_, "--threads=4"});
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  // Identical OD listings (the timing line differs).
+  auto strip_first_line = [](const std::string& s) {
+    return s.substr(s.find('\n') + 1);
+  };
+  EXPECT_EQ(strip_first_line(serial.output),
+            strip_first_line(parallel.output));
+}
+
+TEST_F(CliTest, ConditionalCommandFindsRegionalRule) {
+  // region 0: x ~ y; region 1: anti-correlated.
+  std::string path = WriteFixture("cli_conditional.csv",
+                                  "region,x,y\n"
+                                  "north,1,10\nnorth,2,20\nnorth,3,30\n"
+                                  "south,1,33\nsouth,2,22\nsouth,3,11\n");
+  CliResult r = RunCli({"conditional", path, "--min-support=0.4"});
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("region in {north}"), std::string::npos);
+  EXPECT_NE(r.output.find("x ~ y"), std::string::npos);
+}
+
+TEST_F(CliTest, ConditionalRespectsLimit) {
+  CliResult r = RunCli({"conditional", path_, "--limit=1",
+                        "--min-support=0.0"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  // Header plus at most one result line.
+  int lines = 0;
+  for (char c : r.output) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 2);
+}
+
+TEST_F(CliTest, GenerateEmitsParseableCsv) {
+  CliResult r =
+      RunCli({"generate", "flight", "--rows=50", "--attrs=6", "--seed=1"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  auto table = ReadCsvString(r.output);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 50);
+  EXPECT_EQ(table->NumColumns(), 6);
+}
+
+TEST_F(CliTest, GenerateDateDim) {
+  CliResult r = RunCli({"generate", "date_dim", "--rows=10"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("d_date_sk"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateUnknownDataset) {
+  CliResult r = RunCli({"generate", "nothing"});
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, GenerateValidatesAttrRange) {
+  CliResult r = RunCli({"generate", "flight", "--attrs=200"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("attrs"), std::string::npos);
+}
+
+TEST_F(CliTest, EndToEndGenerateThenDiscover) {
+  CliResult gen = RunCli({"generate", "dbtesma", "--rows=100", "--attrs=6"});
+  ASSERT_EQ(gen.exit_code, 0);
+  std::string path = WriteFixture("cli_gen.csv", gen.output);
+  CliResult disc = RunCli({"discover", path, "--algorithm=fastod"});
+  std::remove(path.c_str());
+  EXPECT_EQ(disc.exit_code, 0) << disc.error;
+  EXPECT_NE(disc.output.find("FASTOD:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastod

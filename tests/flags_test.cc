@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace fastod {
+namespace {
+
+TEST(FlagsTest, ParsesTypedValues) {
+  std::string s = "default";
+  int64_t i = 7;
+  double d = 1.5;
+  bool b = false;
+  FlagSet flags;
+  flags.AddString("name", &s, "a string");
+  flags.AddInt("count", &i, "an int");
+  flags.AddDouble("ratio", &d, "a double");
+  flags.AddBool("verbose", &b, "a bool");
+  ASSERT_TRUE(flags
+                  .Parse({"--name=x", "--count=42", "--ratio=0.25",
+                          "--verbose"})
+                  .ok());
+  EXPECT_EQ(s, "x");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenAbsent) {
+  int64_t i = 9;
+  FlagSet flags;
+  flags.AddInt("count", &i, "an int");
+  ASSERT_TRUE(flags.Parse({}).ok());
+  EXPECT_EQ(i, 9);
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  bool b = false;
+  FlagSet flags;
+  flags.AddBool("x", &b, "flag");
+  ASSERT_TRUE(flags.Parse({"a.csv", "--x", "b.csv"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"a.csv", "b.csv"}));
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  bool b = true;
+  FlagSet flags;
+  flags.AddBool("x", &b, "flag");
+  ASSERT_TRUE(flags.Parse({"--x=false"}).ok());
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(flags.Parse({"--x=1"}).ok());
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(flags.Parse({"--x=maybe"}).ok());
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags;
+  Status s = flags.Parse({"--nope=1"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(FlagsTest, NonBoolRequiresValue) {
+  int64_t i = 0;
+  FlagSet flags;
+  flags.AddInt("count", &i, "an int");
+  EXPECT_FALSE(flags.Parse({"--count"}).ok());
+}
+
+TEST(FlagsTest, BadNumbersRejected) {
+  int64_t i = 0;
+  double d = 0;
+  FlagSet flags;
+  flags.AddInt("count", &i, "an int");
+  flags.AddDouble("ratio", &d, "a double");
+  EXPECT_FALSE(flags.Parse({"--count=abc"}).ok());
+  EXPECT_FALSE(flags.Parse({"--ratio=x.y"}).ok());
+}
+
+TEST(FlagsTest, HelpTextMentionsFlagsAndDefaults) {
+  int64_t i = 5;
+  FlagSet flags;
+  flags.AddInt("count", &i, "how many");
+  std::string help = flags.HelpText();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 5"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+}
+
+TEST(FlagsTest, ReparseResetsPositionals) {
+  FlagSet flags;
+  ASSERT_TRUE(flags.Parse({"one"}).ok());
+  ASSERT_TRUE(flags.Parse({"two"}).ok());
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"two"}));
+}
+
+}  // namespace
+}  // namespace fastod

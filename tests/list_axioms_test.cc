@@ -1,0 +1,188 @@
+// Empirical verification of the paper's *list-based* axiomatization
+// (Figure 1) and the Section 2 theorems. Each axiom is a theorem about
+// all relation instances, so on every random table the implication must
+// hold — this exercises the validator's lexicographic semantics from a
+// completely independent angle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/encode.h"
+#include "gen/random_table.h"
+#include "od/mapping.h"
+#include "validate/od_validator.h"
+
+namespace fastod {
+namespace {
+
+constexpr int kAttrs = 4;
+
+// All duplicate-free specs over up to kAttrs attributes with length <= 2,
+// plus a few length-3 ones — enough to exercise every axiom shape without
+// blowing up the test.
+std::vector<OrderSpec> SpecUniverse() {
+  std::vector<OrderSpec> specs;
+  specs.push_back({});
+  for (int a = 0; a < kAttrs; ++a) {
+    specs.push_back({a});
+    for (int b = 0; b < kAttrs; ++b) {
+      if (b != a) specs.push_back({a, b});
+    }
+  }
+  specs.push_back({0, 1, 2});
+  specs.push_back({2, 1, 0});
+  specs.push_back({1, 3, 0});
+  return specs;
+}
+
+OrderSpec Concat(const OrderSpec& x, const OrderSpec& y) {
+  OrderSpec out = x;
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+class ListAxiomsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ListAxiomsTest()
+      : table_(GenRandomTable(22, kAttrs, 3, GetParam())),
+        rel_(std::move(EncodedRelation::FromTable(table_)).value()),
+        v_(&rel_) {}
+
+  Table table_;
+  EncodedRelation rel_;
+  OdValidator v_;
+};
+
+TEST_P(ListAxiomsTest, Reflexivity) {
+  // XY ↦ X for every pair of specs.
+  for (const OrderSpec& x : SpecUniverse()) {
+    for (const OrderSpec& y : SpecUniverse()) {
+      EXPECT_TRUE(v_.Holds(ListOd{Concat(x, y), x}))
+          << OrderSpecToString(x) << " " << OrderSpecToString(y);
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, Prefix) {
+  // X ↦ Y implies ZX ↦ ZY.
+  for (const OrderSpec& x : SpecUniverse()) {
+    for (const OrderSpec& y : SpecUniverse()) {
+      if (!v_.Holds(ListOd{x, y})) continue;
+      for (const OrderSpec& z : SpecUniverse()) {
+        if (z.size() > 1) continue;  // keep the cube small
+        EXPECT_TRUE(v_.Holds(ListOd{Concat(z, x), Concat(z, y)}))
+            << OrderSpecToString(z) << " prefixed onto "
+            << ListOd{x, y}.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, Transitivity) {
+  // X ↦ Y and Y ↦ Z imply X ↦ Z.
+  std::vector<OrderSpec> specs = SpecUniverse();
+  for (const OrderSpec& x : specs) {
+    for (const OrderSpec& y : specs) {
+      if (!v_.Holds(ListOd{x, y})) continue;
+      for (const OrderSpec& z : specs) {
+        if (v_.Holds(ListOd{y, z})) {
+          EXPECT_TRUE(v_.Holds(ListOd{x, z}))
+              << OrderSpecToString(x) << "->" << OrderSpecToString(y)
+              << "->" << OrderSpecToString(z);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, NormalizationAxiom) {
+  // WXYXV ↔ WXYV: a repeated attribute after its first occurrence is
+  // redundant. Take W=[w], X=[x], Y=[y], V=[v].
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int w = static_cast<int>(rng.Uniform(kAttrs));
+    int x = static_cast<int>(rng.Uniform(kAttrs));
+    int y = static_cast<int>(rng.Uniform(kAttrs));
+    int vv = static_cast<int>(rng.Uniform(kAttrs));
+    OrderSpec with_repeat{w, x, y, x, vv};
+    OrderSpec without{w, x, y, vv};
+    EXPECT_TRUE(v_.AreOrderEquivalent(with_repeat, without))
+        << OrderSpecToString(with_repeat);
+  }
+}
+
+TEST_P(ListAxiomsTest, Suffix) {
+  // X ↦ Y implies X ↔ YX.
+  for (const OrderSpec& x : SpecUniverse()) {
+    for (const OrderSpec& y : SpecUniverse()) {
+      if (!v_.Holds(ListOd{x, y})) continue;
+      EXPECT_TRUE(v_.AreOrderEquivalent(x, Concat(y, x)))
+          << ListOd{x, y}.ToString();
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, Theorem1Decomposition) {
+  // X ↦ Y iff X ↦ XY and X ~ Y.
+  for (const OrderSpec& x : SpecUniverse()) {
+    if (x.empty()) continue;
+    for (const OrderSpec& y : SpecUniverse()) {
+      if (y.empty()) continue;
+      bool direct = v_.Holds(ListOd{x, y});
+      bool split_free = v_.Holds(ListOd{x, Concat(x, y)});
+      bool swap_free = v_.AreOrderCompatible(x, y);
+      EXPECT_EQ(direct, split_free && swap_free)
+          << ListOd{x, y}.ToString();
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, Theorem2FdCorrespondence) {
+  // The FD X -> Y holds iff X' ↦ X'Y' for (any) permutations; check with
+  // the canonical constancy judgement as the FD oracle.
+  for (const OrderSpec& x : SpecUniverse()) {
+    if (x.empty() || x.size() > 2) continue;
+    for (int y = 0; y < kAttrs; ++y) {
+      bool fd = v_.IsConstant(OrderSpecSet(x), y);
+      bool od = v_.Holds(ListOd{x, Concat(x, {y})});
+      EXPECT_EQ(fd, od) << OrderSpecToString(x) << " -> " << y;
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, Lemma1OdImpliesFd) {
+  // X ↦ Y implies the FD X -> Y.
+  for (const OrderSpec& x : SpecUniverse()) {
+    if (x.empty()) continue;
+    for (const OrderSpec& y : SpecUniverse()) {
+      if (y.empty() || !v_.Holds(ListOd{x, y})) continue;
+      for (int attr : y) {
+        EXPECT_TRUE(v_.IsConstant(OrderSpecSet(x), attr))
+            << ListOd{x, y}.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, OrderCompatibilityIsSymmetric) {
+  // X ~ Y iff Y ~ X (definitionally XY ↔ YX).
+  for (const OrderSpec& x : SpecUniverse()) {
+    for (const OrderSpec& y : SpecUniverse()) {
+      EXPECT_EQ(v_.AreOrderCompatible(x, y), v_.AreOrderCompatible(y, x));
+    }
+  }
+}
+
+TEST_P(ListAxiomsTest, EmptySpecIsCompatibleWithEverything) {
+  // Definition 3: [] is order compatible with any order specification.
+  for (const OrderSpec& y : SpecUniverse()) {
+    EXPECT_TRUE(v_.AreOrderCompatible({}, y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListAxiomsTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace fastod

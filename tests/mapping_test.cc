@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "data/encode.h"
+#include "gen/random_table.h"
+#include "od/mapping.h"
+#include "validate/brute_force.h"
+
+namespace fastod {
+namespace {
+
+TEST(MappingTest, PaperExample5Exactly) {
+  // [AB] ↦ [CD] maps to: {A,B}: []->C, {A,B}: []->D, {}: A~C, {A}: B~C,
+  // {C}: A~D, {A,C}: B~D.
+  ListOd od{{0, 1}, {2, 3}};
+  auto constancy = MapPrefixOdToCanonical(od.lhs, od.rhs);
+  ASSERT_EQ(constancy.size(), 2u);
+  EXPECT_EQ(constancy[0], (ConstancyOd{AttributeSet::FromIndices({0, 1}), 2}));
+  EXPECT_EQ(constancy[1], (ConstancyOd{AttributeSet::FromIndices({0, 1}), 3}));
+
+  auto compat = MapOrderCompatibilityToCanonical(od.lhs, od.rhs);
+  ASSERT_EQ(compat.size(), 4u);
+  EXPECT_EQ(compat[0], CompatibilityOd(AttributeSet::Empty(), 0, 2));
+  EXPECT_EQ(compat[1], CompatibilityOd(AttributeSet::Single(2), 0, 3));
+  EXPECT_EQ(compat[2], CompatibilityOd(AttributeSet::Single(0), 1, 2));
+  EXPECT_EQ(compat[3], CompatibilityOd(AttributeSet::FromIndices({0, 2}), 1, 3));
+}
+
+TEST(MappingTest, SizeIsQuadratic) {
+  // |X|*|Y| compatibility pieces + |Y| constancy pieces (Theorem 5).
+  ListOd od{{0, 1, 2}, {3, 4}};
+  EXPECT_EQ(MapPrefixOdToCanonical(od.lhs, od.rhs).size(), 2u);
+  EXPECT_EQ(MapOrderCompatibilityToCanonical(od.lhs, od.rhs).size(), 6u);
+  EXPECT_EQ(MapListOdToCanonical(od).size(), 8u);
+}
+
+TEST(MappingTest, EmptySidesProduceNothing) {
+  EXPECT_TRUE(MapListOdToCanonical(ListOd{{}, {}}).empty());
+  EXPECT_TRUE(MapListOdToCanonical(ListOd{{0}, {}}).empty());
+  // [] ↦ [A]: A must be constant.
+  auto pieces = MapListOdToCanonical(ListOd{{}, {0}});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(std::get<ConstancyOd>(pieces[0]),
+            (ConstancyOd{AttributeSet::Empty(), 0}));
+}
+
+TEST(MappingTest, RepeatedAttributeLeavesOnlyTheEmbeddedFd) {
+  // [A] ↦ [A,B] (the FD-shaped OD of Theorem 2): its image is
+  // {A}: []->A (trivial), {A}: []->B, {}: A~A (trivial), {A}: A~B
+  // (trivial by Normalization) — exactly one non-trivial piece, the FD.
+  auto pieces = MapListOdToCanonical(ListOd{{0}, {0, 1}});
+  std::vector<CanonicalOd> nontrivial;
+  for (const CanonicalOd& p : pieces) {
+    bool trivial = std::holds_alternative<ConstancyOd>(p)
+                       ? std::get<ConstancyOd>(p).IsTrivial()
+                       : std::get<CompatibilityOd>(p).IsTrivial();
+    if (!trivial) nontrivial.push_back(p);
+  }
+  ASSERT_EQ(nontrivial.size(), 1u);
+  EXPECT_EQ(std::get<ConstancyOd>(nontrivial[0]),
+            (ConstancyOd{AttributeSet::Single(0), 1}));
+}
+
+// The heart of Theorem 5: a list OD holds on a relation iff every canonical
+// OD in its image holds. Checked against brute-force semantics on random
+// tables and random order specifications.
+class MappingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MappingPropertyTest, ListOdHoldsIffCanonicalImageHolds) {
+  Rng rng(GetParam());
+  Table t = GenRandomTable(25, 5, 3, GetParam() * 31 + 1);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random lhs/rhs lists (possibly overlapping attributes, random order).
+    auto random_spec = [&rng](int max_len) {
+      OrderSpec spec;
+      int len = 1 + static_cast<int>(rng.Uniform(max_len));
+      AttributeSet used;
+      for (int i = 0; i < len; ++i) {
+        int a = static_cast<int>(rng.Uniform(5));
+        if (used.Contains(a)) continue;  // keep specs duplicate-free
+        used = used.With(a);
+        spec.push_back(a);
+      }
+      return spec;
+    };
+    ListOd od{random_spec(3), random_spec(3)};
+    bool direct = BruteHolds(*rel, od);
+    bool via_mapping = true;
+    for (const CanonicalOd& piece : MapListOdToCanonical(od)) {
+      if (!BruteHolds(*rel, piece)) {
+        via_mapping = false;
+        break;
+      }
+    }
+    EXPECT_EQ(direct, via_mapping) << od.ToString() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingPropertyTest,
+                         ::testing::Values(5, 19, 37, 71, 113, 131, 151));
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,150 @@
+// Thread pool correctness and the parallel-discovery determinism
+// guarantee: FASTOD output is bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "algo/fastod.h"
+#include "common/thread_pool.h"
+#include "data/encode.h"
+#include "gen/generators.h"
+#include "gen/random_table.h"
+
+namespace fastod {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(1000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(-5, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleIterationWorks) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> seen{-1};
+  pool.ParallelFor(1, [&](int64_t i) { seen.store(i); });
+  EXPECT_EQ(seen.load(), 0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  int64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int64_t i) { sum.fetch_add(i); });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(257, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 257);
+}
+
+TEST(ThreadPoolTest, UnevenWorkloadsFinish) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(64, [&](int64_t i) {
+    // Skewed work: late iterations cost more.
+    volatile int64_t x = 0;
+    for (int64_t k = 0; k < i * 1000; ++k) x = x + 1;
+    sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+struct ParallelParam {
+  int threads;
+  uint64_t seed;
+};
+
+class ParallelFastodTest : public ::testing::TestWithParam<ParallelParam> {};
+
+TEST_P(ParallelFastodTest, OutputIdenticalToSerial) {
+  Table t = GenRandomTable(60, 6, 4, GetParam().seed);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+
+  FastodResult serial = Fastod().Discover(*rel);
+  FastodOptions opt;
+  opt.num_threads = GetParam().threads;
+  FastodResult parallel = Fastod(opt).Discover(*rel);
+
+  // Bit-identical, including order (merge is in node order).
+  EXPECT_EQ(serial.constancy_ods, parallel.constancy_ods);
+  EXPECT_EQ(serial.compatibility_ods, parallel.compatibility_ods);
+  EXPECT_EQ(serial.num_constancy, parallel.num_constancy);
+  EXPECT_EQ(serial.num_compatibility, parallel.num_compatibility);
+  EXPECT_EQ(serial.total_nodes, parallel.total_nodes);
+  EXPECT_EQ(serial.levels_processed, parallel.levels_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndSeeds, ParallelFastodTest,
+    ::testing::Values(ParallelParam{2, 1}, ParallelParam{4, 1},
+                      ParallelParam{8, 1}, ParallelParam{2, 7},
+                      ParallelParam{4, 7}, ParallelParam{3, 99},
+                      ParallelParam{6, 12345}));
+
+TEST(ParallelFastodTest, RealisticDatasetIdenticalAcrossThreads) {
+  Table t = GenFlightLike(1500, 12, 42);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  FastodResult serial = Fastod().Discover(*rel);
+  FastodOptions opt;
+  opt.num_threads = 4;
+  FastodResult parallel = Fastod(opt).Discover(*rel);
+  EXPECT_EQ(serial.constancy_ods, parallel.constancy_ods);
+  EXPECT_EQ(serial.compatibility_ods, parallel.compatibility_ods);
+}
+
+TEST(ParallelFastodTest, BidirectionalAndApproximateModesParallelize) {
+  Table t = GenNcvoterLike(500, 10, 3);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  FastodOptions base;
+  base.discover_bidirectional = true;
+  base.max_error = 0.02;
+  FastodResult serial = Fastod(base).Discover(*rel);
+  FastodOptions par = base;
+  par.num_threads = 4;
+  FastodResult parallel = Fastod(par).Discover(*rel);
+  EXPECT_EQ(serial.constancy_ods, parallel.constancy_ods);
+  EXPECT_EQ(serial.compatibility_ods, parallel.compatibility_ods);
+  EXPECT_EQ(serial.bidirectional_ods, parallel.bidirectional_ods);
+}
+
+TEST(ParallelFastodTest, LevelStatsConsistent) {
+  Table t = GenDbtesmaLike(400, 9, 5);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  FastodOptions opt;
+  opt.num_threads = 4;
+  FastodResult r = Fastod(opt).Discover(*rel);
+  int64_t found = 0;
+  for (const FastodLevelStats& s : r.level_stats) {
+    found += s.constancy_found + s.compatibility_found +
+             s.bidirectional_found;
+  }
+  EXPECT_EQ(found, r.NumOds());
+}
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "data/encode.h"
+#include "gen/random_table.h"
+#include "partition/partition_cache.h"
+#include "partition/stripped_partition.h"
+
+namespace fastod {
+namespace {
+
+EncodedRelation Encode(const Table& t) {
+  auto rel = EncodedRelation::FromTable(t);
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+TEST(StrippedPartitionTest, UniverseIsOneClass) {
+  StrippedPartition p = StrippedPartition::Universe(4);
+  EXPECT_EQ(p.NumClasses(), 1);
+  EXPECT_EQ(p.NumElements(), 4);
+  EXPECT_EQ(p.Error(), 3);
+  EXPECT_FALSE(p.IsSuperkey());
+}
+
+TEST(StrippedPartitionTest, UniverseOfTinyRelationsIsEmpty) {
+  EXPECT_TRUE(StrippedPartition::Universe(0).IsSuperkey());
+  EXPECT_TRUE(StrippedPartition::Universe(1).IsSuperkey());
+}
+
+TEST(StrippedPartitionTest, ForAttributeStripsSingletons) {
+  // ranks: 0,1,0,2,1 -> classes {0,2},{1,4}, singleton {3} stripped.
+  std::vector<int32_t> ranks{0, 1, 0, 2, 1};
+  StrippedPartition p = StrippedPartition::ForAttribute(ranks, 3);
+  EXPECT_EQ(p.NumClasses(), 2);
+  EXPECT_EQ(p.NumElements(), 4);
+  EXPECT_EQ(p.Error(), 2);
+  // Classes come in ascending rank order.
+  EXPECT_EQ(std::vector<int32_t>(p.Class(0).begin(), p.Class(0).end()),
+            (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(std::vector<int32_t>(p.Class(1).begin(), p.Class(1).end()),
+            (std::vector<int32_t>{1, 4}));
+}
+
+TEST(StrippedPartitionTest, KeyAttributeYieldsSuperkeyPartition) {
+  std::vector<int32_t> ranks{3, 0, 2, 1};
+  StrippedPartition p = StrippedPartition::ForAttribute(ranks, 4);
+  EXPECT_TRUE(p.IsSuperkey());
+  EXPECT_EQ(p.Error(), 0);
+}
+
+TEST(StrippedPartitionTest, ProductRefines) {
+  // A: {0,1,2,3} in one class split by B: 0,0,1,1.
+  StrippedPartition a = StrippedPartition::Universe(4);
+  StrippedPartition b =
+      StrippedPartition::ForAttribute({0, 0, 1, 1}, 2);
+  StrippedPartition ab = a.Product(b);
+  EXPECT_EQ(ab, b);
+}
+
+TEST(StrippedPartitionTest, ProductDropsCrossSingletons) {
+  // A classes: {0,1},{2,3}; B classes: {1,2},{0,3} -> all intersections
+  // singletons -> product is a superkey partition.
+  StrippedPartition a = StrippedPartition::ForAttribute({0, 0, 1, 1}, 2);
+  StrippedPartition b = StrippedPartition::ForAttribute({0, 1, 1, 0}, 2);
+  StrippedPartition ab = a.Product(b);
+  EXPECT_TRUE(ab.IsSuperkey());
+}
+
+TEST(StrippedPartitionTest, ProductIsCommutative) {
+  StrippedPartition a =
+      StrippedPartition::ForAttribute({0, 0, 1, 1, 2, 2}, 3);
+  StrippedPartition b =
+      StrippedPartition::ForAttribute({0, 1, 0, 1, 0, 0}, 2);
+  EXPECT_EQ(a.Product(b), b.Product(a));
+}
+
+TEST(StrippedPartitionTest, FillClassIndexMarksSingletonsMinusOne) {
+  std::vector<int32_t> ranks{0, 1, 0, 2};
+  StrippedPartition p = StrippedPartition::ForAttribute(ranks, 3);
+  std::vector<int32_t> class_of;
+  p.FillClassIndex(&class_of);
+  ASSERT_EQ(class_of.size(), 4u);
+  EXPECT_EQ(class_of[0], class_of[2]);
+  EXPECT_GE(class_of[0], 0);
+  EXPECT_EQ(class_of[1], -1);
+  EXPECT_EQ(class_of[3], -1);
+}
+
+TEST(StrippedPartitionTest, BuilderDropsSubPairClasses) {
+  PartitionBuilder b(5);
+  b.BeginClass();
+  b.AddTuple(0);
+  b.EndClass();  // singleton -> dropped
+  b.BeginClass();
+  b.EndClass();  // empty -> dropped
+  b.BeginClass();
+  b.AddTuple(1);
+  b.AddTuple(2);
+  b.EndClass();
+  StrippedPartition p = b.Build();
+  EXPECT_EQ(p.NumClasses(), 1);
+  EXPECT_EQ(p.NumElements(), 2);
+}
+
+TEST(StrippedPartitionTest, ToStringRendersClasses) {
+  StrippedPartition p = StrippedPartition::ForAttribute({0, 0, 1}, 2);
+  EXPECT_EQ(p.ToString(), "{{0,1}}");
+}
+
+// Property: folding single-attribute partitions with Product() equals the
+// direct hash-based construction, for random attribute subsets.
+class PartitionProductPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionProductPropertyTest, ProductMatchesDirectConstruction) {
+  Table t = GenRandomTable(50, 5, 4, GetParam());
+  EncodedRelation rel = Encode(t);
+  // All 2^5 - 1 nonempty subsets.
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    StrippedPartition via_product;
+    bool first = true;
+    std::vector<const std::vector<int32_t>*> columns;
+    for (int a = 0; a < 5; ++a) {
+      if (!(mask & (uint64_t{1} << a))) continue;
+      StrippedPartition single =
+          StrippedPartition::ForAttribute(rel.ranks(a), rel.NumDistinct(a));
+      via_product = first ? single : via_product.Product(single);
+      first = false;
+      columns.push_back(&rel.ranks(a));
+    }
+    StrippedPartition direct =
+        StrippedPartition::FromRankColumns(columns, rel.NumRows());
+    EXPECT_EQ(via_product, direct) << "mask=" << mask;
+  }
+}
+
+TEST_P(PartitionProductPropertyTest, ErrorIsMonotoneUnderRefinement) {
+  Table t = GenRandomTable(60, 4, 5, GetParam());
+  EncodedRelation rel = Encode(t);
+  StrippedPartition a =
+      StrippedPartition::ForAttribute(rel.ranks(0), rel.NumDistinct(0));
+  StrippedPartition prev = a;
+  for (int c = 1; c < 4; ++c) {
+    StrippedPartition next = prev.Product(
+        StrippedPartition::ForAttribute(rel.ranks(c), rel.NumDistinct(c)));
+    EXPECT_LE(next.Error(), prev.Error());
+    prev = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProductPropertyTest,
+                         ::testing::Values(3, 7, 13, 29, 41, 59));
+
+TEST(PartitionCacheTest, PutGetEvict) {
+  PartitionCache cache;
+  cache.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(3));
+  cache.Put(1, AttributeSet::Single(0),
+            StrippedPartition::ForAttribute({0, 0, 1}, 2));
+  EXPECT_EQ(cache.NumCached(), 2);
+  EXPECT_TRUE(cache.Contains(AttributeSet::Empty()));
+  EXPECT_EQ(cache.Get(AttributeSet::Single(0)).NumClasses(), 1);
+  cache.EvictBelow(1);
+  EXPECT_FALSE(cache.Contains(AttributeSet::Empty()));
+  EXPECT_TRUE(cache.Contains(AttributeSet::Single(0)));
+  EXPECT_EQ(cache.NumCached(), 1);
+}
+
+TEST(PartitionCacheTest, TotalElementsSums) {
+  PartitionCache cache;
+  cache.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(5));
+  cache.Put(1, AttributeSet::Single(0),
+            StrippedPartition::ForAttribute({0, 0, 1, 1, 2}, 3));
+  EXPECT_EQ(cache.TotalElements(), 5 + 4);
+}
+
+}  // namespace
+}  // namespace fastod

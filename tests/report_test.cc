@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "algo/fastod.h"
+#include "algo/tane.h"
+#include "data/csv.h"
+#include "data/encode.h"
+#include "report/report.h"
+
+namespace fastod {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() {
+    auto t = ReadCsvString("x,y\n1,10\n2,20\n3,30\n");
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).value();
+    auto rel = EncodedRelation::FromTable(table_);
+    EXPECT_TRUE(rel.ok());
+    rel_ = std::move(rel).value();
+  }
+
+  RelationInfo Info() {
+    return RelationInfo{rel_.NumRows(), &rel_.schema()};
+  }
+
+  Table table_;
+  EncodedRelation rel_;
+};
+
+TEST_F(ReportTest, FastodJsonHasAllSections) {
+  FastodResult r = Fastod().Discover(rel_);
+  std::string json = FastodResultToJson(r, Info());
+  EXPECT_NE(json.find("\"algorithm\": \"fastod\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"constancy_ods\""), std::string::npos);
+  EXPECT_NE(json.find("\"compatibility_ods\""), std::string::npos);
+  EXPECT_NE(json.find("\"bidirectional_ods\""), std::string::npos);
+  // x ~ y holds at the top level on this data.
+  EXPECT_NE(json.find("\"a\": \"x\", \"b\": \"y\""), std::string::npos);
+}
+
+TEST_F(ReportTest, FastodTextSummaryLine) {
+  FastodResult r = Fastod().Discover(rel_);
+  std::string text = FastodResultToText(r, Info());
+  EXPECT_NE(text.find("FASTOD:"), std::string::npos);
+  EXPECT_NE(text.find("x ~ y"), std::string::npos);
+}
+
+TEST_F(ReportTest, TaneJsonAndText) {
+  TaneResult r = Tane().Discover(rel_);
+  std::string json = TaneResultToJson(r, Info());
+  EXPECT_NE(json.find("\"algorithm\": \"tane\""), std::string::npos);
+  EXPECT_NE(json.find("\"fds\""), std::string::npos);
+  std::string text = TaneResultToText(r, Info());
+  EXPECT_NE(text.find("TANE:"), std::string::npos);
+}
+
+TEST_F(ReportTest, OrderJsonAndText) {
+  OrderResult r = OrderBaseline().Discover(rel_);
+  std::string json = OrderResultToJson(r, Info());
+  EXPECT_NE(json.find("\"algorithm\": \"order\""), std::string::npos);
+  EXPECT_NE(json.find("\"ods\""), std::string::npos);
+  std::string text = OrderResultToText(r, Info());
+  EXPECT_NE(text.find("ORDER:"), std::string::npos);
+  EXPECT_NE(text.find("orders"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonIsBalanced) {
+  // Cheap structural check: equal counts of braces/brackets and an even
+  // number of unescaped quotes.
+  FastodResult r = Fastod().Discover(rel_);
+  std::string json = FastodResultToJson(r, Info());
+  int braces = 0;
+  int brackets = 0;
+  int quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    bool escaped = i > 0 && json[i - 1] == '\\';
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '"' && !escaped) ++quotes;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST_F(ReportTest, TimedOutFlagRendered) {
+  FastodResult r;
+  r.timed_out = true;
+  std::string json = FastodResultToJson(r, Info());
+  EXPECT_NE(json.find("\"timed_out\": true"), std::string::npos);
+  std::string text = FastodResultToText(r, Info());
+  EXPECT_NE(text.find("[TIMED OUT]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastod

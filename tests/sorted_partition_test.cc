@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/encode.h"
+#include "gen/random_table.h"
+#include "partition/sorted_partition.h"
+#include "validate/brute_force.h"
+
+namespace fastod {
+namespace {
+
+EncodedRelation Encode(const Table& t) {
+  auto rel = EncodedRelation::FromTable(t);
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+TEST(SortedPartitionsTest, TupleOrderSortsByRankThenId) {
+  auto t = ReadCsvString("a\n3\n1\n2\n1\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  // values 3,1,2,1 -> ascending: rows 1,3 (value 1), 2, 0.
+  EXPECT_EQ(sorted.TupleOrder(0), (std::vector<int32_t>{1, 3, 2, 0}));
+}
+
+TEST(SwapCheckerTest, DetectsSimpleSwap) {
+  // A: 1,2  B: 2,1 within one class -> swap.
+  auto t = ReadCsvString("a,b\n1,2\n2,1\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  SwapChecker checker(&rel, &sorted, SwapCheckMethod::kSortBased);
+  StrippedPartition universe = StrippedPartition::Universe(2);
+  EXPECT_FALSE(checker.IsOrderCompatible(universe, 0, 1));
+}
+
+TEST(SwapCheckerTest, TiesOnADoNotConstrain) {
+  // Equal A values with opposite B order: no swap (needs strict A order).
+  auto t = ReadCsvString("a,b\n1,2\n1,1\n2,3\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  SwapChecker checker(&rel, &sorted, SwapCheckMethod::kSortBased);
+  StrippedPartition universe = StrippedPartition::Universe(3);
+  EXPECT_TRUE(checker.IsOrderCompatible(universe, 0, 1));
+}
+
+TEST(SwapCheckerTest, SwapHiddenAcrossGroups) {
+  // A groups: {1,1},{2}; B max of group 1 is 5, group 2 has 4 -> swap.
+  auto t = ReadCsvString("a,b\n1,5\n1,1\n2,4\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  SwapChecker checker(&rel, &sorted, SwapCheckMethod::kTauBased);
+  StrippedPartition universe = StrippedPartition::Universe(3);
+  EXPECT_FALSE(checker.IsOrderCompatible(universe, 0, 1));
+}
+
+TEST(SwapCheckerTest, ContextSeparatesClasses) {
+  // Within ctx classes {rows 0,1} and {rows 2,3} orders agree; across
+  // classes they would swap, but context isolation makes it compatible.
+  auto t = ReadCsvString("ctx,a,b\n1,1,10\n1,2,20\n2,1,2\n2,2,3\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  SwapChecker checker(&rel, &sorted, SwapCheckMethod::kSortBased);
+  StrippedPartition ctx =
+      StrippedPartition::ForAttribute(rel.ranks(0), rel.NumDistinct(0));
+  EXPECT_TRUE(checker.IsOrderCompatible(ctx, 1, 2));
+}
+
+TEST(SwapCheckerTest, MethodCountersTrackUsage) {
+  auto t = ReadCsvString("a,b\n1,1\n2,2\n3,3\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SortedPartitions sorted(rel);
+  SwapChecker tau(&rel, &sorted, SwapCheckMethod::kTauBased);
+  SwapChecker srt(&rel, &sorted, SwapCheckMethod::kSortBased);
+  StrippedPartition universe = StrippedPartition::Universe(3);
+  tau.IsOrderCompatible(universe, 0, 1);
+  srt.IsOrderCompatible(universe, 0, 1);
+  EXPECT_EQ(tau.num_tau_checks(), 1);
+  EXPECT_EQ(tau.num_sort_checks(), 0);
+  EXPECT_EQ(srt.num_sort_checks(), 1);
+  EXPECT_EQ(srt.num_tau_checks(), 0);
+}
+
+TEST(SwapCheckerTest, WithoutTauOrdersFallsBackToSort) {
+  auto t = ReadCsvString("a,b\n1,1\n2,2\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  SwapChecker checker(&rel, nullptr, SwapCheckMethod::kAuto);
+  StrippedPartition universe = StrippedPartition::Universe(2);
+  EXPECT_TRUE(checker.IsOrderCompatible(universe, 0, 1));
+  EXPECT_EQ(checker.num_sort_checks(), 1);
+}
+
+// Property: both swap-check strategies agree with the brute-force
+// definitional check on random tables, over random contexts.
+struct SwapParam {
+  uint64_t seed;
+  SwapCheckMethod method;
+};
+
+class SwapCheckerPropertyTest : public ::testing::TestWithParam<SwapParam> {};
+
+TEST_P(SwapCheckerPropertyTest, AgreesWithBruteForce) {
+  Table t = GenRandomTable(30, 5, 4, GetParam().seed);
+  EncodedRelation rel = Encode(t);
+  SortedPartitions sorted(rel);
+  SwapChecker checker(&rel, &sorted, GetParam().method);
+  for (uint64_t mask = 0; mask < 8; ++mask) {  // contexts over attrs 0-2
+    AttributeSet context(mask);
+    StrippedPartition partition;
+    if (context.IsEmpty()) {
+      partition = StrippedPartition::Universe(rel.NumRows());
+    } else {
+      std::vector<const std::vector<int32_t>*> columns;
+      for (int a = context.First(); a >= 0; a = context.Next(a)) {
+        columns.push_back(&rel.ranks(a));
+      }
+      partition =
+          StrippedPartition::FromRankColumns(columns, rel.NumRows());
+    }
+    for (int a = 3; a < 5; ++a) {
+      for (int b = 3; b < 5; ++b) {
+        if (a == b) continue;
+        EXPECT_EQ(checker.IsOrderCompatible(partition, a, b),
+                  BruteIsOrderCompatible(rel, context, a, b))
+            << "mask=" << mask << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMethods, SwapCheckerPropertyTest,
+    ::testing::Values(SwapParam{101, SwapCheckMethod::kSortBased},
+                      SwapParam{101, SwapCheckMethod::kTauBased},
+                      SwapParam{202, SwapCheckMethod::kSortBased},
+                      SwapParam{202, SwapCheckMethod::kTauBased},
+                      SwapParam{303, SwapCheckMethod::kAuto},
+                      SwapParam{404, SwapCheckMethod::kAuto}));
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,19 @@
+// The fastod command-line tool. All logic lives in src/cli (testable);
+// this is only argv plumbing.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  fastod::CliResult result = fastod::RunCli(args);
+  if (!result.output.empty()) {
+    std::fwrite(result.output.data(), 1, result.output.size(), stdout);
+  }
+  if (!result.error.empty()) {
+    std::fwrite(result.error.data(), 1, result.error.size(), stderr);
+  }
+  return result.exit_code;
+}
