@@ -1,0 +1,56 @@
+// Guards the "thin adapter" claim of the unified Algorithm API: running an
+// engine through AlgorithmRegistry::Create + SetOption + LoadData + Execute
+// with a streaming CollectingOdSink must cost the same as calling the
+// legacy entry point directly (the adapters add one options copy and a
+// virtual dispatch per run; the sink replaces one vector append per OD).
+#include <cstdio>
+#include <memory>
+
+#include "api/engines.h"
+#include "api/od_sink.h"
+#include "api/registry.h"
+#include "bench_util.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace fastod;
+using namespace fastod::bench;
+
+void Row(const char* label, const Table& table) {
+  auto rel = EncodedRelation::FromTable(table);
+
+  WallTimer direct_timer;
+  FastodResult direct = Fastod().Discover(*rel);
+  double direct_seconds = direct_timer.ElapsedSeconds();
+
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  CollectingOdSink sink;
+  (*algo)->SetSink(&sink);
+  (void)(*algo)->LoadData(*rel);
+  WallTimer api_timer;
+  (void)(*algo)->Execute();
+  double api_seconds = api_timer.ElapsedSeconds();
+
+  std::printf("%-14s | direct %8.3fs (%lld ODs) | api+sink %8.3fs "
+              "(%lld ODs) | overhead %+.1f%%\n",
+              label, direct_seconds,
+              static_cast<long long>(direct.NumOds()), api_seconds,
+              static_cast<long long>(sink.TotalOds()),
+              direct_seconds > 0.0
+                  ? (api_seconds / direct_seconds - 1.0) * 100.0
+                  : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = ParseScale(argc, argv);
+  PrintHeader("Unified-API adapter overhead (registry + option registry + "
+              "streaming sink vs direct engine calls)",
+              "api/ redesign; expectation: overhead within noise");
+  Row("flight 1Kx10", GenFlightLike(1000 * scale, 10, 7));
+  Row("ncvoter 2Kx8", GenNcvoterLike(2000 * scale, 8, 11));
+  Row("dbtesma 1Kx12", GenDbtesmaLike(1000 * scale, 12, 23));
+  return 0;
+}

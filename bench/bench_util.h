@@ -69,7 +69,7 @@ inline AlgoCell RunTane(const EncodedRelation& rel, double timeout_seconds) {
   AlgoCell cell;
   cell.seconds = timer.ElapsedSeconds();
   cell.timed_out = result.timed_out;
-  cell.counts = std::to_string(result.fds.size()) + " FDs";
+  cell.counts = std::to_string(result.num_fds) + " FDs";
   return cell;
 }
 

@@ -48,10 +48,17 @@ int main() {
 
   std::printf("%-10s %-14s %-28s %s\n", "epsilon", "ODs found",
               "(constancy + compat)", "city->zip recovered?");
+  // One "approximate" Algorithm instance, reconfigured per threshold
+  // through its typed option registry and re-executed on the loaded data.
+  auto algo = AlgorithmRegistry::Default().Create("approximate");
+  if (!algo.ok() || !(*algo)->LoadData(noisy).ok()) return 1;
   for (double eps : {0.0, 0.005, 0.02, 0.05}) {
-    FastodOptions options;
-    options.max_error = eps;
-    FastodResult result = Fastod(options).Discover(*encoded);
+    char eps_text[32];
+    std::snprintf(eps_text, sizeof(eps_text), "%g", eps);
+    if (!(*algo)->SetOption("max-error", eps_text).ok()) return 1;
+    if (!(*algo)->Execute().ok()) return 1;
+    const FastodResult& result =
+        static_cast<const FastodAlgorithm&>(**algo).result();
     bool recovered =
         std::find(result.constancy_ods.begin(), result.constancy_ods.end(),
                   city_zip) != result.constancy_ods.end();

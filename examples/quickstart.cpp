@@ -19,25 +19,34 @@ int main() {
   std::printf("Input relation (Table 1 of the paper):\n%s\n",
               table.ToString().c_str());
 
-  // Discover the complete, minimal set of set-based canonical ODs.
-  Fastod discovery;
-  Result<FastodResult> result = discovery.Discover(table);
-  if (!result.ok()) {
-    std::fprintf(stderr, "discovery failed: %s\n",
-                 result.status().ToString().c_str());
+  // Discover the complete, minimal set of set-based canonical ODs through
+  // the unified Algorithm API: every engine ("fastod", "tane", "order",
+  // "brute-force", "approximate", "conditional") is created by name from
+  // the registry and configured through its typed option registry.
+  auto discovery = AlgorithmRegistry::Default().Create("fastod");
+  if (!discovery.ok()) return 1;
+  if (Status s = (*discovery)->LoadData(table); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (Status s = (*discovery)->Execute(); !s.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const FastodResult& result =
+      static_cast<const FastodAlgorithm&>(**discovery).result();
 
   std::printf("Discovered %s minimal canonical ODs "
-              "(#constancy/FDs + #order-compatibility/OCDs)\n\n",
-              result->CountsToString().c_str());
+              "(#constancy/FDs + #order-compatibility/OCDs) in %.3fs\n\n",
+              result.CountsToString().c_str(),
+              (*discovery)->execute_seconds());
 
   std::printf("Constancy ODs  X: [] -> A   (A constant per X-class; FD X->A):\n");
-  for (const ConstancyOd& od : result->constancy_ods) {
+  for (const ConstancyOd& od : result.constancy_ods) {
     std::printf("  %s\n", od.ToString(table.schema()).c_str());
   }
   std::printf("\nOrder compatibility ODs  X: A ~ B   (no swaps per X-class):\n");
-  for (const CompatibilityOd& od : result->compatibility_ods) {
+  for (const CompatibilityOd& od : result.compatibility_ods) {
     std::printf("  %s\n", od.ToString(table.schema()).c_str());
   }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "algo/approximate.h"
+#include "api/od_sink.h"
 #include "common/thread_pool.h"
 #include "partition/partition_cache.h"
 
@@ -89,6 +90,7 @@ class Run {
   FastodResult Execute() {
     WallTimer total_timer;
     InitializeLevels();
+    const int m = relation_.NumAttributes();
     int l = 1;
     while (!current_.nodes.empty()) {
       if (options_.max_level > 0 && l > options_.max_level) break;
@@ -99,7 +101,7 @@ class Run {
       result_.total_nodes += stats.nodes;
 
       ComputeOds(l, &stats);
-      if (result_.timed_out) {
+      if (result_.timed_out || result_.cancelled) {
         FinishLevel(level_timer, &stats);
         break;
       }
@@ -107,6 +109,9 @@ class Run {
       Level next = CalculateNextLevel(l);
       FinishLevel(level_timer, &stats);
       result_.levels_processed = l;
+      if (options_.control != nullptr && m > 0) {
+        options_.control->ReportProgress(static_cast<double>(l) / m);
+      }
 
       previous_ = std::move(current_);
       current_ = std::move(next);
@@ -116,6 +121,16 @@ class Run {
         result_.timed_out = true;
         break;
       }
+      if (Cancelled()) {
+        result_.cancelled = true;
+        break;
+      }
+    }
+    // A clean finish is 100%; early exits keep the last level's fraction
+    // so pollers never see a cancelled/timed-out run as complete.
+    if (options_.control != nullptr && !result_.timed_out &&
+        !result_.cancelled) {
+      options_.control->ReportProgress(1.0);
     }
     result_.seconds = total_timer.ElapsedSeconds();
     return std::move(result_);
@@ -166,11 +181,21 @@ class Run {
     // during the phase), accumulating per-node outcomes.
     std::vector<NodeOutcome> outcomes(num_nodes);
     std::atomic<bool> expired{false};
+    std::atomic<bool> interrupted{false};
     ParallelOrSerial(num_nodes, [&](int64_t i) {
-      if (expired.load(std::memory_order_relaxed)) return;
-      if ((i & 0xff) == 0 && deadline_.Exceeded()) {
-        expired.store(true, std::memory_order_relaxed);
+      if (expired.load(std::memory_order_relaxed) ||
+          interrupted.load(std::memory_order_relaxed)) {
         return;
+      }
+      if ((i & 0xff) == 0) {
+        if (deadline_.Exceeded()) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (Cancelled()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
       if (pool_ == nullptr) {
         // Serial: reuse the persistent checker's scratch buffers.
@@ -181,7 +206,9 @@ class Run {
       }
     });
     if (expired.load()) result_.timed_out = true;
-    // Merge in node order: deterministic output for any thread count.
+    if (interrupted.load()) result_.cancelled = true;
+    // Merge in node order: deterministic output for any thread count. With
+    // a sink attached, ODs stream out here instead of accumulating.
     for (NodeOutcome& o : outcomes) {
       result_.num_constancy += o.num_constancy;
       result_.num_compatibility += o.num_compatibility;
@@ -192,7 +219,17 @@ class Run {
       stats->constancy_checks += o.constancy_checks;
       stats->swap_checks += o.swap_checks;
       stats->key_prune_hits += o.key_prune_hits;
-      if (options_.emit_ods) {
+      if (options_.sink != nullptr) {
+        for (const ConstancyOd& od : o.constancy) {
+          options_.sink->OnConstancy(od);
+        }
+        for (const CompatibilityOd& od : o.compatibility) {
+          options_.sink->OnCompatibility(od);
+        }
+        for (const BidiCompatibilityOd& od : o.bidirectional) {
+          options_.sink->OnBidirectional(od);
+        }
+      } else if (options_.emit_ods) {
         std::move(o.constancy.begin(), o.constancy.end(),
                   std::back_inserter(result_.constancy_ods));
         std::move(o.compatibility.begin(), o.compatibility.end(),
@@ -470,19 +507,29 @@ class Run {
                               /*opposite=*/true) <= options_.max_error;
   }
 
+  bool Cancelled() const {
+    return options_.control != nullptr && options_.control->CancelRequested();
+  }
+
+  // Per-node buffers are needed both to materialize (emit_ods) and to
+  // stream (sink): streaming drains them at the deterministic merge.
+  bool BufferOds() const {
+    return options_.emit_ods || options_.sink != nullptr;
+  }
+
   void RecordConstancy(ConstancyOd od, NodeOutcome* out) const {
     ++out->num_constancy;
-    if (options_.emit_ods) out->constancy.push_back(od);
+    if (BufferOds()) out->constancy.push_back(od);
   }
 
   void RecordCompatibility(CompatibilityOd od, NodeOutcome* out) const {
     ++out->num_compatibility;
-    if (options_.emit_ods) out->compatibility.push_back(od);
+    if (BufferOds()) out->compatibility.push_back(od);
   }
 
   void RecordBidirectional(BidiCompatibilityOd od, NodeOutcome* out) const {
     ++out->num_bidirectional;
-    if (options_.emit_ods) out->bidirectional.push_back(od);
+    if (BufferOds()) out->bidirectional.push_back(od);
   }
 
   void FinishLevel(const WallTimer& timer, FastodLevelStats* stats) {

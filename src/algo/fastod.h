@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "data/encode.h"
@@ -28,6 +29,8 @@
 #include "partition/sorted_partition.h"
 
 namespace fastod {
+
+class OdSink;
 
 struct FastodOptions {
   /// Use the candidate sets Cc+/Cs+ to check only potentially-minimal ODs
@@ -84,6 +87,18 @@ struct FastodOptions {
   /// bit-identical across thread counts: per-node results are merged in
   /// node order.
   int num_threads = 1;
+
+  /// Streaming emission target (api/od_sink.h). When set, every
+  /// discovered OD is delivered to the sink — in the same deterministic
+  /// order the result vectors would have held — and the result vectors
+  /// stay empty; counts are still filled. This is how the no-pruning
+  /// ablation's tens of millions of ODs are consumed without
+  /// materializing. Must outlive the discovery run.
+  OdSink* sink = nullptr;
+
+  /// Cooperative cancellation + progress (common/cancellation.h), polled
+  /// at the same cadence as the timeout deadline. Must outlive the run.
+  ExecutionControl* control = nullptr;
 };
 
 /// Telemetry for one lattice level (drives Figure 7).
@@ -119,6 +134,9 @@ struct FastodResult {
   }
 
   bool timed_out = false;
+  /// True when the run stopped early because FastodOptions::control
+  /// requested cancellation; results are the partial output so far.
+  bool cancelled = false;
   int levels_processed = 0;
   int64_t total_nodes = 0;
   double seconds = 0.0;

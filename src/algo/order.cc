@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "api/od_sink.h"
 #include "od/mapping.h"
 #include "validate/od_validator.h"
 
@@ -65,11 +66,24 @@ class Run {
         }
       }
       level = std::move(next);
+      if (options_.control != nullptr) {
+        options_.control->ReportProgress(static_cast<double>(l) / m);
+      }
       ++l;
       if (deadline_.Exceeded()) {
         result_.timed_out = true;
         break;
       }
+      if (options_.control != nullptr && options_.control->CancelRequested()) {
+        result_.cancelled = true;
+        break;
+      }
+    }
+    // Early exits keep the last level's fraction; only a clean finish
+    // reports 100%.
+    if (options_.control != nullptr && !result_.timed_out &&
+        !result_.cancelled) {
+      options_.control->ReportProgress(1.0);
     }
     result_.seconds = timer.ElapsedSeconds();
     return std::move(result_);
@@ -132,6 +146,7 @@ class Run {
     }
     if (!IsImpliedByValid(od)) {
       result_.ods.push_back(od);
+      if (options_.sink != nullptr) options_.sink->OnListOd(od);
     }
     valid_.insert(od);
     return CandidateFate::kValid;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "data/encode.h"
@@ -31,6 +32,8 @@
 #include "od/list_od.h"
 
 namespace fastod {
+
+class OdSink;
 
 struct OrderOptions {
   /// Abort after this many seconds (0 = no limit) — the paper aborts ORDER
@@ -42,12 +45,20 @@ struct OrderOptions {
   /// pruning disabled ORDER becomes complete in spirit but "did not
   /// terminate within five hours in any of the tested datasets".
   bool enable_pruning = true;
+  /// Streaming emission (api/od_sink.h): valid list ODs are delivered
+  /// through OnListOd() as they are found. Unlike FASTOD/TANE this tees:
+  /// the result vector is still populated, because ORDER consults it for
+  /// its list-minimality (implication) checks.
+  OdSink* sink = nullptr;
+  /// Cooperative cancellation + progress, polled at level boundaries.
+  ExecutionControl* control = nullptr;
 };
 
 struct OrderResult {
   /// Valid, list-minimal ODs in ORDER's own canonical form.
   std::vector<ListOd> ods;
   bool timed_out = false;
+  bool cancelled = false;
   int levels_processed = 0;
   int64_t total_nodes = 0;
   int64_t candidates_checked = 0;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "api/od_sink.h"
 #include "od/attribute_set.h"
 #include "partition/partition_cache.h"
 
@@ -43,6 +44,7 @@ class Run {
   TaneResult Execute() {
     WallTimer timer;
     Initialize();
+    const int m = relation_.NumAttributes();
     int l = 1;
     while (!current_.nodes.empty()) {
       if (options_.max_level > 0 && l > options_.max_level) break;
@@ -51,6 +53,9 @@ class Run {
       Prune();
       Level next = CalculateNextLevel(l);
       result_.levels_processed = l;
+      if (options_.control != nullptr && m > 0) {
+        options_.control->ReportProgress(static_cast<double>(l) / m);
+      }
       previous_ = std::move(current_);
       current_ = std::move(next);
       cache_.EvictBelow(l);
@@ -59,6 +64,16 @@ class Run {
         result_.timed_out = true;
         break;
       }
+      if (options_.control != nullptr && options_.control->CancelRequested()) {
+        result_.cancelled = true;
+        break;
+      }
+    }
+    // Early exits keep the last level's fraction; only a clean finish
+    // reports 100%.
+    if (options_.control != nullptr && !result_.timed_out &&
+        !result_.cancelled) {
+      options_.control->ReportProgress(1.0);
     }
     result_.seconds = timer.ElapsedSeconds();
     return std::move(result_);
@@ -100,7 +115,7 @@ class Run {
         const AttributeSet context = node.set.Without(a);
         const StrippedPartition& context_partition = cache_.Get(context);
         if (context_partition.Error() == node_partition.Error()) {
-          result_.fds.push_back(ConstancyOd{context, a});
+          EmitFd(ConstancyOd{context, a});
           node.cc = node.cc.Without(a);
           node.cc = node.cc.Intersect(node.set);
         }
@@ -128,7 +143,7 @@ class Run {
             }
           }
           if (minimal) {
-            result_.fds.push_back(ConstancyOd{node.set, a});
+            EmitFd(ConstancyOd{node.set, a});
           }
         }
         continue;  // delete key node
@@ -180,6 +195,15 @@ class Run {
       }
     }
     return next;
+  }
+
+  void EmitFd(const ConstancyOd& fd) {
+    ++result_.num_fds;
+    if (options_.sink != nullptr) {
+      options_.sink->OnConstancy(fd);
+    } else {
+      result_.fds.push_back(fd);
+    }
   }
 
   const EncodedRelation& relation_;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "data/encode.h"
@@ -22,18 +23,30 @@
 
 namespace fastod {
 
+class OdSink;
+
 struct TaneOptions {
   /// Abort after this many seconds (0 = no limit).
   double timeout_seconds = 0.0;
   /// Stop after lattice level `max_level` (0 = no limit).
   int max_level = 0;
+  /// Streaming emission (api/od_sink.h): when set, minimal FDs are
+  /// delivered through OnConstancy() in discovery order and the result
+  /// vector stays empty. Must outlive the run.
+  OdSink* sink = nullptr;
+  /// Cooperative cancellation + progress, polled at level boundaries.
+  ExecutionControl* control = nullptr;
 };
 
 struct TaneResult {
   /// Minimal FDs X -> A, reusing the canonical constancy shape (an FD X->A
-  /// and the OD X: [] -> A are the same statement — Theorem 2).
+  /// and the OD X: [] -> A are the same statement — Theorem 2). Empty when
+  /// TaneOptions::sink streamed them instead.
   std::vector<ConstancyOd> fds;
+  /// Total minimal FDs found, valid in both modes.
+  int64_t num_fds = 0;
   bool timed_out = false;
+  bool cancelled = false;
   int levels_processed = 0;
   int64_t total_nodes = 0;
   double seconds = 0.0;

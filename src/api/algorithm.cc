@@ -1,0 +1,41 @@
+#include "api/algorithm.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace fastod {
+
+Status Algorithm::LoadData(Table table) {
+  WallTimer timer;
+  Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
+  if (!encoded.ok()) return encoded.status();
+  table_ = std::move(table);
+  relation_ = *std::move(encoded);
+  executed_ = false;
+  load_seconds_ = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status Algorithm::LoadData(EncodedRelation relation) {
+  WallTimer timer;
+  table_.reset();
+  relation_ = std::move(relation);
+  executed_ = false;
+  load_seconds_ = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status Algorithm::Execute() {
+  if (!has_data()) {
+    return Status::FailedPrecondition(
+        "Execute() requires LoadData() first (algorithm '" + name_ + "')");
+  }
+  WallTimer timer;
+  Status status = ExecuteInternal();
+  execute_seconds_ = timer.ElapsedSeconds();
+  executed_ = status.ok();
+  return status;
+}
+
+}  // namespace fastod

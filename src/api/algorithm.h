@@ -1,0 +1,133 @@
+// The unified discovery-algorithm interface.
+//
+// Every engine in src/algo/ is exposed through one abstract Algorithm with
+// a fixed lifecycle:
+//
+//   auto algo = AlgorithmRegistry::Default().Create("fastod");   // factory
+//   (*algo)->SetOption("threads", "4");                          // configure
+//   (*algo)->LoadData(table);                                    // bind data
+//   (*algo)->Execute();                                          // run
+//   std::cout << (*algo)->ResultText();                          // render
+//
+// Configuration goes through the typed option registry (api/option.h), so
+// frontends need no compile-time knowledge of any engine's options struct
+// and can generate usage/help text from metadata. Output can stream
+// through an OdSink (api/od_sink.h) instead of materializing; long runs
+// can be cancelled and report coarse progress through an ExecutionControl.
+// Wall-clock time of both lifecycle phases is accounted on the object.
+//
+// Adapters for the concrete engines live in api/engines.h; the string-keyed
+// factory in api/registry.h.
+#ifndef FASTOD_API_ALGORITHM_H_
+#define FASTOD_API_ALGORITHM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/option.h"
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "data/encode.h"
+#include "data/table.h"
+
+namespace fastod {
+
+class OdSink;
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  Algorithm(const Algorithm&) = delete;
+  Algorithm& operator=(const Algorithm&) = delete;
+
+  /// Registry key ("fastod", "tane", ...).
+  const std::string& name() const { return name_; }
+  /// One-line summary for usage text.
+  const std::string& description() const { return description_; }
+
+  // ---- Options ------------------------------------------------------
+  /// Parses and applies one option. Unknown names and malformed values
+  /// are errors; values apply to the next Execute().
+  Status SetOption(const std::string& option_name,
+                   const std::string& value) {
+    return options_.Set(option_name, value);
+  }
+  /// All configurable option names, in registration order.
+  std::vector<std::string> GetNeededOptions() const {
+    return options_.Names();
+  }
+  /// Help text for this algorithm's options, one per line.
+  std::string DescribeOptions() const { return options_.Describe(); }
+  const OptionInfo* FindOption(const std::string& option_name) const {
+    return options_.Find(option_name);
+  }
+
+  // ---- Lifecycle ----------------------------------------------------
+  /// Binds a table: takes ownership (move in to avoid the copy) and keeps
+  /// its dictionary encoding alongside the raw values. Fails on relations
+  /// the engines cannot represent (> 64 attributes).
+  Status LoadData(Table table);
+  /// Binds an already-encoded relation (no raw values retained).
+  Status LoadData(EncodedRelation relation);
+  bool has_data() const { return relation_.has_value(); }
+
+  /// Runs the engine on the loaded data. Requires LoadData; may be called
+  /// again after reconfiguring with SetOption. Cancellation (through the
+  /// attached ExecutionControl) is not an error: engines stop cleanly and
+  /// report partial results.
+  Status Execute();
+  bool executed() const { return executed_; }
+
+  /// Wall-clock accounting for the two lifecycle phases.
+  double load_seconds() const { return load_seconds_; }
+  double execute_seconds() const { return execute_seconds_; }
+
+  // ---- Streaming / control ------------------------------------------
+  /// Attaches a streaming consumer for discovered dependencies. Must
+  /// outlive Execute(). Engines that can avoid materializing their result
+  /// vectors do so when a sink is attached (see api/od_sink.h).
+  void SetSink(OdSink* sink) { sink_ = sink; }
+  /// Attaches a cancellation/progress channel. Must outlive Execute().
+  void SetControl(ExecutionControl* control) { control_ = control; }
+
+  // ---- Results ------------------------------------------------------
+  /// Human-readable result summary; valid after Execute().
+  virtual std::string ResultText() const = 0;
+  /// Machine-readable result in the stable JSON shape of report/report.h.
+  virtual std::string ResultJson() const = 0;
+
+ protected:
+  Algorithm(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  /// Subclasses register their options here, in their constructor.
+  OptionRegistry& options() { return options_; }
+
+  /// Engine invocation; data is loaded and the wall clock is running.
+  virtual Status ExecuteInternal() = 0;
+
+  const EncodedRelation& relation() const { return *relation_; }
+  /// The raw table, when LoadData(Table) was used; nullptr otherwise.
+  const Table* table() const {
+    return table_.has_value() ? &*table_ : nullptr;
+  }
+  OdSink* sink() const { return sink_; }
+  ExecutionControl* control() const { return control_; }
+
+ private:
+  std::string name_;
+  std::string description_;
+  OptionRegistry options_;
+  std::optional<Table> table_;
+  std::optional<EncodedRelation> relation_;
+  OdSink* sink_ = nullptr;
+  ExecutionControl* control_ = nullptr;
+  bool executed_ = false;
+  double load_seconds_ = 0.0;
+  double execute_seconds_ = 0.0;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_API_ALGORITHM_H_

@@ -1,0 +1,37 @@
+#include "api/od_sink.h"
+
+namespace fastod {
+
+void CollectingOdSink::OnConstancy(const ConstancyOd& od) {
+  constancy_.push_back(od);
+}
+
+void CollectingOdSink::OnCompatibility(const CompatibilityOd& od) {
+  compatibility_.push_back(od);
+}
+
+void CollectingOdSink::OnBidirectional(const BidiCompatibilityOd& od) {
+  bidirectional_.push_back(od);
+}
+
+void CollectingOdSink::OnListOd(const ListOd& od) { list_.push_back(od); }
+
+void CollectingOdSink::OnConditional(const ConditionalOd& od) {
+  conditional_.push_back(od);
+}
+
+int64_t CollectingOdSink::TotalOds() const {
+  return static_cast<int64_t>(constancy_.size() + compatibility_.size() +
+                              bidirectional_.size() + list_.size() +
+                              conditional_.size());
+}
+
+void CollectingOdSink::Clear() {
+  constancy_.clear();
+  compatibility_.clear();
+  bidirectional_.clear();
+  list_.clear();
+  conditional_.clear();
+}
+
+}  // namespace fastod

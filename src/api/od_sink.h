@@ -1,0 +1,106 @@
+// Streaming consumption of discovered dependencies.
+//
+// Discovery output can be enormous — the FASTOD-NoPruning ablation of
+// Exp-6 counts tens of millions of non-minimal ODs — so the unified
+// Algorithm API emits through a callback interface instead of forcing every
+// result into a vector. Engines deliver each dependency exactly once, in
+// the same deterministic order the legacy result vectors would have held
+// (node order within a level, levels ascending), so a CollectingOdSink
+// reproduces the legacy vectors bit-for-bit while a CountingOdSink runs in
+// O(1) memory.
+//
+// Each OD shape has its own hook with a no-op default; a sink overrides
+// only what it consumes. ListOd is ORDER's native (list-based) output
+// shape; ConditionalOd comes from the conditional engine.
+#ifndef FASTOD_API_OD_SINK_H_
+#define FASTOD_API_OD_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/conditional.h"
+#include "od/bidirectional.h"
+#include "od/canonical_od.h"
+#include "od/list_od.h"
+
+namespace fastod {
+
+class OdSink {
+ public:
+  virtual ~OdSink() = default;
+
+  virtual void OnConstancy(const ConstancyOd& od) { (void)od; }
+  virtual void OnCompatibility(const CompatibilityOd& od) { (void)od; }
+  virtual void OnBidirectional(const BidiCompatibilityOd& od) { (void)od; }
+  virtual void OnListOd(const ListOd& od) { (void)od; }
+  virtual void OnConditional(const ConditionalOd& od) { (void)od; }
+};
+
+/// The materializing default: stores everything it receives, in emission
+/// order.
+class CollectingOdSink : public OdSink {
+ public:
+  void OnConstancy(const ConstancyOd& od) override;
+  void OnCompatibility(const CompatibilityOd& od) override;
+  void OnBidirectional(const BidiCompatibilityOd& od) override;
+  void OnListOd(const ListOd& od) override;
+  void OnConditional(const ConditionalOd& od) override;
+
+  const std::vector<ConstancyOd>& constancy_ods() const { return constancy_; }
+  const std::vector<CompatibilityOd>& compatibility_ods() const {
+    return compatibility_;
+  }
+  const std::vector<BidiCompatibilityOd>& bidirectional_ods() const {
+    return bidirectional_;
+  }
+  const std::vector<ListOd>& list_ods() const { return list_; }
+  const std::vector<ConditionalOd>& conditional_ods() const {
+    return conditional_;
+  }
+
+  int64_t TotalOds() const;
+  void Clear();
+
+ private:
+  std::vector<ConstancyOd> constancy_;
+  std::vector<CompatibilityOd> compatibility_;
+  std::vector<BidiCompatibilityOd> bidirectional_;
+  std::vector<ListOd> list_;
+  std::vector<ConditionalOd> conditional_;
+};
+
+/// Counts emissions without retaining them — constant memory regardless of
+/// output size.
+class CountingOdSink : public OdSink {
+ public:
+  void OnConstancy(const ConstancyOd&) override { ++num_constancy_; }
+  void OnCompatibility(const CompatibilityOd&) override {
+    ++num_compatibility_;
+  }
+  void OnBidirectional(const BidiCompatibilityOd&) override {
+    ++num_bidirectional_;
+  }
+  void OnListOd(const ListOd&) override { ++num_list_; }
+  void OnConditional(const ConditionalOd&) override { ++num_conditional_; }
+
+  int64_t num_constancy() const { return num_constancy_; }
+  int64_t num_compatibility() const { return num_compatibility_; }
+  int64_t num_bidirectional() const { return num_bidirectional_; }
+  int64_t num_list() const { return num_list_; }
+  int64_t num_conditional() const { return num_conditional_; }
+  int64_t Total() const {
+    return num_constancy_ + num_compatibility_ + num_bidirectional_ +
+           num_list_ + num_conditional_;
+  }
+
+ private:
+  int64_t num_constancy_ = 0;
+  int64_t num_compatibility_ = 0;
+  int64_t num_bidirectional_ = 0;
+  int64_t num_list_ = 0;
+  int64_t num_conditional_ = 0;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_API_OD_SINK_H_

@@ -1,0 +1,75 @@
+#include "api/registry.h"
+
+#include <utility>
+
+#include "api/engines.h"
+
+namespace fastod {
+
+void AlgorithmRegistry::Register(const std::string& name, Factory factory) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back(Entry{name, std::move(factory)});
+}
+
+const AlgorithmRegistry::Entry* AlgorithmRegistry::Find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<Algorithm>> AlgorithmRegistry::Create(
+    const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown algorithm '" + name +
+                            "' (registered: " + NamesList() + ")");
+  }
+  return entry->factory();
+}
+
+bool AlgorithmRegistry::Contains(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::string AlgorithmRegistry::NamesList() const {
+  std::string out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + entries_[i].name;
+  }
+  return out;
+}
+
+std::string AlgorithmRegistry::DescribeAlgorithms() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    std::unique_ptr<Algorithm> algorithm = entry.factory();
+    out += entry.name + " — " + algorithm->description() + "\n";
+    out += algorithm->DescribeOptions();
+  }
+  return out;
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Default() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    RegisterBuiltinAlgorithms(r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace fastod

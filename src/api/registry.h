@@ -1,0 +1,66 @@
+// String-keyed factory for discovery algorithms.
+//
+// The registry is how frontends (CLI, bindings, a future server) turn a
+// user-supplied name into a configured-to-defaults Algorithm instance:
+//
+//   Result<std::unique_ptr<Algorithm>> algo =
+//       AlgorithmRegistry::Default().Create("tane");
+//
+// Default() comes pre-populated with the six built-in engines
+// (api/engines.h); embedders may register additional backends under new
+// names, or build private registries for testing. Unknown names fail with
+// a NotFound status that lists every registered name, so callers can
+// surface an actionable one-line error.
+#ifndef FASTOD_API_REGISTRY_H_
+#define FASTOD_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/algorithm.h"
+#include "common/status.h"
+
+namespace fastod {
+
+class AlgorithmRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Algorithm>()>;
+
+  /// Binds `name` to `factory`; re-registering a name replaces it.
+  void Register(const std::string& name, Factory factory);
+
+  /// Instantiates the algorithm registered under `name`, or NotFound
+  /// listing the registered names.
+  Result<std::unique_ptr<Algorithm>> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Names joined with ", " — for error and usage text.
+  std::string NamesList() const;
+
+  /// Usage text covering every registered algorithm: name, description,
+  /// and its options (generated from option metadata).
+  std::string DescribeAlgorithms() const;
+
+  /// The process-wide registry, lazily populated with the built-in
+  /// engines on first use.
+  static AlgorithmRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  const Entry* Find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_API_REGISTRY_H_

@@ -1,19 +1,17 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
-#include "algo/approximate.h"
-#include "algo/conditional.h"
-#include "algo/fastod.h"
-#include "algo/order.h"
-#include "algo/tane.h"
+#include "api/algorithm.h"
+#include "api/registry.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "data/encode.h"
 #include "gen/date_dim.h"
 #include "gen/generators.h"
-#include "report/report.h"
 #include "validate/od_validator.h"
 #include "validate/violation_scanner.h"
 
@@ -21,22 +19,45 @@ namespace fastod {
 
 namespace {
 
-const char kUsage[] =
-    "fastod — order dependency discovery (FASTOD, VLDB 2017)\n"
-    "\n"
-    "usage:\n"
-    "  fastod discover <file.csv> [--algorithm=fastod|tane|order]\n"
-    "                             [--max-error=E] [--bidirectional]\n"
-    "                             [--threads=T] [--timeout=SECONDS]\n"
-    "                             [--max-level=L] [--output=text|json]\n"
-    "                             [--delimiter=,] [--no-header]\n"
-    "                             [--max-rows=N]\n"
-    "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
-    "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
-    "  fastod conditional <file.csv> [--min-support=F] [--limit=N]\n"
-    "  fastod generate <flight|ncvoter|hepatitis|dbtesma|date_dim>\n"
-    "                             [--rows=N] [--attrs=K] [--seed=S]\n"
-    "  fastod help\n";
+// Top-level usage; the --algorithm list and per-algorithm options are
+// generated from the registry's option metadata.
+std::string Usage() {
+  return "fastod — order dependency discovery (FASTOD, VLDB 2017)\n"
+         "\n"
+         "usage:\n"
+         "  fastod discover <file.csv> [--algorithm=NAME] [--output=text|"
+         "json]\n"
+         "                             [--delimiter=,] [--no-header] "
+         "[--max-rows=N]\n"
+         "                             [algorithm options — see `fastod "
+         "discover --help`]\n"
+         "      NAME: " +
+         AlgorithmRegistry::Default().NamesList() +
+         "\n"
+         "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
+         "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
+         "  fastod conditional <file.csv> [--min-support=F] [--limit=N]\n"
+         "  fastod generate <flight|ncvoter|hepatitis|dbtesma|date_dim>\n"
+         "                             [--rows=N] [--attrs=K] [--seed=S]\n"
+         "  fastod help\n";
+}
+
+std::string DiscoverUsage() {
+  return "usage: fastod discover <file.csv> [--algorithm=NAME] [options]\n"
+         "\n"
+         "common options:\n"
+         "  --algorithm=<name>             discovery engine (default: "
+         "fastod)\n"
+         "  --output=<text|json>           result rendering (default: "
+         "text)\n"
+         "  --delimiter=<char>             CSV field delimiter (default: "
+         ",)\n"
+         "  --no-header                    first CSV record is data\n"
+         "  --max-rows=<n>                 read at most N data rows\n"
+         "\n"
+         "algorithms and their options:\n" +
+         AlgorithmRegistry::Default().DescribeAlgorithms();
+}
 
 struct CsvFlags {
   std::string delimiter = ",";
@@ -115,70 +136,83 @@ CliResult Fail(const Status& status) {
   return result;
 }
 
+// Dispatches through the algorithm registry: CLI-owned flags (CSV
+// loading, output format, the algorithm name itself) are interpreted
+// here; every other --name=value is forwarded to the created algorithm's
+// typed option registry, so each engine's full option surface is reachable
+// without this file knowing any engine's options struct.
 CliResult Discover(const std::vector<std::string>& args) {
   std::string algorithm = "fastod";
   std::string output = "text";
-  double max_error = 0.0;
-  double timeout = 0.0;
-  int64_t max_level = 0;
-  int64_t threads = 1;
-  bool bidirectional = false;
   CsvFlags csv;
-  FlagSet flags;
-  flags.AddString("algorithm", &algorithm, "fastod, tane, or order");
-  flags.AddString("output", &output, "text or json");
-  flags.AddDouble("max-error", &max_error,
-                  "approximate discovery threshold (0 = exact)");
-  flags.AddDouble("timeout", &timeout, "abort after SECONDS (0 = none)");
-  flags.AddInt("max-level", &max_level, "stop after lattice level L (0 = "
-               "none)");
-  flags.AddInt("threads", &threads, "worker threads (fastod only)");
-  flags.AddBool("bidirectional", &bidirectional,
-                "also discover opposite-polarity compatibilities");
-  csv.Register(&flags);
-  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
-  if (flags.positional().size() != 1) {
-    return Fail(Status::InvalidArgument(
-        "discover expects exactly one CSV path"));
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> engine_options;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "help") {
+      CliResult result;
+      result.output = DiscoverUsage();
+      return result;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (name == "algorithm") {
+      algorithm = value;
+    } else if (name == "output") {
+      output = value;
+    } else if (name == "delimiter") {
+      csv.delimiter = value;
+    } else if (name == "no-header") {
+      if (value.empty() || value == "true" || value == "1") {
+        csv.no_header = true;
+      } else if (value == "false" || value == "0") {
+        csv.no_header = false;
+      } else {
+        return Fail(Status::InvalidArgument(
+            "--no-header expects true or false, got '" + value + "'"));
+      }
+    } else if (name == "max-rows") {
+      std::optional<int64_t> parsed = ParseInt(value);
+      if (!parsed.has_value()) {
+        return Fail(Status::InvalidArgument("--max-rows expects an integer"));
+      }
+      csv.max_rows = *parsed;
+    } else {
+      engine_options.emplace_back(std::move(name), std::move(value));
+    }
   }
   if (output != "text" && output != "json") {
     return Fail(Status::InvalidArgument("--output must be text or json"));
   }
-  Result<Table> table = csv.Load(flags.positional()[0]);
-  if (!table.ok()) return Fail(table.status());
-  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
-  if (!rel.ok()) return Fail(rel.status());
-
-  RelationInfo info{rel->NumRows(), &rel->schema()};
-  CliResult result;
-  if (algorithm == "fastod") {
-    FastodOptions options;
-    options.max_error = max_error;
-    options.timeout_seconds = timeout;
-    options.max_level = static_cast<int>(max_level);
-    options.num_threads = static_cast<int>(threads);
-    options.discover_bidirectional = bidirectional;
-    FastodResult r = Fastod(options).Discover(*rel);
-    result.output = output == "json" ? FastodResultToJson(r, info)
-                                     : FastodResultToText(r, info);
-  } else if (algorithm == "tane") {
-    TaneOptions options;
-    options.timeout_seconds = timeout;
-    options.max_level = static_cast<int>(max_level);
-    TaneResult r = Tane(options).Discover(*rel);
-    result.output = output == "json" ? TaneResultToJson(r, info)
-                                     : TaneResultToText(r, info);
-  } else if (algorithm == "order") {
-    OrderOptions options;
-    options.timeout_seconds = timeout;
-    options.max_level = static_cast<int>(max_level);
-    OrderResult r = OrderBaseline(options).Discover(*rel);
-    result.output = output == "json" ? OrderResultToJson(r, info)
-                                     : OrderResultToText(r, info);
-  } else {
-    return Fail(Status::InvalidArgument("unknown --algorithm '" + algorithm +
-                                        "'"));
+  // Reject unknown algorithms before touching the filesystem, with the
+  // registered names in the error.
+  Result<std::unique_ptr<Algorithm>> algo =
+      AlgorithmRegistry::Default().Create(algorithm);
+  if (!algo.ok()) return Fail(algo.status());
+  for (const auto& [name, value] : engine_options) {
+    if (Status s = (*algo)->SetOption(name, value); !s.ok()) return Fail(s);
   }
+  if (positional.size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "discover expects exactly one CSV path"));
+  }
+  Result<Table> table = csv.Load(positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  if (Status s = (*algo)->LoadData(std::move(table).value()); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = (*algo)->Execute(); !s.ok()) return Fail(s);
+  CliResult result;
+  result.output =
+      output == "json" ? (*algo)->ResultJson() : (*algo)->ResultText();
   return result;
 }
 
@@ -269,64 +303,17 @@ CliResult Violations(const std::vector<std::string>& args) {
   return result;
 }
 
+// Legacy sugar for `discover --algorithm=conditional`; the adapter owns
+// the rendering (binding ranks shown as original cell values). The
+// command's historical default limit of 20 is prepended so a
+// user-supplied --limit still wins (options apply in argument order).
 CliResult Conditional(const std::vector<std::string>& args) {
-  double min_support = 0.25;
-  int64_t limit = 20;
-  CsvFlags csv;
-  FlagSet flags;
-  flags.AddDouble("min-support", &min_support,
-                  "minimum covered-tuple fraction for a conditional OD");
-  flags.AddInt("limit", &limit, "maximum conditional ODs to report");
-  csv.Register(&flags);
-  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
-  if (flags.positional().size() != 1) {
-    return Fail(Status::InvalidArgument(
-        "conditional expects exactly one CSV path"));
-  }
-  Result<Table> table = csv.Load(flags.positional()[0]);
-  if (!table.ok()) return Fail(table.status());
-  Result<EncodedRelation> rel = EncodedRelation::FromTable(*table);
-  if (!rel.ok()) return Fail(rel.status());
-
-  ConditionalOdFinder finder(&*rel);
-  ConditionalOdOptions options;
-  options.min_support = min_support;
-  options.max_results = limit;
-  std::vector<ConditionalOd> found = finder.DiscoverConditional(options);
-
-  // Render bindings as actual cell values rather than dense ranks: find a
-  // witness row per rank.
-  auto binding_value = [&](int attr, int32_t rank) -> std::string {
-    for (int64_t r = 0; r < table->NumRows(); ++r) {
-      if (rel->rank(r, attr) == rank) return table->at(r, attr).ToString();
-    }
-    std::string fallback = "#";
-    fallback += std::to_string(rank);
-    return fallback;
-  };
-  CliResult result;
-  result.output = std::to_string(found.size()) +
-                  " conditional OD(s) at support >= " +
-                  std::to_string(min_support) + "\n";
-  for (const ConditionalOd& c : found) {
-    std::string line = "  (";
-    line += table->schema().name(c.condition_attribute);
-    line += " in {";
-    for (size_t i = 0; i < c.binding_ranks.size(); ++i) {
-      if (i > 0) line += ",";
-      line += binding_value(c.condition_attribute, c.binding_ranks[i]);
-    }
-    char support_buf[32];
-    std::snprintf(support_buf, sizeof(support_buf), "%.0f%%",
-                  c.support * 100.0);
-    line += "}) => ";
-    line += CanonicalOdToString(c.od, table->schema());
-    line += "  [support ";
-    line += support_buf;
-    line += "]\n";
-    result.output += line;
-  }
-  return result;
+  std::vector<std::string> forwarded;
+  forwarded.reserve(args.size() + 2);
+  forwarded.push_back("--limit=20");
+  forwarded.insert(forwarded.end(), args.begin(), args.end());
+  forwarded.push_back("--algorithm=conditional");
+  return Discover(forwarded);
 }
 
 CliResult Generate(const std::vector<std::string>& args) {
@@ -376,7 +363,7 @@ CliResult Generate(const std::vector<std::string>& args) {
 CliResult RunCli(const std::vector<std::string>& args) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     CliResult result;
-    result.output = kUsage;
+    result.output = Usage();
     return result;
   }
   const std::string& command = args[0];
@@ -388,7 +375,7 @@ CliResult RunCli(const std::vector<std::string>& args) {
   if (command == "generate") return Generate(rest);
   CliResult result;
   result.exit_code = 1;
-  result.error = "unknown command '" + command + "'\n\n" + kUsage;
+  result.error = "unknown command '" + command + "'\n\n" + Usage();
   return result;
 }
 

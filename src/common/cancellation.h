@@ -1,0 +1,53 @@
+// Cooperative cancellation and progress reporting for long discovery runs.
+//
+// An ExecutionControl is shared between a caller (typically through
+// api/algorithm.h) and a running engine: the caller flips the cancel flag
+// from another thread, the engine polls it at level boundaries — the same
+// places it polls its Deadline — and aborts cleanly with partial results.
+// Progress flows the other way: engines report a coarse [0, 1] fraction
+// (lattice level over attribute count) that frontends may display.
+#ifndef FASTOD_COMMON_CANCELLATION_H_
+#define FASTOD_COMMON_CANCELLATION_H_
+
+#include <atomic>
+
+namespace fastod {
+
+class ExecutionControl {
+ public:
+  ExecutionControl() = default;
+  ExecutionControl(const ExecutionControl&) = delete;
+  ExecutionControl& operator=(const ExecutionControl&) = delete;
+
+  /// Asks the running algorithm to stop at its next check point. Safe to
+  /// call from any thread, any number of times.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool CancelRequested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// Reset for reuse across runs.
+  void Reset() {
+    cancel_.store(false, std::memory_order_relaxed);
+    progress_.store(0.0, std::memory_order_relaxed);
+  }
+
+  /// Engines report completion as a fraction in [0, 1]; values outside the
+  /// range are clamped.
+  void ReportProgress(double fraction) {
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    progress_.store(fraction, std::memory_order_relaxed);
+  }
+
+  double Progress() const { return progress_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  std::atomic<double> progress_{0.0};
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_COMMON_CANCELLATION_H_

@@ -1,17 +1,23 @@
 // Umbrella header: the full public API of the FASTOD library.
 //
-// Quickstart:
+// Quickstart — every discovery engine ("fastod", "tane", "order",
+// "brute-force", "approximate", "conditional") is reachable by name
+// through the unified Algorithm API:
 //
 //   #include "fastod/fastod.h"
 //
 //   fastod::Result<fastod::Table> table = fastod::ReadCsvFile("data.csv");
-//   fastod::Fastod discovery;
-//   fastod::Result<fastod::FastodResult> result =
-//       discovery.Discover(*table);
-//   for (const auto& od : result->constancy_ods)
-//     std::cout << od.ToString(table->schema()) << "\n";
-//   for (const auto& od : result->compatibility_ods)
-//     std::cout << od.ToString(table->schema()) << "\n";
+//   auto algo = fastod::AlgorithmRegistry::Default().Create("fastod");
+//   (*algo)->SetOption("threads", "4");     // typed, introspectable
+//   (*algo)->LoadData(*table);
+//   (*algo)->Execute();
+//   std::cout << (*algo)->ResultText();
+//
+// Configuration is discoverable at runtime ((*algo)->DescribeOptions()),
+// output can stream through an OdSink instead of materializing, and runs
+// are cancellable via ExecutionControl. The engines' direct entry points
+// (fastod::Fastod etc., below) remain available for typed access to
+// results and options structs.
 //
 // See README.md for the architecture overview and examples/ for complete
 // programs.
@@ -24,7 +30,13 @@
 #include "algo/fastod.h"
 #include "algo/order.h"
 #include "algo/tane.h"
+#include "api/algorithm.h"
+#include "api/engines.h"
+#include "api/od_sink.h"
+#include "api/option.h"
+#include "api/registry.h"
 #include "axioms/inference.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "data/csv.h"
 #include "data/encode.h"

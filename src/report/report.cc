@@ -51,6 +51,12 @@ std::string HeaderJson(const char* algorithm, const RelationInfo& info,
 
 }  // namespace
 
+std::string ReportHeaderJson(const std::string& algorithm,
+                             const RelationInfo& info, double seconds,
+                             bool timed_out) {
+  return HeaderJson(algorithm.c_str(), info, seconds, timed_out);
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -85,9 +91,10 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string FastodResultToJson(const FastodResult& result,
-                               const RelationInfo& info) {
+                               const RelationInfo& info,
+                               const std::string& algorithm) {
   std::string out =
-      HeaderJson("fastod", info, result.seconds, result.timed_out);
+      HeaderJson(algorithm.c_str(), info, result.seconds, result.timed_out);
   out += "  \"constancy_ods\": [\n";
   for (size_t i = 0; i < result.constancy_ods.size(); ++i) {
     const ConstancyOd& od = result.constancy_ods[i];
@@ -121,11 +128,12 @@ std::string FastodResultToJson(const FastodResult& result,
 }
 
 std::string FastodResultToText(const FastodResult& result,
-                               const RelationInfo& info) {
-  char buf[160];
+                               const RelationInfo& info,
+                               const std::string& label) {
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "FASTOD: %lld ODs (%lld constancy + %lld compatibility + "
-                "%lld bidirectional) in %.3fs%s\n",
+                "%s: %lld ODs (%lld constancy + %lld compatibility + "
+                "%lld bidirectional) in %.3fs%s\n", label.c_str(),
                 static_cast<long long>(result.NumOds()),
                 static_cast<long long>(result.num_constancy),
                 static_cast<long long>(result.num_compatibility),
@@ -165,7 +173,7 @@ std::string TaneResultToText(const TaneResult& result,
                              const RelationInfo& info) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "TANE: %lld minimal FDs in %.3fs%s\n",
-                static_cast<long long>(result.fds.size()), result.seconds,
+                static_cast<long long>(result.num_fds), result.seconds,
                 result.timed_out ? " [TIMED OUT]" : "");
   std::string out = buf;
   for (const ConstancyOd& od : result.fds) {

@@ -26,15 +26,29 @@ namespace fastod {
 /// Escapes a string for inclusion inside JSON double quotes.
 std::string JsonEscape(const std::string& s);
 
+struct RelationInfo;
+
+/// The shared "algorithm"/"relation"/"stats" JSON prefix (everything up to
+/// and including the stats line), for renderers outside this file that
+/// emit the same stable shape.
+std::string ReportHeaderJson(const std::string& algorithm,
+                             const RelationInfo& info, double seconds,
+                             bool timed_out);
+
 struct RelationInfo {
   int64_t rows = 0;
   const Schema* schema = nullptr;  // must outlive the call
 };
 
+/// `algorithm` / `label` let adapters that reuse the FASTOD result shape
+/// (brute-force oracle, approximate discovery) render under their own
+/// name.
 std::string FastodResultToJson(const FastodResult& result,
-                               const RelationInfo& info);
+                               const RelationInfo& info,
+                               const std::string& algorithm = "fastod");
 std::string FastodResultToText(const FastodResult& result,
-                               const RelationInfo& info);
+                               const RelationInfo& info,
+                               const std::string& label = "FASTOD");
 
 std::string TaneResultToJson(const TaneResult& result,
                              const RelationInfo& info);

@@ -1,0 +1,384 @@
+// Tests for the unified Algorithm API (src/api/): the typed option
+// registry, the factory, the streaming OdSink, cancellation, and —
+// centrally — that every engine reached through
+// AlgorithmRegistry::Create(name) produces bit-for-bit the same output as
+// its legacy direct entry point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "algo/brute_force_discovery.h"
+#include "algo/conditional.h"
+#include "algo/fastod.h"
+#include "algo/order.h"
+#include "algo/tane.h"
+#include "api/engines.h"
+#include "api/od_sink.h"
+#include "api/registry.h"
+#include "gen/generators.h"
+
+namespace fastod {
+namespace {
+
+// ------------------------------------------------------ option registry
+
+TEST(OptionRegistryTest, TypedParseSuccess) {
+  FastodAlgorithm algo;
+  EXPECT_TRUE(algo.SetOption("threads", "4").ok());
+  EXPECT_TRUE(algo.SetOption("max-error", "0.25").ok());
+  EXPECT_TRUE(algo.SetOption("bidirectional", "true").ok());
+  EXPECT_TRUE(algo.SetOption("swap-method", "tau").ok());
+  EXPECT_EQ(algo.discovery_options().num_threads, 4);
+  EXPECT_DOUBLE_EQ(algo.discovery_options().max_error, 0.25);
+  EXPECT_TRUE(algo.discovery_options().discover_bidirectional);
+}
+
+TEST(OptionRegistryTest, BareBoolMeansTrue) {
+  // --bidirectional with no value, as the CLI forwards it.
+  FastodAlgorithm algo;
+  EXPECT_TRUE(algo.SetOption("bidirectional", "").ok());
+  EXPECT_TRUE(algo.discovery_options().discover_bidirectional);
+  EXPECT_TRUE(algo.SetOption("bidirectional", "false").ok());
+  EXPECT_FALSE(algo.discovery_options().discover_bidirectional);
+}
+
+TEST(OptionRegistryTest, TypedParseFailures) {
+  FastodAlgorithm algo;
+  // Wrong shapes.
+  EXPECT_FALSE(algo.SetOption("threads", "four").ok());
+  EXPECT_FALSE(algo.SetOption("max-error", "lots").ok());
+  EXPECT_FALSE(algo.SetOption("bidirectional", "maybe").ok());
+  EXPECT_FALSE(algo.SetOption("swap-method", "psychic").ok());
+  // Out of range.
+  EXPECT_FALSE(algo.SetOption("threads", "0").ok());
+  EXPECT_FALSE(algo.SetOption("max-error", "1.5").ok());
+  EXPECT_FALSE(algo.SetOption("max-level", "-3").ok());
+  // A failed set leaves the previous value intact.
+  EXPECT_EQ(algo.discovery_options().num_threads, 1);
+}
+
+TEST(OptionRegistryTest, ErrorsNameTheOption) {
+  FastodAlgorithm algo;
+  Status s = algo.SetOption("threads", "four");
+  EXPECT_NE(s.message().find("threads"), std::string::npos);
+  EXPECT_NE(s.message().find("four"), std::string::npos);
+}
+
+TEST(OptionRegistryTest, UnknownOptionListsAvailable) {
+  TaneAlgorithm algo;
+  Status s = algo.SetOption("threads", "4");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown option 'threads'"), std::string::npos);
+  EXPECT_NE(s.message().find("timeout"), std::string::npos);
+  EXPECT_NE(s.message().find("max-level"), std::string::npos);
+}
+
+TEST(OptionRegistryTest, GetNeededOptions) {
+  FastodAlgorithm fastod;
+  std::vector<std::string> names = fastod.GetNeededOptions();
+  for (const char* expected :
+       {"threads", "timeout", "max-level", "max-error", "bidirectional",
+        "emit-ods", "minimality-pruning", "level-pruning", "key-pruning",
+        "level-stats", "swap-method"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(OptionRegistryTest, FindOptionMetadata) {
+  FastodAlgorithm algo;
+  const OptionInfo* info = algo.FindOption("swap-method");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->type_name, "enum");
+  EXPECT_EQ(info->default_repr, "auto");
+  EXPECT_EQ(info->enum_values.size(), 3u);
+  EXPECT_EQ(algo.FindOption("no-such-option"), nullptr);
+}
+
+TEST(OptionRegistryTest, DescribeOptionsSnapshot) {
+  // The generated help is load-bearing for the CLI; pin its shape.
+  TaneAlgorithm algo;
+  EXPECT_EQ(algo.DescribeOptions(),
+            "  --timeout=<double>               abort after this many "
+            "seconds (0 = none) (default: 0)\n"
+            "  --max-level=<int>                stop after lattice level L "
+            "(0 = none) (default: 0)\n");
+}
+
+TEST(OptionRegistryTest, ApproximateSurfacesItsOwnDefault) {
+  ApproximateAlgorithm algo;
+  const OptionInfo* info = algo.FindOption("max-error");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->default_repr, "0.01");
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(AlgorithmRegistryTest, DefaultHasAllSixEngines) {
+  AlgorithmRegistry& registry = AlgorithmRegistry::Default();
+  for (const char* name : {"fastod", "tane", "order", "brute-force",
+                           "approximate", "conditional"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    auto algo = registry.Create(name);
+    ASSERT_TRUE(algo.ok()) << name;
+    EXPECT_EQ((*algo)->name(), name);
+  }
+}
+
+TEST(AlgorithmRegistryTest, UnknownNameListsRegistered) {
+  auto algo = AlgorithmRegistry::Default().Create("magic");
+  ASSERT_FALSE(algo.ok());
+  EXPECT_EQ(algo.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(algo.status().message().find("magic"), std::string::npos);
+  EXPECT_NE(algo.status().message().find("fastod"), std::string::npos);
+  EXPECT_NE(algo.status().message().find("conditional"), std::string::npos);
+}
+
+TEST(AlgorithmRegistryTest, DescribeAlgorithmsCoversEveryEngine) {
+  std::string usage = AlgorithmRegistry::Default().DescribeAlgorithms();
+  EXPECT_NE(usage.find("fastod —"), std::string::npos);
+  EXPECT_NE(usage.find("--swap-method"), std::string::npos);
+  EXPECT_NE(usage.find("brute-force —"), std::string::npos);
+  EXPECT_NE(usage.find("--min-support"), std::string::npos);
+}
+
+// ------------------------------------------------------------ lifecycle
+
+TEST(AlgorithmLifecycleTest, ExecuteWithoutDataFails) {
+  FastodAlgorithm algo;
+  Status s = algo.Execute();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(algo.executed());
+}
+
+TEST(AlgorithmLifecycleTest, ExecuteAccountsWallClock) {
+  FastodAlgorithm algo;
+  ASSERT_TRUE(algo.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  EXPECT_TRUE(algo.executed());
+  EXPECT_GE(algo.load_seconds(), 0.0);
+  EXPECT_GE(algo.execute_seconds(), 0.0);
+}
+
+TEST(AlgorithmLifecycleTest, ReExecuteAfterReconfigure) {
+  FastodAlgorithm algo;
+  ASSERT_TRUE(algo.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  int64_t exact = algo.result().NumOds();
+  ASSERT_TRUE(algo.SetOption("max-level", "1").ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  EXPECT_LT(algo.result().NumOds(), exact);
+}
+
+TEST(AlgorithmLifecycleTest, BruteForceRejectsWideRelations) {
+  BruteForceAlgorithm algo;
+  ASSERT_TRUE(algo.LoadData(GenFlightLike(20, 20, 7)).ok());
+  Status s = algo.Execute();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("16"), std::string::npos);
+}
+
+// ------------------------------------- cross-engine equivalence (legacy)
+
+class ApiEquivalenceTest : public ::testing::Test {
+ protected:
+  ApiEquivalenceTest() : table_(EmployeeTaxTable()) {
+    auto rel = EncodedRelation::FromTable(table_);
+    EXPECT_TRUE(rel.ok());
+    rel_ = std::move(rel).value();
+  }
+
+  std::unique_ptr<Algorithm> Create(const std::string& name) {
+    auto algo = AlgorithmRegistry::Default().Create(name);
+    EXPECT_TRUE(algo.ok()) << name;
+    EXPECT_TRUE((*algo)->LoadData(table_).ok()) << name;
+    EXPECT_TRUE((*algo)->Execute().ok()) << name;
+    return std::move(*algo);
+  }
+
+  Table table_;
+  std::optional<EncodedRelation> rel_;
+};
+
+TEST_F(ApiEquivalenceTest, FastodMatchesLegacy) {
+  std::unique_ptr<Algorithm> algo = Create("fastod");
+  const auto& api = static_cast<FastodAlgorithm&>(*algo).result();
+  FastodResult legacy = Fastod().Discover(*rel_);
+  EXPECT_EQ(api.constancy_ods, legacy.constancy_ods);
+  EXPECT_EQ(api.compatibility_ods, legacy.compatibility_ods);
+  EXPECT_EQ(api.num_constancy, legacy.num_constancy);
+  EXPECT_EQ(api.num_compatibility, legacy.num_compatibility);
+}
+
+TEST_F(ApiEquivalenceTest, TaneMatchesLegacy) {
+  std::unique_ptr<Algorithm> algo = Create("tane");
+  const auto& api = static_cast<TaneAlgorithm&>(*algo).result();
+  TaneResult legacy = Tane().Discover(*rel_);
+  EXPECT_EQ(api.fds, legacy.fds);
+  EXPECT_EQ(api.num_fds, legacy.num_fds);
+}
+
+TEST_F(ApiEquivalenceTest, OrderMatchesLegacy) {
+  // Bounded: ORDER's list lattice is factorial in the 8 employee columns.
+  auto algo = AlgorithmRegistry::Default().Create("order");
+  ASSERT_TRUE(algo.ok());
+  ASSERT_TRUE((*algo)->SetOption("max-level", "3").ok());
+  ASSERT_TRUE((*algo)->LoadData(table_).ok());
+  ASSERT_TRUE((*algo)->Execute().ok());
+  const auto& api = static_cast<OrderAlgorithm&>(**algo).result();
+  OrderOptions legacy_options;
+  legacy_options.max_level = 3;
+  OrderResult legacy = OrderBaseline(legacy_options).Discover(*rel_);
+  EXPECT_EQ(api.ods, legacy.ods);
+  EXPECT_EQ(api.candidates_checked, legacy.candidates_checked);
+}
+
+TEST_F(ApiEquivalenceTest, BruteForceMatchesLegacy) {
+  std::unique_ptr<Algorithm> algo = Create("brute-force");
+  const auto& api = static_cast<BruteForceAlgorithm&>(*algo).result();
+  BruteForceDiscoveryResult legacy = BruteForceDiscoverOds(*rel_);
+  EXPECT_EQ(api.constancy_ods, legacy.constancy_ods);
+  EXPECT_EQ(api.compatibility_ods, legacy.compatibility_ods);
+  EXPECT_EQ(api.all_valid_constancy, legacy.all_valid_constancy);
+  EXPECT_EQ(api.all_valid_compatibility, legacy.all_valid_compatibility);
+}
+
+TEST_F(ApiEquivalenceTest, ApproximateMatchesLegacyAtSameThreshold) {
+  auto algo = AlgorithmRegistry::Default().Create("approximate");
+  ASSERT_TRUE(algo.ok());
+  ASSERT_TRUE((*algo)->SetOption("max-error", "0.2").ok());
+  ASSERT_TRUE((*algo)->LoadData(table_).ok());
+  ASSERT_TRUE((*algo)->Execute().ok());
+  const auto& api = static_cast<FastodAlgorithm&>(**algo).result();
+
+  FastodOptions legacy_options;
+  legacy_options.max_error = 0.2;
+  FastodResult legacy = Fastod(legacy_options).Discover(*rel_);
+  EXPECT_EQ(api.constancy_ods, legacy.constancy_ods);
+  EXPECT_EQ(api.compatibility_ods, legacy.compatibility_ods);
+}
+
+TEST_F(ApiEquivalenceTest, ConditionalMatchesLegacy) {
+  std::unique_ptr<Algorithm> algo = Create("conditional");
+  const auto& api = static_cast<ConditionalAlgorithm&>(*algo).result();
+  ConditionalOdFinder finder(&*rel_);
+  std::vector<ConditionalOd> legacy = finder.DiscoverConditional();
+  ASSERT_EQ(api.size(), legacy.size());
+  for (size_t i = 0; i < api.size(); ++i) {
+    EXPECT_EQ(api[i].condition_attribute, legacy[i].condition_attribute);
+    EXPECT_EQ(api[i].binding_ranks, legacy[i].binding_ranks);
+    EXPECT_DOUBLE_EQ(api[i].support, legacy[i].support);
+  }
+}
+
+TEST_F(ApiEquivalenceTest, JsonNamesTheAlgorithm) {
+  for (const char* name : {"fastod", "tane", "order", "brute-force",
+                           "approximate", "conditional"}) {
+    auto created = AlgorithmRegistry::Default().Create(name);
+    ASSERT_TRUE(created.ok()) << name;
+    std::unique_ptr<Algorithm> algo = std::move(*created);
+    if (algo->FindOption("max-level") != nullptr) {
+      ASSERT_TRUE(algo->SetOption("max-level", "2").ok());
+    }
+    ASSERT_TRUE(algo->LoadData(table_).ok()) << name;
+    ASSERT_TRUE(algo->Execute().ok()) << name;
+    std::string json = algo->ResultJson();
+    EXPECT_NE(json.find("\"algorithm\": \"" + std::string(name) + "\""),
+              std::string::npos)
+        << name;
+  }
+}
+
+// ------------------------------------------------------------ streaming
+
+TEST_F(ApiEquivalenceTest, FastodSinkStreamsWithoutMaterializing) {
+  CollectingOdSink sink;
+  FastodAlgorithm algo;
+  algo.SetSink(&sink);
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  // Result vectors stay empty; the sink received the legacy sequence.
+  EXPECT_TRUE(algo.result().constancy_ods.empty());
+  EXPECT_TRUE(algo.result().compatibility_ods.empty());
+  FastodResult legacy = Fastod().Discover(*rel_);
+  EXPECT_EQ(sink.constancy_ods(), legacy.constancy_ods);
+  EXPECT_EQ(sink.compatibility_ods(), legacy.compatibility_ods);
+  // Counts survive in streaming mode.
+  EXPECT_EQ(algo.result().num_constancy, legacy.num_constancy);
+  EXPECT_EQ(algo.result().num_compatibility, legacy.num_compatibility);
+}
+
+TEST_F(ApiEquivalenceTest, FastodSinkStreamsNoPruningWithoutEmitOds) {
+  // The Exp-6 shape: no-pruning ablation counts every valid OD. Streaming
+  // with emit-ods=false must deliver the same totals with empty vectors.
+  CountingOdSink sink;
+  FastodAlgorithm algo;
+  algo.SetSink(&sink);
+  ASSERT_TRUE(algo.SetOption("minimality-pruning", "false").ok());
+  ASSERT_TRUE(algo.SetOption("emit-ods", "false").ok());
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  FastodOptions legacy_options;
+  legacy_options.minimality_pruning = false;
+  legacy_options.emit_ods = false;
+  FastodResult legacy = Fastod(legacy_options).Discover(*rel_);
+  EXPECT_EQ(sink.num_constancy(), legacy.num_constancy);
+  EXPECT_EQ(sink.num_compatibility(), legacy.num_compatibility);
+  EXPECT_GT(sink.Total(), 0);
+  EXPECT_TRUE(algo.result().constancy_ods.empty());
+}
+
+TEST_F(ApiEquivalenceTest, TaneSinkStreamsFds) {
+  CollectingOdSink sink;
+  TaneAlgorithm algo;
+  algo.SetSink(&sink);
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  TaneResult legacy = Tane().Discover(*rel_);
+  EXPECT_EQ(sink.constancy_ods(), legacy.fds);
+  EXPECT_TRUE(algo.result().fds.empty());
+  EXPECT_EQ(algo.result().num_fds, legacy.num_fds);
+}
+
+TEST_F(ApiEquivalenceTest, OrderSinkTeesListOds) {
+  CollectingOdSink sink;
+  OrderAlgorithm algo;
+  algo.SetSink(&sink);
+  ASSERT_TRUE(algo.SetOption("max-level", "3").ok());
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  // ORDER tees: vector retained (used for implication checks) AND
+  // streamed.
+  EXPECT_EQ(sink.list_ods(), algo.result().ods);
+  EXPECT_FALSE(sink.list_ods().empty());
+}
+
+// --------------------------------------------------------- cancellation
+
+TEST_F(ApiEquivalenceTest, PreCancelledControlStopsEarly) {
+  ExecutionControl control;
+  control.RequestCancel();
+  FastodAlgorithm algo;
+  algo.SetControl(&control);
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());  // cancellation is not an error
+  EXPECT_TRUE(algo.result().cancelled);
+  // At most the first level ran, and progress must not read as complete.
+  EXPECT_LE(algo.result().levels_processed, 1);
+  EXPECT_LT(control.Progress(), 1.0);
+}
+
+TEST_F(ApiEquivalenceTest, ControlReportsCompletion) {
+  ExecutionControl control;
+  TaneAlgorithm algo;
+  algo.SetControl(&control);
+  ASSERT_TRUE(algo.LoadData(table_).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  EXPECT_FALSE(algo.result().cancelled);
+  EXPECT_DOUBLE_EQ(control.Progress(), 1.0);
+}
+
+}  // namespace
+}  // namespace fastod

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+# Usage: tools/run_tests.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
