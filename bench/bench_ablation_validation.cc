@@ -12,10 +12,12 @@ namespace {
 using namespace fastod;
 using namespace fastod::bench;
 
-void Row(const char* label, const EncodedRelation& rel,
-         FastodOptions options) {
+void Row(const char* dataset, const char* label,
+         const EncodedRelation& rel, FastodOptions options) {
   options.timeout_seconds = 120.0;
   AlgoCell cell = RunFastod(rel, options);
+  RecordJson(std::string("dataset=") + dataset + " config=" + label,
+             cell.seconds);
   std::printf("  %-28s %-12s %s\n", label, cell.TimeString().c_str(),
               cell.counts.c_str());
 }
@@ -28,30 +30,31 @@ void Dataset(const char* name, const Table& table) {
 
   FastodOptions base;
   base.swap_method = SwapCheckMethod::kSortBased;
-  Row("swap=sort (baseline)", *rel, base);
+  Row(name, "swap=sort (baseline)", *rel, base);
   FastodOptions tau = base;
   tau.swap_method = SwapCheckMethod::kTauBased;
-  Row("swap=tau", *rel, tau);
+  Row(name, "swap=tau", *rel, tau);
   FastodOptions adaptive = base;
   adaptive.swap_method = SwapCheckMethod::kAuto;
-  Row("swap=auto", *rel, adaptive);
+  Row(name, "swap=auto", *rel, adaptive);
 
   FastodOptions no_key = base;
   no_key.key_pruning = false;
-  Row("key pruning off", *rel, no_key);
+  Row(name, "key pruning off", *rel, no_key);
   FastodOptions no_level = base;
   no_level.level_pruning = false;
-  Row("level pruning off", *rel, no_level);
+  Row(name, "level pruning off", *rel, no_level);
   FastodOptions neither = base;
   neither.key_pruning = false;
   neither.level_pruning = false;
-  Row("key+level pruning off", *rel, neither);
+  Row(name, "key+level pruning off", *rel, neither);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_ablation_validation", argc, argv);
   PrintHeader("Abl-1 — validation & pruning ablations (ours)",
               "configurations agree on output; swap strategy and the "
               "Lemma 11-13 rules trade only runtime");

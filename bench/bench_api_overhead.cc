@@ -32,6 +32,10 @@ void Row(const char* label, const Table& table) {
   (void)(*algo)->Execute();
   double api_seconds = api_timer.ElapsedSeconds();
 
+  RecordJson(std::string("workload=") + label + " mode=direct",
+             direct_seconds);
+  RecordJson(std::string("workload=") + label + " mode=api",
+             api_seconds);
   std::printf("%-14s | direct %8.3fs (%lld ODs) | api+sink %8.3fs "
               "(%lld ODs) | overhead %+.1f%%\n",
               label, direct_seconds,
@@ -46,6 +50,7 @@ void Row(const char* label, const Table& table) {
 
 int main(int argc, char** argv) {
   const int scale = ParseScale(argc, argv);
+  BenchJson json("bench_api_overhead", argc, argv);
   PrintHeader("Unified-API adapter overhead (registry + option registry + "
               "streaming sink vs direct engine calls)",
               "api/ redesign; expectation: overhead within noise");

@@ -37,6 +37,11 @@ void RunDataset(const char* name, Generator gen, int64_t base_rows,
     AlgoCell tane = RunTane(*rel, 60.0);
     AlgoCell fast = RunFastod(*rel);
     AlgoCell order = RunOrder(*rel, 10.0);
+    std::string params = std::string("dataset=") + name +
+                         " rows=" + std::to_string(rows);
+    RecordJson(params + " algo=tane", tane.seconds);
+    RecordJson(params + " algo=fastod", fast.seconds);
+    RecordJson(params + " algo=order", order.seconds);
     std::printf("%-8lld | %-12s | %-12s | %-26s | %-12s | %s\n",
                 static_cast<long long>(rows), tane.TimeString().c_str(),
                 fast.TimeString().c_str(), fast.counts.c_str(),
@@ -48,6 +53,7 @@ void RunDataset(const char* name, Generator gen, int64_t base_rows,
 
 int main(int argc, char** argv) {
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_fig4_scale_rows", argc, argv);
   PrintHeader("Exp-1/3/4 — scalability in |r| (Figure 4)",
               "flight 100K-500K, ncvoter 200K-1M, dbtesma 50K-250K; "
               "TANE < FASTOD << ORDER on flight; linear growth in |r|");

@@ -36,6 +36,12 @@ void RunDataset(const char* name, Generator gen, int64_t rows,
     fast_options.timeout_seconds = 120.0;
     AlgoCell fast = RunFastod(*rel, fast_options);
     AlgoCell order = RunOrder(*rel, order_timeout);
+    std::string params = std::string("dataset=") + name +
+                         " rows=" + std::to_string(rows) +
+                         " attrs=" + std::to_string(attrs);
+    RecordJson(params + " algo=tane", tane.seconds);
+    RecordJson(params + " algo=fastod", fast.seconds);
+    RecordJson(params + " algo=order", order.seconds);
     std::printf("%-6d | %-12s | %-12s | %-26s | %-12s | %s\n", attrs,
                 tane.TimeString().c_str(), fast.TimeString().c_str(),
                 fast.counts.c_str(), order.TimeString().c_str(),
@@ -47,6 +53,7 @@ void RunDataset(const char* name, Generator gen, int64_t rows,
 
 int main(int argc, char** argv) {
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_fig5_scale_cols", argc, argv);
   PrintHeader("Exp-2/3/4 — scalability in |R| (Figure 5)",
               "runtime exponential in |R|; ORDER times out on flight-like "
               "data but is fast-and-empty on swap-heavy data");

@@ -22,9 +22,13 @@ AlgoCell RunNoPruning(const EncodedRelation& rel, double timeout) {
   return RunFastod(rel, options);
 }
 
-void Row(const char* label, const EncodedRelation& rel) {
+void Row(const char* sweep, const char* label,
+         const EncodedRelation& rel) {
   AlgoCell pruned = RunFastod(rel);
   AlgoCell unpruned = RunNoPruning(rel, 60.0);
+  std::string params = std::string(sweep) + "=" + label;
+  RecordJson(params + " algo=fastod", pruned.seconds);
+  RecordJson(params + " algo=fastod-nopruning", unpruned.seconds);
   std::printf("%-10s | %-12s | %-22s | %-12s | %s\n", label,
               pruned.TimeString().c_str(), pruned.counts.c_str(),
               unpruned.TimeString().c_str(), unpruned.counts.c_str());
@@ -34,6 +38,7 @@ void Row(const char* label, const EncodedRelation& rel) {
 
 int main(int argc, char** argv) {
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_fig6_pruning", argc, argv);
   PrintHeader("Exp-5/6 — impact of pruning (Figure 6)",
               "pruning buys orders of magnitude in time; minimal OD count "
               "is orders of magnitude below the all-valid count");
@@ -49,7 +54,7 @@ int main(int argc, char** argv) {
     char label[32];
     std::snprintf(label, sizeof(label), "%lld",
                   static_cast<long long>(rows));
-    Row(label, *rel);
+    Row("rows", label, *rel);
   }
 
   std::printf("\n--- flight-like, 500 rows, attributes sweep ---\n");
@@ -61,7 +66,7 @@ int main(int argc, char** argv) {
     if (!rel.ok()) return 1;
     char label[32];
     std::snprintf(label, sizeof(label), "%d", attrs);
-    Row(label, *rel);
+    Row("attrs", label, *rel);
   }
   return 0;
 }

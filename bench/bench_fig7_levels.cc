@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace fastod;
   using namespace fastod::bench;
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_fig7_levels", argc, argv);
 
   PrintHeader("Exp-7 — lattice level profile (Figure 7)",
               "per-level time peaks mid-lattice; most ODs found at small "
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
   std::printf("%-6s | %-10s | %-8s | %-8s | %-22s | %-10s | %s\n", "level",
               "time", "nodes", "pruned", "#ODs (fd + ocd)", "fd-checks",
               "swap-checks");
+  RecordJson("workload=flight-like-" + std::to_string(rows) + "x" +
+                 std::to_string(attrs) + " total",
+             result.seconds);
   for (const FastodLevelStats& s : result.level_stats) {
+    RecordJson("level=" + std::to_string(s.level), s.seconds);
     char ods[64];
     std::snprintf(ods, sizeof(ods), "%lld (%lld + %lld)",
                   static_cast<long long>(s.constancy_found +

@@ -4,6 +4,10 @@
 // strategies, and the O(1)-after-product FD error check.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
 #include "data/encode.h"
 #include "gen/generators.h"
 #include "partition/sorted_partition.h"
@@ -111,6 +115,46 @@ void BM_FdErrorCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_FdErrorCheck)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Tees every google-benchmark run into the shared --json recorder as a
+// {bench, params, seconds} record (per-iteration real time), alongside
+// the normal console table.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations > 0) {
+        fastod::bench::RecordJson(
+            run.benchmark_name(),
+            run.real_accumulated_time / static_cast<double>(run.iterations));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so --json can ride along: google-benchmark
+// rejects flags it doesn't know, so they are stripped before Initialize.
+int main(int argc, char** argv) {
+  fastod::bench::BenchJson json("bench_micro_partition", argc, argv);
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) continue;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  kept.push_back(nullptr);
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

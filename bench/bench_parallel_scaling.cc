@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace fastod;
   using namespace fastod::bench;
   int scale = ParseScale(argc, argv);
+  BenchJson json("bench_parallel_scaling", argc, argv);
 
   PrintHeader("parallel scaling (extension)",
               "identical output across thread counts; speedup bounded by "
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
       options.timeout_seconds = 300.0;
       AlgoCell cell = RunFastod(*rel, options);
       if (threads == 1) serial_seconds = cell.seconds;
+      RecordJson(std::string("workload=") + w.name +
+                 " threads=" + std::to_string(threads), cell.seconds);
       std::printf("%-10d | %-12s | %-10.2f | %s\n", threads,
                   cell.TimeString().c_str(),
                   cell.seconds > 0 ? serial_seconds / cell.seconds : 0.0,

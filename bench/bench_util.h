@@ -4,6 +4,12 @@
 // default scale (absolute numbers are not comparable to the paper's Java/
 // Xeon setup; the *shapes* are the reproduction target — see
 // EXPERIMENTS.md). Pass --scale=N to multiply the workload sizes.
+//
+// Every bench also accepts --json <path> (or --json=<path>): each
+// measured cell is then additionally recorded as a machine-readable
+// {"bench": ..., "params": ..., "seconds": ...} object, and the file is
+// written as one JSON array when the bench exits — the format the
+// BENCH_*.json perf-trajectory files are built from.
 #ifndef FASTOD_BENCH_BENCH_UTIL_H_
 #define FASTOD_BENCH_BENCH_UTIL_H_
 
@@ -11,12 +17,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "algo/fastod.h"
 #include "algo/order.h"
 #include "algo/tane.h"
 #include "common/timer.h"
 #include "data/encode.h"
+#include "report/report.h"
 
 namespace fastod::bench {
 
@@ -28,6 +36,74 @@ inline int ParseScale(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+/// Scoped --json recorder: construct one in main, call RecordJson(params,
+/// seconds) at every measurement, and the destructor writes the array.
+/// With no --json flag every call is a no-op.
+class BenchJson {
+ public:
+  BenchJson(const char* bench_name, int argc, char** argv)
+      : bench_(bench_name) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[i + 1];
+      }
+    }
+    Active() = this;
+  }
+
+  ~BenchJson() {
+    if (Active() == this) Active() = nullptr;
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records_.size(),
+                path_.c_str());
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Record(const std::string& params, double seconds) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+    records_.push_back("  {\"bench\": \"" + JsonEscape(bench_) +
+                       "\", \"params\": \"" + JsonEscape(params) +
+                       "\", \"seconds\": " + buf + "}");
+  }
+
+  /// The instance the free RecordJson() helper reports to (one per bench
+  /// process; benches are single-threaded drivers).
+  static BenchJson*& Active() {
+    static BenchJson* active = nullptr;
+    return active;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+/// Records into the active BenchJson, if any — lets deeply nested bench
+/// helpers report without threading the recorder through.
+inline void RecordJson(const std::string& params, double seconds) {
+  if (BenchJson::Active() != nullptr) {
+    BenchJson::Active()->Record(params, seconds);
+  }
 }
 
 struct AlgoCell {

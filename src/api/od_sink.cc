@@ -34,4 +34,29 @@ void CollectingOdSink::Clear() {
   conditional_.clear();
 }
 
+void MutexOdSink::OnConstancy(const ConstancyOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnConstancy(od);
+}
+
+void MutexOdSink::OnCompatibility(const CompatibilityOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnCompatibility(od);
+}
+
+void MutexOdSink::OnBidirectional(const BidiCompatibilityOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnBidirectional(od);
+}
+
+void MutexOdSink::OnListOd(const ListOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnListOd(od);
+}
+
+void MutexOdSink::OnConditional(const ConditionalOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnConditional(od);
+}
+
 }  // namespace fastod

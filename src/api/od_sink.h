@@ -12,10 +12,23 @@
 // Each OD shape has its own hook with a no-op default; a sink overrides
 // only what it consumes. ListOd is ORDER's native (list-based) output
 // shape; ConditionalOd comes from the conditional engine.
+//
+// Threading contract — single consumer. One Execute() invokes a sink's
+// hooks from exactly one thread (the thread that merges node results), so
+// a sink attached to one algorithm needs no internal locking. Nothing in
+// the sink implementations here is synchronized: CollectingOdSink's
+// accessors and Clear(), and CountingOdSink's counters, may only be
+// touched before Execute() starts or after it returns — never while a run
+// is emitting. To share one sink across concurrently executing algorithms
+// (as DiscoveryService's shared-sink mode does), wrap it in a MutexOdSink,
+// which serializes every hook; emission order across sessions is then
+// whatever the thread interleaving produces, though each session's own
+// emissions still arrive in its deterministic order.
 #ifndef FASTOD_API_OD_SINK_H_
 #define FASTOD_API_OD_SINK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "algo/conditional.h"
@@ -99,6 +112,25 @@ class CountingOdSink : public OdSink {
   int64_t num_bidirectional_ = 0;
   int64_t num_list_ = 0;
   int64_t num_conditional_ = 0;
+};
+
+/// Decorator that serializes every hook of a wrapped sink, lifting the
+/// single-consumer contract so one sink can be shared by concurrently
+/// executing algorithms. The wrapped sink must outlive the decorator; read
+/// it only after every sharing Execute() has returned.
+class MutexOdSink : public OdSink {
+ public:
+  explicit MutexOdSink(OdSink* wrapped) : wrapped_(wrapped) {}
+
+  void OnConstancy(const ConstancyOd& od) override;
+  void OnCompatibility(const CompatibilityOd& od) override;
+  void OnBidirectional(const BidiCompatibilityOd& od) override;
+  void OnListOd(const ListOd& od) override;
+  void OnConditional(const ConditionalOd& od) override;
+
+ private:
+  std::mutex mutex_;
+  OdSink* wrapped_;
 };
 
 }  // namespace fastod

@@ -30,7 +30,9 @@ void OptionRegistry::Add(OptionInfo info,
 
 void OptionRegistry::AddBool(const std::string& name, bool* target,
                              const std::string& description) {
-  OptionInfo info{name, "bool", description, *target ? "true" : "false", {}};
+  OptionInfo info{name, OptionKind::kBool, "bool", description,
+                  *target ? "true" : "false",
+                  {}};
   Add(std::move(info), [name, target](const std::string& value) {
     // An empty value mirrors a bare --flag on the command line.
     if (value.empty() || value == "true" || value == "1" || value == "on") {
@@ -48,7 +50,9 @@ void OptionRegistry::AddBool(const std::string& name, bool* target,
 void OptionRegistry::AddInt(const std::string& name, int* target,
                             const std::string& description, int min_value,
                             int max_value) {
-  OptionInfo info{name, "int", description, std::to_string(*target), {}};
+  OptionInfo info{name, OptionKind::kInt, "int", description,
+                  std::to_string(*target),
+                  {}};
   Add(std::move(info),
       [name, target, min_value, max_value](const std::string& value) {
         std::optional<int64_t> parsed = ParseInt(value);
@@ -66,7 +70,9 @@ void OptionRegistry::AddInt(const std::string& name, int* target,
 void OptionRegistry::AddInt64(const std::string& name, int64_t* target,
                               const std::string& description,
                               int64_t min_value, int64_t max_value) {
-  OptionInfo info{name, "int", description, std::to_string(*target), {}};
+  OptionInfo info{name, OptionKind::kInt, "int", description,
+                  std::to_string(*target),
+                  {}};
   Add(std::move(info),
       [name, target, min_value, max_value](const std::string& value) {
         std::optional<int64_t> parsed = ParseInt(value);
@@ -84,7 +90,9 @@ void OptionRegistry::AddInt64(const std::string& name, int64_t* target,
 void OptionRegistry::AddDouble(const std::string& name, double* target,
                                const std::string& description,
                                double min_value, double max_value) {
-  OptionInfo info{name, "double", description, RenderDouble(*target), {}};
+  OptionInfo info{name, OptionKind::kDouble, "double", description,
+                  RenderDouble(*target),
+                  {}};
   Add(std::move(info),
       [name, target, min_value, max_value](const std::string& value) {
         std::optional<double> parsed = ParseDouble(value);
@@ -101,7 +109,9 @@ void OptionRegistry::AddDouble(const std::string& name, double* target,
 
 void OptionRegistry::AddString(const std::string& name, std::string* target,
                                const std::string& description) {
-  OptionInfo info{name, "string", description, *target, {}};
+  OptionInfo info{name, OptionKind::kString, "string", description,
+                  *target,
+                  {}};
   Add(std::move(info), [target](const std::string& value) {
     *target = value;
     return Status::Ok();
@@ -112,7 +122,9 @@ void OptionRegistry::AddEnum(const std::string& name, int* target,
                              const std::string& description,
                              std::vector<std::pair<std::string, int>> values,
                              const std::string& default_repr) {
-  OptionInfo info{name, "enum", description, default_repr, {}};
+  OptionInfo info{name, OptionKind::kEnum, "enum", description,
+                  default_repr,
+                  {}};
   for (const auto& [spelling, unused] : values) {
     info.enum_values.push_back(spelling);
   }

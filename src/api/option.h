@@ -23,9 +23,23 @@
 
 namespace fastod {
 
-/// Introspection record for one registered option.
+/// Option value categories. The numeric values are frozen: they cross the
+/// C ABI as the FASTOD_OPTION_* constants in capi/fastod_c.h, so bindings
+/// in any language can switch on them without parsing type_name.
+enum class OptionKind : int {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kEnum = 4,
+};
+
+/// Introspection record for one registered option. Everything a frontend
+/// needs crosses language boundaries as plain data: the kind as an int,
+/// the default rendered as a string (the same spelling SetOption parses).
 struct OptionInfo {
   std::string name;
+  OptionKind kind = OptionKind::kString;
   std::string type_name;     // "bool", "int", "double", "string", "enum"
   std::string description;
   std::string default_repr;  // rendered default value

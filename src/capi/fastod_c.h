@@ -1,0 +1,169 @@
+/*
+ * fastod_c.h — stable C ABI for the fastod order-dependency library.
+ *
+ * Handle-based sessions over the C++ DiscoveryService: create a session
+ * for a named algorithm, configure it with string options, bind a CSV,
+ * execute (synchronously or asynchronously on the library's worker
+ * pool), poll progress, and collect the result as JSON. No C++ type
+ * crosses this boundary; every function is callable from C89, and the
+ * header itself compiles as C89 ("cc -std=c90 -pedantic").
+ *
+ *   fastod_session_t* s = fastod_create("fastod");
+ *   fastod_set_option(s, "threads", "2");
+ *   fastod_load_csv(s, "flight.csv");
+ *   fastod_execute_async(s);
+ *   while (fastod_poll(s, &progress) < FASTOD_STATE_DONE) sleep(1);
+ *   puts(fastod_result_json(s));      (or block with fastod_wait(s))
+ *   fastod_destroy(s);
+ *
+ * Error handling: functions returning int yield FASTOD_OK (0) or a
+ * positive FASTOD_ERR_* code; the human-readable message is kept per
+ * session and read with fastod_last_error(). Functions returning
+ * const char* yield pointers owned by the library — never free() them;
+ * they stay valid until the next call on the same session (or, for
+ * session-less functions, for the process lifetime).
+ *
+ * Thread safety: one session may be driven from one thread at a time,
+ * except fastod_poll/fastod_cancel/fastod_last_error, which are safe
+ * concurrently with an asynchronous run. Distinct sessions are fully
+ * independent; they share only the scheduler's worker pool.
+ */
+#ifndef FASTOD_CAPI_FASTOD_C_H_
+#define FASTOD_CAPI_FASTOD_C_H_
+
+#define FASTOD_VERSION_MAJOR 0
+#define FASTOD_VERSION_MINOR 3
+#define FASTOD_VERSION_PATCH 0
+
+/* Error codes. 1..6 mirror fastod::StatusCode; 7 flags misuse of the C
+ * layer itself (NULL or destroyed handle). */
+#define FASTOD_OK 0
+#define FASTOD_ERR_INVALID_ARGUMENT 1
+#define FASTOD_ERR_NOT_FOUND 2
+#define FASTOD_ERR_OUT_OF_RANGE 3
+#define FASTOD_ERR_FAILED_PRECONDITION 4
+#define FASTOD_ERR_IO 5
+#define FASTOD_ERR_RESOURCE_EXHAUSTED 6
+#define FASTOD_ERR_NULL_HANDLE 7
+
+/* Session states returned by fastod_poll() and fastod_wait(). The
+ * terminal states are DONE, FAILED and CANCELLED. */
+#define FASTOD_STATE_CREATED 0
+#define FASTOD_STATE_QUEUED 1
+#define FASTOD_STATE_RUNNING 2
+#define FASTOD_STATE_DONE 3
+#define FASTOD_STATE_FAILED 4
+#define FASTOD_STATE_CANCELLED 5
+
+/* Option kinds returned by fastod_option_kind(); frozen, mirroring
+ * fastod::OptionKind. */
+#define FASTOD_OPTION_BOOL 0
+#define FASTOD_OPTION_INT 1
+#define FASTOD_OPTION_DOUBLE 2
+#define FASTOD_OPTION_STRING 3
+#define FASTOD_OPTION_ENUM 4
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque session handle. */
+typedef struct fastod_session fastod_session_t;
+
+/* "MAJOR.MINOR.PATCH", matching the macros this header was built with. */
+const char* fastod_version_string(void);
+
+/* ---- Registry introspection (no session required) ------------------ */
+
+/* Number of registered discovery algorithms. */
+int fastod_algorithm_count(void);
+/* Name of the index-th algorithm (registration order), or NULL when the
+ * index is out of range. */
+const char* fastod_algorithm_name(int index);
+/* One-line description of a named algorithm, or NULL for unknown names. */
+const char* fastod_algorithm_description(const char* algorithm);
+
+/* ---- Session lifecycle --------------------------------------------- */
+
+/* Creates a session running `algorithm` (see fastod_algorithm_name).
+ * Returns NULL for unknown names; the message — listing the registered
+ * names — is then available via fastod_last_error(NULL). */
+fastod_session_t* fastod_create(const char* algorithm);
+
+/* Releases the session and its results. Safe on NULL. A still-running
+ * execution is cancelled and detached; the library reclaims it once the
+ * engine stops at its next check point. */
+void fastod_destroy(fastod_session_t* session);
+
+/* Parses and applies one option ("threads", "4"). Unknown names and
+ * malformed or out-of-range values fail, naming the option in
+ * fastod_last_error(). Only valid before execution is scheduled. */
+int fastod_set_option(fastod_session_t* session, const char* name,
+                      const char* value);
+
+/* ---- Option introspection ------------------------------------------ */
+
+/* Number of options the session's algorithm accepts. */
+int fastod_option_count(const fastod_session_t* session);
+/* Metadata of the index-th option (registration order). Name/description/
+ * default return NULL and kind returns -1 when the index is out of
+ * range. The default is rendered in the same spelling fastod_set_option
+ * parses. */
+const char* fastod_option_name(const fastod_session_t* session, int index);
+int fastod_option_kind(const fastod_session_t* session, int index);
+const char* fastod_option_default(const fastod_session_t* session,
+                                  int index);
+const char* fastod_option_description(const fastod_session_t* session,
+                                      int index);
+
+/* ---- Data + execution ---------------------------------------------- */
+
+/* Reads a CSV file (header row, comma delimiter, type inference) and
+ * binds it to the session. fastod_load_csv_opts overrides the delimiter,
+ * header handling and row limit (max_rows < 0 means all rows). */
+int fastod_load_csv(fastod_session_t* session, const char* path);
+int fastod_load_csv_opts(fastod_session_t* session, const char* path,
+                         char delimiter, int has_header, long max_rows);
+
+/* Runs discovery on the calling thread; returns once terminal. */
+int fastod_execute(fastod_session_t* session);
+
+/* Schedules discovery on the library's worker pool and returns
+ * immediately; observe it with fastod_poll()/fastod_wait(). */
+int fastod_execute_async(fastod_session_t* session);
+
+/* Returns the FASTOD_STATE_* of the session, or the negated
+ * FASTOD_ERR_NULL_HANDLE on a NULL handle. When progress_out is non-NULL
+ * it receives the engine's completion fraction in [0, 1]. */
+int fastod_poll(const fastod_session_t* session, double* progress_out);
+
+/* Blocks until the session is terminal; returns its final
+ * FASTOD_STATE_* (negated error code on a NULL handle). */
+int fastod_wait(fastod_session_t* session);
+
+/* Asks a queued or running execution to stop at its next check point.
+ * Queued runs are skipped; running engines keep their partial results.
+ * Idempotent. */
+int fastod_cancel(fastod_session_t* session);
+
+/* ---- Results ------------------------------------------------------- */
+
+/* The result in the library's stable JSON shape (see report/report.h in
+ * the C++ sources). Valid once the session is DONE or CANCELLED (partial
+ * results); NULL otherwise. Owned by the session — valid until the next
+ * call on it. */
+const char* fastod_result_json(fastod_session_t* session);
+
+/* Human-readable result summary under the same rules. */
+const char* fastod_result_text(fastod_session_t* session);
+
+/* The message of the most recent failure on this session; "" when none.
+ * fastod_last_error(NULL) reads the calling thread's session-less error
+ * (a failed fastod_create). */
+const char* fastod_last_error(const fastod_session_t* session);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* FASTOD_CAPI_FASTOD_C_H_ */

@@ -1,7 +1,10 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "api/algorithm.h"
@@ -12,6 +15,8 @@
 #include "data/encode.h"
 #include "gen/date_dim.h"
 #include "gen/generators.h"
+#include "report/report.h"
+#include "service/discovery_service.h"
 #include "validate/od_validator.h"
 #include "validate/violation_scanner.h"
 
@@ -34,6 +39,10 @@ std::string Usage() {
          "      NAME: " +
          AlgorithmRegistry::Default().NamesList() +
          "\n"
+         "  fastod batch <manifest.txt> [--threads=N] [--output=text|json]\n"
+         "                             (each line: <file.csv> <algorithm> "
+         "[--opt=val ...])\n"
+         "  fastod algorithms [NAME...]\n"
          "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
          "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
          "  fastod conditional <file.csv> [--min-support=F] [--limit=N]\n"
@@ -316,6 +325,212 @@ CliResult Conditional(const std::vector<std::string>& args) {
   return Discover(forwarded);
 }
 
+// Lists every registered algorithm with its description and option help,
+// all generated from the registry's metadata. With arguments, restricts
+// the listing to the named algorithms (unknown names error, listing what
+// is registered).
+CliResult Algorithms(const std::vector<std::string>& args) {
+  std::vector<std::string> names;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "help") {
+      CliResult result;
+      result.output = "usage: fastod algorithms [NAME...]\n\n"
+                      "Lists registered discovery algorithms with their "
+                      "options.\n";
+      return result;
+    }
+    names.push_back(arg);
+  }
+  if (names.empty()) names = AlgorithmRegistry::Default().Names();
+  CliResult result;
+  for (const std::string& name : names) {
+    Result<std::unique_ptr<Algorithm>> algo =
+        AlgorithmRegistry::Default().Create(name);
+    if (!algo.ok()) return Fail(algo.status());
+    result.output += (*algo)->name() + " — " + (*algo)->description() + "\n" +
+                     (*algo)->DescribeOptions();
+  }
+  return result;
+}
+
+// One parsed line of a batch manifest.
+struct BatchJob {
+  std::string csv;
+  std::string algorithm;
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+Result<std::vector<BatchJob>> ParseManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open manifest '" + path + "'");
+  }
+  std::vector<BatchJob> jobs;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    BatchJob job;
+    std::istringstream tokens(trimmed);
+    std::string token;
+    while (tokens >> token) {
+      if (token.rfind("--", 0) == 0) {
+        std::string name = token.substr(2);
+        std::string value;
+        size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+          value = name.substr(eq + 1);
+          name = name.substr(0, eq);
+        }
+        job.options.emplace_back(std::move(name), std::move(value));
+      } else if (job.csv.empty()) {
+        job.csv = token;
+      } else if (job.algorithm.empty()) {
+        job.algorithm = token;
+      } else {
+        return Status::InvalidArgument(
+            "manifest line " + std::to_string(line_number) +
+            ": unexpected token '" + token +
+            "' (expected: <file.csv> <algorithm> [--opt=val ...])");
+      }
+    }
+    if (job.csv.empty() || job.algorithm.empty()) {
+      return Status::InvalidArgument(
+          "manifest line " + std::to_string(line_number) +
+          ": expected <file.csv> <algorithm> [--opt=val ...]");
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    return Status::InvalidArgument("manifest '" + path +
+                                   "' contains no jobs");
+  }
+  return jobs;
+}
+
+// Runs a manifest of CSV×algorithm jobs concurrently through the
+// DiscoveryService: every job gets its own session, CSV parsing and
+// encoding happen on the workers (SubmitCsv), and at most --threads
+// sessions execute at once. Per-job failures (missing file, engine
+// error) are reported per line and don't abort the batch.
+CliResult Batch(const std::vector<std::string>& args) {
+  int64_t threads = 0;
+  std::string output = "text";
+  CsvFlags csv;
+  FlagSet flags;
+  flags.AddInt("threads", &threads,
+               "concurrently executing jobs (0 = hardware)");
+  flags.AddString("output", &output, "per-job result rendering");
+  csv.Register(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "batch expects exactly one manifest path"));
+  }
+  if (output != "text" && output != "json") {
+    return Fail(Status::InvalidArgument("--output must be text or json"));
+  }
+  if (threads < 0 || threads > 1024) {
+    return Fail(Status::InvalidArgument("--threads must be in [0, 1024]"));
+  }
+  if (csv.delimiter.size() != 1) {
+    return Fail(Status::InvalidArgument("--delimiter must be one character"));
+  }
+  Result<std::vector<BatchJob>> jobs = ParseManifest(flags.positional()[0]);
+  if (!jobs.ok()) return Fail(jobs.status());
+
+  CsvOptions csv_options;
+  csv_options.delimiter = csv.delimiter[0];
+  csv_options.has_header = !csv.no_header;
+  csv_options.max_rows = csv.max_rows;
+
+  DiscoveryService service(static_cast<int>(threads));
+  std::vector<SessionId> ids(jobs->size(), 0);
+  std::vector<std::string> submit_errors(jobs->size());
+  for (size_t i = 0; i < jobs->size(); ++i) {
+    const BatchJob& job = (*jobs)[i];
+    Result<SessionId> id = service.Create(job.algorithm);
+    if (!id.ok()) {
+      submit_errors[i] = id.status().ToString();
+      continue;
+    }
+    ids[i] = *id;
+    for (const auto& [name, value] : job.options) {
+      if (Status s = service.SetOption(*id, name, value); !s.ok()) {
+        submit_errors[i] = s.ToString();
+        break;
+      }
+    }
+    if (submit_errors[i].empty()) {
+      if (Status s = service.SubmitCsv(*id, job.csv, csv_options);
+          !s.ok()) {
+        submit_errors[i] = s.ToString();
+      }
+    }
+  }
+  service.WaitAll();
+
+  CliResult result;
+  bool any_failed = false;
+  std::string json_rows;
+  for (size_t i = 0; i < jobs->size(); ++i) {
+    const BatchJob& job = (*jobs)[i];
+    std::string state = "failed";
+    std::string error = submit_errors[i];
+    double seconds = 0.0;
+    std::string rendered;
+    if (error.empty()) {
+      auto info = service.Poll(ids[i]);
+      auto session = service.Find(ids[i]);
+      state = SessionStateName(info->state);
+      seconds = session->execute_seconds();
+      if (info->state == SessionState::kDone) {
+        rendered = output == "json" ? session->result_json()
+                                    : session->result_text();
+      } else {
+        error = info->error;
+      }
+    }
+    if (state != "done") any_failed = true;
+    if (output == "json") {
+      char seconds_buf[32];
+      std::snprintf(seconds_buf, sizeof(seconds_buf), "%.6f", seconds);
+      std::string row = "  {\"job\": " + std::to_string(i + 1) +
+                        ", \"csv\": \"" + JsonEscape(job.csv) +
+                        "\", \"algorithm\": \"" + JsonEscape(job.algorithm) +
+                        "\", \"state\": \"" + state + "\", \"seconds\": " +
+                        seconds_buf;
+      if (!error.empty()) row += ", \"error\": \"" + JsonEscape(error) + "\"";
+      if (!rendered.empty()) {
+        // The per-job report is itself the stable JSON shape; inline it.
+        std::string inlined(Trim(rendered));
+        row += ", \"result\": " + inlined;
+      }
+      row += "}";
+      json_rows += (json_rows.empty() ? "" : ",\n") + row;
+    } else {
+      char line[64];
+      std::snprintf(line, sizeof(line), " (%.3fs)", seconds);
+      result.output += "[" + std::to_string(i + 1) + "] " + job.algorithm +
+                       " " + job.csv + ": " + state +
+                       (state == "done" ? line : "") +
+                       (error.empty() ? "" : " — " + error) + "\n";
+      if (!rendered.empty()) {
+        // First line of the engine's text report as the job summary.
+        result.output += "    " + rendered.substr(0, rendered.find('\n')) +
+                         "\n";
+      }
+    }
+  }
+  if (output == "json") {
+    result.output = "{\"jobs\": [\n" + json_rows + "\n]}\n";
+  }
+  result.exit_code = any_failed ? 1 : 0;
+  return result;
+}
+
 CliResult Generate(const std::vector<std::string>& args) {
   int64_t rows = 1000;
   int64_t attrs = 10;
@@ -369,6 +584,8 @@ CliResult RunCli(const std::vector<std::string>& args) {
   const std::string& command = args[0];
   std::vector<std::string> rest(args.begin() + 1, args.end());
   if (command == "discover") return Discover(rest);
+  if (command == "algorithms") return Algorithms(rest);
+  if (command == "batch") return Batch(rest);
   if (command == "validate") return Validate(rest);
   if (command == "violations") return Violations(rest);
   if (command == "conditional") return Conditional(rest);

@@ -29,16 +29,29 @@ void ThreadPool::WorkerMain() {
   uint64_t seen_generation = 0;
   while (true) {
     ForLoop* loop = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [&] {
-        return shutdown_ ||
+        return shutdown_ || !tasks_.empty() ||
                (active_ != nullptr && generation_ != seen_generation);
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      loop = active_;
-      ++loop->refs;  // the loop object stays alive while refs > 0
+      if (!tasks_.empty()) {
+        // Tasks take priority: a pending session should not wait behind
+        // loop iterations other workers already cover.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (shutdown_) {
+        return;  // queue drained; safe to exit
+      } else {
+        seen_generation = generation_;
+        loop = active_;
+        ++loop->refs;  // the loop object stays alive while refs > 0
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     DrainLoop(loop);
     {
@@ -47,6 +60,15 @@ void ThreadPool::WorkerMain() {
     }
     work_done_.notify_all();
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FASTOD_CHECK(!shutdown_);
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
 }
 
 void ThreadPool::DrainLoop(ForLoop* loop) {

@@ -1,5 +1,5 @@
 // A minimal fixed-size thread pool for intra-level parallelism in the
-// discovery algorithms.
+// discovery algorithms and for session scheduling in the service layer.
 //
 // The level-wise structure of FASTOD makes parallelism easy to reason
 // about: within one level, node validations only read immutable state
@@ -7,12 +7,20 @@
 // their own node, so ParallelFor over the node vector is safe. Results
 // are merged in node order, keeping output deterministic regardless of
 // thread count (verified by tests/parallel_test.cc).
+//
+// Submit() adds fire-and-forget task scheduling on the same workers: the
+// DiscoveryService (service/discovery_service.h) queues whole discovery
+// sessions this way, so at most num_threads() sessions execute at once and
+// the rest wait their turn. Tasks and ParallelFor loops share the workers;
+// a worker busy with a long task simply never joins a loop (the loop's
+// caller always participates, so loops cannot starve).
 #ifndef FASTOD_COMMON_THREAD_POOL_H_
 #define FASTOD_COMMON_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,6 +44,14 @@ class ThreadPool {
   /// participates. body must be safe to call concurrently for distinct i.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& body);
 
+  /// Enqueues a task for execution on the next free worker and returns
+  /// immediately. Tasks run in submission order (one worker each) and may
+  /// overlap arbitrarily with each other and with ParallelFor loops. The
+  /// destructor drains the queue: every submitted task runs before the
+  /// pool is torn down, so tasks may safely reference state that outlives
+  /// the pool object.
+  void Submit(std::function<void()> task);
+
  private:
   struct ForLoop {
     int64_t count = 0;
@@ -56,6 +72,7 @@ class ThreadPool {
   std::condition_variable work_done_;
   ForLoop* active_ = nullptr;  // guarded by mutex_ for hand-off
   uint64_t generation_ = 0;    // bumps per ParallelFor to wake workers
+  std::deque<std::function<void()>> tasks_;  // guarded by mutex_
   bool shutdown_ = false;
 };
 

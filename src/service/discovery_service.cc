@@ -1,0 +1,226 @@
+#include "service/discovery_service.h"
+
+#include <thread>
+#include <utility>
+
+namespace fastod {
+
+namespace {
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+Status StaleHandle(SessionId id) {
+  return Status::NotFound("no session with id " + std::to_string(id));
+}
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(int num_threads,
+                                   const AlgorithmRegistry* registry)
+    : registry_(registry != nullptr ? *registry
+                                    : AlgorithmRegistry::Default()),
+      pool_(ResolveThreads(num_threads)) {}
+
+DiscoveryService::~DiscoveryService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, session] : sessions_) session->RequestCancel();
+  }
+  // ~ThreadPool (the first member destroyed) drains the queue; cancelled
+  // runs stop at their next check point.
+}
+
+Result<SessionId> DiscoveryService::Create(const std::string& algorithm) {
+  Result<std::unique_ptr<Algorithm>> algo = registry_.Create(algorithm);
+  if (!algo.ok()) return algo.status();
+  auto session = std::make_shared<DiscoverySession>(std::move(algo).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_shared_sink_ != nullptr) {
+    session->SetSink(current_shared_sink_);
+  }
+  SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+std::shared_ptr<DiscoverySession> DiscoveryService::FindMutable(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const DiscoverySession> DiscoveryService::Find(
+    SessionId id) const {
+  return FindMutable(id);
+}
+
+Status DiscoveryService::SetOption(SessionId id, const std::string& name,
+                                   const std::string& value) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  return session->SetOption(name, value);
+}
+
+Status DiscoveryService::LoadCsv(SessionId id, const std::string& path,
+                                 const CsvOptions& options) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  return session->LoadCsv(path, options);
+}
+
+Status DiscoveryService::LoadTable(SessionId id, Table table) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  return session->LoadTable(std::move(table));
+}
+
+Status DiscoveryService::SetSink(SessionId id, OdSink* sink) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  if (session->state() != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "sink may only be attached before submission");
+  }
+  session->SetSink(sink);
+  return Status::Ok();
+}
+
+Status DiscoveryService::Submit(SessionId id) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  if (Status s = session->MarkQueued(); !s.ok()) return s;
+  pool_.Submit([this, session] { RunSession(session); });
+  return Status::Ok();
+}
+
+Status DiscoveryService::SubmitCsv(SessionId id, const std::string& path,
+                                   const CsvOptions& options) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  if (Status s = session->SetDeferredCsv(path, options); !s.ok()) return s;
+  if (Status s = session->MarkQueued(); !s.ok()) return s;
+  pool_.Submit([this, session] { RunSession(session); });
+  return Status::Ok();
+}
+
+void DiscoveryService::RunSession(
+    const std::shared_ptr<DiscoverySession>& session) {
+  session->Run();
+  // Waiters re-check under the lock; taking it here orders the terminal
+  // store before their wake-up.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  terminal_cv_.notify_all();
+}
+
+Result<DiscoveryService::PollInfo> DiscoveryService::Poll(
+    SessionId id) const {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  PollInfo info;
+  info.state = session->state();
+  info.progress = session->progress();
+  if (info.state == SessionState::kFailed) {
+    info.error = session->status().ToString();
+  }
+  return info;
+}
+
+Status DiscoveryService::Cancel(SessionId id) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  session->RequestCancel();
+  // A kCreated session turns terminal synchronously; wake waiters.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  terminal_cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<SessionState> DiscoveryService::Wait(SessionId id) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_cv_.wait(lock, [&] { return IsTerminal(session->state()); });
+  return session->state();
+}
+
+void DiscoveryService::WaitAll() {
+  std::vector<std::shared_ptr<DiscoverySession>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) live.push_back(session);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_cv_.wait(lock, [&] {
+    for (const auto& session : live) {
+      SessionState state = session->state();
+      // Unsubmitted sessions don't block a batch drain.
+      if (state != SessionState::kCreated && !IsTerminal(state)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+Result<std::string> DiscoveryService::ResultJson(SessionId id) const {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  if (!IsTerminal(session->state())) {
+    return Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is " +
+        SessionStateName(session->state()) + "; results require a "
+        "terminal session (poll or wait first)");
+  }
+  return session->result_json();
+}
+
+Result<std::string> DiscoveryService::ResultText(SessionId id) const {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  if (!IsTerminal(session->state())) {
+    return Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is " +
+        SessionStateName(session->state()) + "; results require a "
+        "terminal session (poll or wait first)");
+  }
+  return session->result_text();
+}
+
+Status DiscoveryService::Destroy(SessionId id) {
+  std::shared_ptr<DiscoverySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return StaleHandle(id);
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // A queued/running worker task holds its own shared_ptr; cancelling
+  // makes it finish promptly, after which the object dies with the last
+  // reference.
+  session->RequestCancel();
+  return Status::Ok();
+}
+
+int64_t DiscoveryService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+void DiscoveryService::SetSharedSink(OdSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink == nullptr) {
+    current_shared_sink_ = nullptr;
+    return;
+  }
+  shared_sinks_.push_back(std::make_unique<MutexOdSink>(sink));
+  current_shared_sink_ = shared_sinks_.back().get();
+}
+
+}  // namespace fastod

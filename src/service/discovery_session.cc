@@ -1,0 +1,180 @@
+#include "service/discovery_session.h"
+
+#include <utility>
+
+namespace fastod {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kCreated:
+      return "created";
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kFailed:
+      return "failed";
+    case SessionState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+DiscoverySession::DiscoverySession(std::unique_ptr<Algorithm> algorithm)
+    : algorithm_(std::move(algorithm)) {
+  algorithm_->SetControl(&control_);
+}
+
+Status DiscoverySession::SetOption(const std::string& name,
+                                   const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateName(state_)) +
+        "; options may only change before submission");
+  }
+  return algorithm_->SetOption(name, value);
+}
+
+Status DiscoverySession::LoadCsv(const std::string& path,
+                                 const CsvOptions& options) {
+  Result<Table> table = ReadCsvFile(path, options);
+  if (!table.ok()) return table.status();
+  return LoadTable(std::move(table).value());
+}
+
+Status DiscoverySession::SetDeferredCsv(std::string path,
+                                        CsvOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Same freeze point as LoadTable: a source swapped in after queueing
+  // would silently redirect the pending run to the wrong dataset.
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateName(state_)) +
+        "; data may only be bound before submission");
+  }
+  has_deferred_csv_ = true;
+  csv_path_ = std::move(path);
+  csv_options_ = options;
+  return Status::Ok();
+}
+
+Status DiscoverySession::LoadTable(Table table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateName(state_)) +
+        "; data may only be bound before submission");
+  }
+  return algorithm_->LoadData(std::move(table));
+}
+
+void DiscoverySession::SetSink(OdSink* sink) { algorithm_->SetSink(sink); }
+
+Status DiscoverySession::MarkQueued() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateName(state_)) +
+        "; it can be submitted only once");
+  }
+  if (!algorithm_->has_data() && !has_deferred_csv_) {
+    return Status::FailedPrecondition(
+        "session has no data; call LoadCsv/LoadTable before submitting");
+  }
+  state_ = SessionState::kQueued;
+  return Status::Ok();
+}
+
+void DiscoverySession::Run() {
+  bool load_csv = false;
+  std::string path;
+  CsvOptions csv_options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A cancel that arrived while queued wins: skip the run entirely.
+    if (state_ != SessionState::kQueued) return;
+    if (control_.CancelRequested()) {
+      state_ = SessionState::kCancelled;
+      return;
+    }
+    state_ = SessionState::kRunning;
+    if (has_deferred_csv_ && !algorithm_->has_data()) {
+      load_csv = true;
+      path = csv_path_;
+      csv_options = csv_options_;
+    }
+  }
+  if (load_csv) {
+    Result<Table> table = ReadCsvFile(path, csv_options);
+    if (!table.ok()) {
+      Finish(SessionState::kFailed, table.status());
+      return;
+    }
+    if (Status s = algorithm_->LoadData(std::move(table).value()); !s.ok()) {
+      Finish(SessionState::kFailed, s);
+      return;
+    }
+  }
+  Status executed = algorithm_->Execute();
+  if (!executed.ok()) {
+    Finish(SessionState::kFailed, executed);
+    return;
+  }
+  // Engines treat cancellation as a clean early stop, not an error; the
+  // session keeps whatever partial results they rendered.
+  Finish(control_.CancelRequested() ? SessionState::kCancelled
+                                    : SessionState::kDone,
+         Status::Ok());
+}
+
+void DiscoverySession::Finish(SessionState terminal, Status status) {
+  std::string json;
+  std::string text;
+  if (terminal != SessionState::kFailed) {
+    json = algorithm_->ResultJson();
+    text = algorithm_->ResultText();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = terminal;
+  status_ = std::move(status);
+  result_json_ = std::move(json);
+  result_text_ = std::move(text);
+}
+
+SessionState DiscoverySession::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void DiscoverySession::RequestCancel() {
+  control_.RequestCancel();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sessions that never reached a worker turn terminal immediately so
+  // waiters don't block on a run that will never happen. kQueued stays —
+  // the worker task still owns the kQueued→terminal transition.
+  if (state_ == SessionState::kCreated) state_ = SessionState::kCancelled;
+}
+
+Status DiscoverySession::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+const std::string& DiscoverySession::result_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return result_json_;
+}
+
+const std::string& DiscoverySession::result_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return result_text_;
+}
+
+double DiscoverySession::execute_seconds() const {
+  return algorithm_->execute_seconds();
+}
+
+}  // namespace fastod

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "algo/brute_force_discovery.h"
 #include "algo/conditional.h"
@@ -112,6 +114,80 @@ TEST(OptionRegistryTest, ApproximateSurfacesItsOwnDefault) {
   const OptionInfo* info = algo.FindOption("max-error");
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->default_repr, "0.01");
+}
+
+TEST(OptionRegistryTest, KindsMatchTypeNames) {
+  // The kind enum crosses the C ABI; it must agree with the string form.
+  FastodAlgorithm algo;
+  EXPECT_EQ(algo.FindOption("threads")->kind, OptionKind::kInt);
+  EXPECT_EQ(algo.FindOption("timeout")->kind, OptionKind::kDouble);
+  EXPECT_EQ(algo.FindOption("bidirectional")->kind, OptionKind::kBool);
+  EXPECT_EQ(algo.FindOption("swap-method")->kind, OptionKind::kEnum);
+  ConditionalAlgorithm conditional;
+  EXPECT_EQ(conditional.FindOption("limit")->kind, OptionKind::kInt);
+}
+
+TEST(OptionRegistryTest, ReSetOptionBetweenExecutesOnSameData) {
+  // Reconfiguring between two Execute() calls on the same loaded data
+  // must behave exactly like a fresh run with the final configuration.
+  FastodAlgorithm algo;
+  ASSERT_TRUE(algo.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(algo.SetOption("max-level", "1").ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  int64_t level1 = algo.result().NumOds();
+
+  ASSERT_TRUE(algo.SetOption("max-level", "0").ok());
+  ASSERT_TRUE(algo.SetOption("bidirectional", "true").ok());
+  ASSERT_TRUE(algo.Execute().ok());
+
+  FastodAlgorithm fresh;
+  ASSERT_TRUE(fresh.SetOption("bidirectional", "true").ok());
+  ASSERT_TRUE(fresh.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(fresh.Execute().ok());
+  EXPECT_EQ(algo.result().constancy_ods, fresh.result().constancy_ods);
+  EXPECT_EQ(algo.result().compatibility_ods,
+            fresh.result().compatibility_ods);
+  EXPECT_EQ(algo.result().bidirectional_ods,
+            fresh.result().bidirectional_ods);
+  EXPECT_NE(algo.result().NumOds(), level1);
+}
+
+TEST(OptionRegistryTest, UnknownOptionAfterSuccessfulRuns) {
+  // A stale frontend probing an option that does not exist must not
+  // disturb an already-configured, already-executed instance.
+  FastodAlgorithm algo;
+  ASSERT_TRUE(algo.SetOption("max-level", "2").ok());
+  ASSERT_TRUE(algo.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  int64_t before = algo.result().NumOds();
+
+  Status s = algo.SetOption("does-not-exist", "1");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("does-not-exist"), std::string::npos);
+
+  ASSERT_TRUE(algo.Execute().ok());
+  EXPECT_EQ(algo.result().NumOds(), before);
+}
+
+TEST(OptionRegistryTest, OutOfRangeValuesNameTheOption) {
+  FastodAlgorithm algo;
+  for (const auto& [name, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"threads", "100000"},
+           {"threads", "-1"},
+           {"max-error", "1.0001"},
+           {"max-level", "65"}}) {
+    Status s = algo.SetOption(name, value);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_NE(s.message().find(name), std::string::npos)
+        << "message must name the option: " << s.message();
+    EXPECT_NE(s.message().find(value), std::string::npos)
+        << "message must carry the offending value: " << s.message();
+  }
+  ConditionalAlgorithm conditional;
+  Status s = conditional.SetOption("limit", "0");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("limit"), std::string::npos);
 }
 
 // ------------------------------------------------------------- registry

@@ -1,0 +1,206 @@
+// Tests for the stable C ABI (capi/fastod_c.h), driven from C++ but
+// calling only the extern "C" surface the way an FFI binding would:
+// version/registry introspection, session lifecycle, option metadata and
+// errors, sync + async execution, cancellation, and the JSON result.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "capi/fastod_c.h"
+#include "data/csv.h"
+#include "gen/generators.h"
+
+namespace fastod {
+namespace {
+
+std::string WriteEmployeeCsv(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteCsvFile(EmployeeTaxTable(), path).ok());
+  return path;
+}
+
+TEST(CApiTest, VersionMatchesMacros) {
+  std::string expected = std::to_string(FASTOD_VERSION_MAJOR) + "." +
+                         std::to_string(FASTOD_VERSION_MINOR) + "." +
+                         std::to_string(FASTOD_VERSION_PATCH);
+  EXPECT_STREQ(fastod_version_string(), expected.c_str());
+}
+
+TEST(CApiTest, RegistryIntrospection) {
+  int count = fastod_algorithm_count();
+  ASSERT_GE(count, 6);
+  bool saw_fastod = false;
+  for (int i = 0; i < count; ++i) {
+    const char* name = fastod_algorithm_name(i);
+    ASSERT_NE(name, nullptr);
+    if (std::strcmp(name, "fastod") == 0) saw_fastod = true;
+  }
+  EXPECT_TRUE(saw_fastod);
+  EXPECT_EQ(fastod_algorithm_name(-1), nullptr);
+  EXPECT_EQ(fastod_algorithm_name(count), nullptr);
+  const char* description = fastod_algorithm_description("fastod");
+  ASSERT_NE(description, nullptr);
+  EXPECT_NE(std::string(description).find("minimal"), std::string::npos);
+  EXPECT_EQ(fastod_algorithm_description("magic"), nullptr);
+}
+
+TEST(CApiTest, CreateUnknownAlgorithmSetsThreadError) {
+  EXPECT_EQ(fastod_create("magic"), nullptr);
+  std::string error = fastod_last_error(nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  EXPECT_NE(error.find("fastod"), std::string::npos);  // lists names
+}
+
+TEST(CApiTest, NullHandleIsAnErrorNotACrash) {
+  EXPECT_EQ(fastod_set_option(nullptr, "threads", "2"),
+            FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_load_csv(nullptr, "x.csv"), FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_execute(nullptr), FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_poll(nullptr, nullptr), -FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_wait(nullptr), -FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_cancel(nullptr), FASTOD_ERR_NULL_HANDLE);
+  EXPECT_EQ(fastod_result_json(nullptr), nullptr);
+  EXPECT_EQ(fastod_option_count(nullptr), 0);
+  fastod_destroy(nullptr);  // no-op
+}
+
+TEST(CApiTest, OptionIntrospectionThroughC) {
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  int count = fastod_option_count(session);
+  EXPECT_EQ(count, 11);
+  bool saw_threads = false;
+  bool saw_swap = false;
+  for (int i = 0; i < count; ++i) {
+    const char* name = fastod_option_name(session, i);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(fastod_option_default(session, i), nullptr);
+    ASSERT_NE(fastod_option_description(session, i), nullptr);
+    int kind = fastod_option_kind(session, i);
+    EXPECT_GE(kind, FASTOD_OPTION_BOOL);
+    EXPECT_LE(kind, FASTOD_OPTION_ENUM);
+    if (std::strcmp(name, "threads") == 0) {
+      saw_threads = true;
+      EXPECT_EQ(kind, FASTOD_OPTION_INT);
+      EXPECT_STREQ(fastod_option_default(session, i), "1");
+    }
+    if (std::strcmp(name, "swap-method") == 0) {
+      saw_swap = true;
+      EXPECT_EQ(kind, FASTOD_OPTION_ENUM);
+      EXPECT_STREQ(fastod_option_default(session, i), "auto");
+    }
+  }
+  EXPECT_TRUE(saw_threads);
+  EXPECT_TRUE(saw_swap);
+  EXPECT_EQ(fastod_option_name(session, count), nullptr);
+  EXPECT_EQ(fastod_option_kind(session, -1), -1);
+  fastod_destroy(session);
+}
+
+TEST(CApiTest, OptionErrorsAreCodedAndNamed) {
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(fastod_set_option(session, "threads", "four"),
+            FASTOD_ERR_INVALID_ARGUMENT);
+  std::string error = fastod_last_error(session);
+  EXPECT_NE(error.find("threads"), std::string::npos);
+  EXPECT_NE(error.find("four"), std::string::npos);
+  EXPECT_EQ(fastod_set_option(session, "warp-speed", "9"),
+            FASTOD_ERR_NOT_FOUND);
+  EXPECT_NE(std::string(fastod_last_error(session)).find("warp-speed"),
+            std::string::npos);
+  // Valid settings still apply afterwards.
+  EXPECT_EQ(fastod_set_option(session, "threads", "2"), FASTOD_OK);
+  fastod_destroy(session);
+}
+
+TEST(CApiTest, SynchronousLifecycle) {
+  std::string path = WriteEmployeeCsv("capi_sync.csv");
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  // Executing without data is a coded precondition failure.
+  EXPECT_EQ(fastod_execute(session), FASTOD_ERR_FAILED_PRECONDITION);
+  EXPECT_EQ(fastod_load_csv(session, path.c_str()), FASTOD_OK);
+  EXPECT_EQ(fastod_execute(session), FASTOD_OK);
+  double progress = 0.0;
+  EXPECT_EQ(fastod_poll(session, &progress), FASTOD_STATE_DONE);
+  EXPECT_DOUBLE_EQ(progress, 1.0);
+  const char* json = fastod_result_json(session);
+  ASSERT_NE(json, nullptr);
+  EXPECT_NE(std::string(json).find("\"algorithm\": \"fastod\""),
+            std::string::npos);
+  const char* text = fastod_result_text(session);
+  ASSERT_NE(text, nullptr);
+  EXPECT_NE(std::string(text).find("FASTOD"), std::string::npos);
+  fastod_destroy(session);
+  std::remove(path.c_str());
+}
+
+TEST(CApiTest, AsyncLifecycleAndStateCodes) {
+  std::string path = WriteEmployeeCsv("capi_async.csv");
+  fastod_session_t* session = fastod_create("tane");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(fastod_poll(session, nullptr), FASTOD_STATE_CREATED);
+  ASSERT_EQ(fastod_load_csv(session, path.c_str()), FASTOD_OK);
+  ASSERT_EQ(fastod_execute_async(session), FASTOD_OK);
+  // Double submission is rejected with a coded error.
+  EXPECT_EQ(fastod_execute_async(session), FASTOD_ERR_FAILED_PRECONDITION);
+  int state = fastod_wait(session);
+  EXPECT_EQ(state, FASTOD_STATE_DONE);
+  const char* json = fastod_result_json(session);
+  ASSERT_NE(json, nullptr);
+  EXPECT_NE(std::string(json).find("\"algorithm\": \"tane\""),
+            std::string::npos);
+  fastod_destroy(session);
+  std::remove(path.c_str());
+}
+
+TEST(CApiTest, LoadErrorsAreCoded) {
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(fastod_load_csv(session, "/no/such/file.csv"), FASTOD_ERR_IO);
+  EXPECT_NE(std::string(fastod_last_error(session)).find("/no/such"),
+            std::string::npos);
+  fastod_destroy(session);
+}
+
+TEST(CApiTest, CsvOptionsRespected) {
+  std::string path = ::testing::TempDir() + "/capi_semi.csv";
+  {
+    std::ofstream out(path);
+    out << "a;b\n1;2\n2;4\n3;6\n4;8\n";
+  }
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(fastod_load_csv_opts(session, path.c_str(), ';', 1, 2),
+            FASTOD_OK);
+  ASSERT_EQ(fastod_execute(session), FASTOD_OK);
+  const char* json = fastod_result_json(session);
+  ASSERT_NE(json, nullptr);
+  // Two rows read (max_rows), named header columns.
+  EXPECT_NE(std::string(json).find("\"rows\": 2"), std::string::npos);
+  EXPECT_NE(std::string(json).find("\"a\""), std::string::npos);
+  fastod_destroy(session);
+  std::remove(path.c_str());
+}
+
+TEST(CApiTest, CancelBeforeRunYieldsCancelledState) {
+  std::string path = WriteEmployeeCsv("capi_cancel.csv");
+  fastod_session_t* session = fastod_create("order");
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(fastod_load_csv(session, path.c_str()), FASTOD_OK);
+  // Cancel before any execution was scheduled: the session turns
+  // terminal without running.
+  EXPECT_EQ(fastod_cancel(session), FASTOD_OK);
+  EXPECT_EQ(fastod_poll(session, nullptr), FASTOD_STATE_CANCELLED);
+  // Results of a never-run session are absent, not garbage.
+  EXPECT_EQ(fastod_result_json(session), nullptr);
+  fastod_destroy(session);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fastod

@@ -206,5 +206,94 @@ TEST_F(CliTest, EndToEndGenerateThenDiscover) {
   EXPECT_NE(disc.output.find("FASTOD:"), std::string::npos);
 }
 
+TEST_F(CliTest, AlgorithmsListsEveryEngineWithOptions) {
+  CliResult r = RunCli({"algorithms"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  for (const char* name : {"fastod —", "tane —", "order —", "brute-force —",
+                           "approximate —", "conditional —"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+  // Option help comes straight from DescribeOptions().
+  EXPECT_NE(r.output.find("--swap-method=<auto|sort|tau>"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("--min-support=<double>"), std::string::npos);
+}
+
+TEST_F(CliTest, AlgorithmsFiltersByName) {
+  CliResult r = RunCli({"algorithms", "tane"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("tane —"), std::string::npos);
+  EXPECT_EQ(r.output.find("fastod —"), std::string::npos);
+}
+
+TEST_F(CliTest, AlgorithmsUnknownNameListsRegistered) {
+  CliResult r = RunCli({"algorithms", "magic"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+  EXPECT_NE(r.error.find("fastod"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchRunsManifestJobs) {
+  std::string manifest = WriteFixture(
+      "cli_batch_manifest.txt",
+      "# comment and blank lines are skipped\n"
+      "\n" +
+          path_ + " fastod --max-level=2\n" + path_ + " tane\n");
+  CliResult r = RunCli({"batch", manifest, "--threads=2"});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.error << r.output;
+  EXPECT_NE(r.output.find("[1] fastod"), std::string::npos);
+  EXPECT_NE(r.output.find("[2] tane"), std::string::npos);
+  EXPECT_NE(r.output.find("done"), std::string::npos);
+  EXPECT_NE(r.output.find("FASTOD:"), std::string::npos);
+  EXPECT_NE(r.output.find("TANE:"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchJsonOutputEmbedsResults) {
+  std::string manifest =
+      WriteFixture("cli_batch_json.txt", path_ + " fastod\n");
+  CliResult r = RunCli({"batch", manifest, "--output=json"});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("\"jobs\": ["), std::string::npos);
+  EXPECT_NE(r.output.find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"algorithm\": \"fastod\""), std::string::npos);
+}
+
+TEST_F(CliTest, BatchReportsPerJobFailuresAndContinues) {
+  std::string manifest = WriteFixture(
+      "cli_batch_fail.txt",
+      "/no/such/file.csv fastod\n" + path_ + " fastod\n" + path_ +
+          " fastod --threads=zero\n");
+  CliResult r = RunCli({"batch", manifest});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  // The healthy middle job still ran to completion.
+  EXPECT_NE(r.output.find("[2] fastod"), std::string::npos);
+  EXPECT_NE(r.output.find("done"), std::string::npos);
+  EXPECT_NE(r.output.find("failed"), std::string::npos);
+  EXPECT_NE(r.output.find("threads"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchRejectsMalformedManifest) {
+  std::string manifest = WriteFixture("cli_batch_bad.txt", "just-one-token\n");
+  CliResult r = RunCli({"batch", manifest});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("manifest line 1"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchMissingManifestFails) {
+  CliResult r = RunCli({"batch", "/no/such/manifest.txt"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("manifest"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageMentionsNewCommands) {
+  CliResult r = RunCli({"help"});
+  EXPECT_NE(r.output.find("fastod batch"), std::string::npos);
+  EXPECT_NE(r.output.find("fastod algorithms"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fastod

@@ -1,0 +1,487 @@
+// Tests for the service layer (src/service/): session state machine,
+// DiscoveryService scheduling on the shared thread pool, cancellation of
+// queued and running sessions, shared sinks through MutexOdSink, and —
+// the acceptance bar — that concurrent mixed-algorithm sessions produce
+// bit-for-bit the results of sequential single-session runs even while
+// another session is cancelled mid-flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "api/engines.h"
+#include "api/od_sink.h"
+#include "api/registry.h"
+#include "gen/generators.h"
+#include "service/discovery_service.h"
+
+namespace fastod {
+namespace {
+
+Table WideFlight() { return GenFlightLike(400, 10, 7); }
+
+// ------------------------------------------------------------- session
+
+TEST(DiscoverySessionTest, LifecycleStates) {
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  DiscoverySession session(std::move(algo).value());
+  EXPECT_EQ(session.state(), SessionState::kCreated);
+  EXPECT_FALSE(IsTerminal(session.state()));
+
+  ASSERT_TRUE(session.LoadTable(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(session.MarkQueued().ok());
+  EXPECT_EQ(session.state(), SessionState::kQueued);
+
+  session.Run();
+  EXPECT_EQ(session.state(), SessionState::kDone);
+  EXPECT_TRUE(IsTerminal(session.state()));
+  EXPECT_NE(session.result_json().find("\"algorithm\": \"fastod\""),
+            std::string::npos);
+  EXPECT_NE(session.result_text().find("FASTOD"), std::string::npos);
+  EXPECT_DOUBLE_EQ(session.progress(), 1.0);
+}
+
+TEST(DiscoverySessionTest, SubmitWithoutDataFails) {
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  DiscoverySession session(std::move(algo).value());
+  Status s = session.MarkQueued();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("no data"), std::string::npos);
+}
+
+TEST(DiscoverySessionTest, ConfigurationFrozenAfterQueueing) {
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  DiscoverySession session(std::move(algo).value());
+  ASSERT_TRUE(session.LoadTable(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(session.SetOption("threads", "2").ok());
+  ASSERT_TRUE(session.MarkQueued().ok());
+  EXPECT_EQ(session.SetOption("threads", "4").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.LoadTable(EmployeeTaxTable()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.MarkQueued().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DiscoverySessionTest, CancelBeforeQueueIsTerminal) {
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  DiscoverySession session(std::move(algo).value());
+  session.RequestCancel();
+  EXPECT_EQ(session.state(), SessionState::kCancelled);
+}
+
+TEST(DiscoverySessionTest, StateNames) {
+  EXPECT_STREQ(SessionStateName(SessionState::kCreated), "created");
+  EXPECT_STREQ(SessionStateName(SessionState::kQueued), "queued");
+  EXPECT_STREQ(SessionStateName(SessionState::kRunning), "running");
+  EXPECT_STREQ(SessionStateName(SessionState::kDone), "done");
+  EXPECT_STREQ(SessionStateName(SessionState::kFailed), "failed");
+  EXPECT_STREQ(SessionStateName(SessionState::kCancelled), "cancelled");
+}
+
+// ------------------------------------------------------------- service
+
+TEST(DiscoveryServiceTest, UnknownAlgorithmListsRegistered) {
+  DiscoveryService service(2);
+  auto id = service.Create("magic");
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(id.status().message().find("fastod"), std::string::npos);
+}
+
+TEST(DiscoveryServiceTest, StaleHandleIsNotFound) {
+  DiscoveryService service(2);
+  EXPECT_EQ(service.SetOption(99, "threads", "1").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Submit(99).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(service.Poll(99).ok());
+  EXPECT_EQ(service.Cancel(99).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(service.Wait(99).ok());
+  EXPECT_EQ(service.Destroy(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Find(99), nullptr);
+}
+
+TEST(DiscoveryServiceTest, SubmitPollCollectRoundTrip) {
+  DiscoveryService service(2);
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service.num_sessions(), 1);
+  // Results before terminal are a precondition failure, not garbage.
+  ASSERT_TRUE(service.LoadTable(*id, EmployeeTaxTable()).ok());
+  EXPECT_EQ(service.ResultJson(*id).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Submit(*id).ok());
+  auto state = service.Wait(*id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, SessionState::kDone);
+  auto poll = service.Poll(*id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kDone);
+  EXPECT_DOUBLE_EQ(poll->progress, 1.0);
+  EXPECT_TRUE(poll->error.empty());
+  auto json = service.ResultJson(*id);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"algorithm\": \"fastod\""), std::string::npos);
+  ASSERT_TRUE(service.Destroy(*id).ok());
+  EXPECT_EQ(service.num_sessions(), 0);
+}
+
+TEST(DiscoveryServiceTest, DoubleSubmitRejected) {
+  DiscoveryService service(2);
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.LoadTable(*id, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*id).ok());
+  EXPECT_EQ(service.Submit(*id).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Wait(*id).ok());
+}
+
+TEST(DiscoveryServiceTest, DeferredCsvErrorSurfacesInPoll) {
+  DiscoveryService service(2);
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.SubmitCsv(*id, "/no/such/file.csv").ok());
+  auto state = service.Wait(*id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, SessionState::kFailed);
+  auto poll = service.Poll(*id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_NE(poll->error.find("/no/such/file.csv"), std::string::npos);
+  // kFailed is terminal, so results are reachable but empty.
+  auto json = service.ResultJson(*id);
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(json->empty());
+}
+
+TEST(DiscoveryServiceTest, DeferredCsvRunsAndMatchesEagerLoad) {
+  std::string path = ::testing::TempDir() + "/service_test_deferred.csv";
+  ASSERT_TRUE(WriteCsvFile(EmployeeTaxTable(), path).ok());
+  DiscoveryService service(2);
+  auto deferred = service.Create("fastod");
+  auto eager = service.Create("fastod");
+  ASSERT_TRUE(deferred.ok());
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(service.SubmitCsv(*deferred, path).ok());
+  ASSERT_TRUE(service.LoadCsv(*eager, path).ok());
+  ASSERT_TRUE(service.Submit(*eager).ok());
+  service.WaitAll();
+  auto a = service.ResultJson(*deferred);
+  auto b = service.ResultJson(*eager);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->empty());
+  // Identical input and configuration: byte-identical reports except the
+  // wall-clock line.
+  EXPECT_EQ(a->substr(a->find("\"constancy_ods\"")),
+            b->substr(b->find("\"constancy_ods\"")));
+  std::remove(path.c_str());
+}
+
+// A deterministic concurrency probe: each sleeper blocks until `expected`
+// algorithms run simultaneously, so the test fails (by timeout fallback)
+// if the pool cannot actually overlap that many sessions.
+class SleeperAlgorithm : public Algorithm {
+ public:
+  struct Rendezvous {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    int peak = 0;
+    bool released = false;
+
+    void Release() {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        released = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  SleeperAlgorithm(Rendezvous* rendezvous, int expected)
+      : Algorithm("sleeper", "test-only rendezvous algorithm"),
+        rendezvous_(rendezvous),
+        expected_(expected) {}
+
+  std::string ResultText() const override { return "sleeper\n"; }
+  std::string ResultJson() const override {
+    return "{\"algorithm\": \"sleeper\"}\n";
+  }
+
+ protected:
+  Status ExecuteInternal() override {
+    std::unique_lock<std::mutex> lock(rendezvous_->mutex);
+    ++rendezvous_->arrived;
+    rendezvous_->peak = std::max(rendezvous_->peak, rendezvous_->arrived);
+    rendezvous_->cv.notify_all();
+    // The 30s bound turns a pool that cannot overlap `expected` sessions
+    // into a slow test failure rather than a hang.
+    rendezvous_->cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return rendezvous_->peak >= expected_ || rendezvous_->released;
+    });
+    --rendezvous_->arrived;
+    return Status::Ok();
+  }
+
+ private:
+  Rendezvous* rendezvous_;
+  int expected_;
+};
+
+TEST(DiscoveryServiceTest, PoolOverlapsFourSessions) {
+  AlgorithmRegistry registry;
+  SleeperAlgorithm::Rendezvous rendezvous;
+  registry.Register("sleeper", [&rendezvous] {
+    return std::unique_ptr<Algorithm>(
+        new SleeperAlgorithm(&rendezvous, 4));
+  });
+  DiscoveryService service(4, &registry);
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = service.Create("sleeper");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(service.LoadTable(*id, EmployeeTaxTable()).ok());
+    ASSERT_TRUE(service.Submit(*id).ok());
+    ids.push_back(*id);
+  }
+  service.WaitAll();
+  EXPECT_EQ(rendezvous.peak, 4);
+  for (SessionId id : ids) {
+    EXPECT_EQ(service.Poll(id)->state, SessionState::kDone);
+  }
+}
+
+TEST(DiscoveryServiceTest, QueuedSessionsWaitForFreeWorkers) {
+  // One worker: the second session must stay queued until the first
+  // finishes, then run — submission order is execution order.
+  DiscoveryService service(1);
+  auto first = service.Create("fastod");
+  auto second = service.Create("tane");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(service.LoadTable(*first, WideFlight()).ok());
+  ASSERT_TRUE(service.LoadTable(*second, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*first).ok());
+  ASSERT_TRUE(service.Submit(*second).ok());
+  service.WaitAll();
+  EXPECT_EQ(service.Poll(*first)->state, SessionState::kDone);
+  EXPECT_EQ(service.Poll(*second)->state, SessionState::kDone);
+}
+
+TEST(DiscoveryServiceTest, CancelQueuedSessionSkipsRun) {
+  AlgorithmRegistry registry;
+  RegisterBuiltinAlgorithms(&registry);
+  SleeperAlgorithm::Rendezvous rendezvous;
+  // expected=2 never arrives (one sleeper): the blocker holds the only
+  // worker until the test releases it after cancelling the queued job.
+  registry.Register("sleeper", [&rendezvous] {
+    return std::unique_ptr<Algorithm>(
+        new SleeperAlgorithm(&rendezvous, 2));
+  });
+  DiscoveryService service(1, &registry);
+  auto blocker = service.Create("sleeper");
+  auto queued = service.Create("fastod");
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(service.LoadTable(*blocker, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.LoadTable(*queued, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*blocker).ok());
+  ASSERT_TRUE(service.Submit(*queued).ok());
+  ASSERT_TRUE(service.Cancel(*queued).ok());
+  rendezvous.Release();
+  service.WaitAll();
+  EXPECT_EQ(service.Poll(*blocker)->state, SessionState::kDone);
+  auto poll = service.Poll(*queued);
+  EXPECT_EQ(poll->state, SessionState::kCancelled);
+  // The run never happened, so there is no result.
+  EXPECT_TRUE(service.ResultJson(*queued)->empty());
+}
+
+TEST(DiscoveryServiceTest, SecondSubmitCsvCannotRedirectPendingRun) {
+  std::string good = ::testing::TempDir() + "/service_test_good.csv";
+  ASSERT_TRUE(WriteCsvFile(EmployeeTaxTable(), good).ok());
+  AlgorithmRegistry registry;
+  RegisterBuiltinAlgorithms(&registry);
+  SleeperAlgorithm::Rendezvous rendezvous;
+  registry.Register("sleeper", [&rendezvous] {
+    return std::unique_ptr<Algorithm>(new SleeperAlgorithm(&rendezvous, 2));
+  });
+  DiscoveryService service(1, &registry);
+  auto blocker = service.Create("sleeper");
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.LoadTable(*blocker, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*blocker).ok());
+  ASSERT_TRUE(service.SubmitCsv(*id, good).ok());
+  // While the first submission is still queued behind the blocker, a
+  // second SubmitCsv must fail without swapping the deferred source.
+  EXPECT_EQ(service.SubmitCsv(*id, "/wrong/data.csv").code(),
+            StatusCode::kFailedPrecondition);
+  rendezvous.Release();
+  service.WaitAll();
+  EXPECT_EQ(service.Poll(*id)->state, SessionState::kDone);
+  EXPECT_NE(service.ResultJson(*id)->find("\"algorithm\": \"fastod\""),
+            std::string::npos);
+  std::remove(good.c_str());
+}
+
+TEST(DiscoveryServiceTest, SharedSinkSerializedAcrossSessions) {
+  CountingOdSink shared;
+  DiscoveryService service(4);
+  service.SetSharedSink(&shared);
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = service.Create("fastod");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(service.LoadTable(*id, EmployeeTaxTable()).ok());
+    ASSERT_TRUE(service.Submit(*id).ok());
+    ids.push_back(*id);
+  }
+  service.WaitAll();
+  // Sequential single-session baseline.
+  CollectingOdSink baseline;
+  FastodAlgorithm algo;
+  algo.SetSink(&baseline);
+  ASSERT_TRUE(algo.LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE(algo.Execute().ok());
+  EXPECT_EQ(shared.Total(), 4 * baseline.TotalOds());
+  EXPECT_GT(shared.Total(), 0);
+}
+
+// ------------------------------ acceptance: concurrent mixed batch
+
+struct SequentialBaseline {
+  CollectingOdSink sink;
+  std::string algorithm;
+  std::vector<std::pair<std::string, std::string>> options;
+  Table table;
+};
+
+// The ISSUE acceptance bar: >= 4 concurrent sessions of mixed algorithms,
+// one more cancelled mid-flight; every surviving session's streamed
+// output is bit-for-bit the sequential single-session run's.
+TEST(DiscoveryServiceTest, ConcurrentMixedBatchMatchesSequentialRuns) {
+  Table employee = EmployeeTaxTable();
+  Table flight = WideFlight();
+  Table ncvoter = GenNcvoterLike(300, 8, 11);
+
+  std::vector<SequentialBaseline> jobs;
+  jobs.push_back({{}, "fastod", {{"bidirectional", "true"}}, employee});
+  jobs.push_back({{}, "tane", {}, flight});
+  // ORDER on the employee table (ncvoter-like data is swap-heavy and its
+  // incomplete pruning would find nothing to compare).
+  jobs.push_back({{}, "order", {{"max-level", "3"}}, employee});
+  jobs.push_back({{}, "approximate", {{"max-error", "0.2"}}, employee});
+  jobs.push_back({{}, "fastod", {{"threads", "2"}}, ncvoter});
+
+  // Sequential single-session baselines first.
+  for (SequentialBaseline& job : jobs) {
+    auto algo = AlgorithmRegistry::Default().Create(job.algorithm);
+    ASSERT_TRUE(algo.ok());
+    for (const auto& [name, value] : job.options) {
+      ASSERT_TRUE((*algo)->SetOption(name, value).ok());
+    }
+    (*algo)->SetSink(&job.sink);
+    ASSERT_TRUE((*algo)->LoadData(job.table).ok());
+    ASSERT_TRUE((*algo)->Execute().ok());
+    ASSERT_GT(job.sink.TotalOds(), 0) << job.algorithm;
+  }
+
+  // Now the same five jobs concurrently, plus a sixth session on an
+  // exhaustive-ORDER workload that cannot finish quickly; it is
+  // cancelled as soon as it reports running.
+  DiscoveryService service(6);
+  std::vector<SessionId> ids;
+  std::vector<std::unique_ptr<CollectingOdSink>> sinks;
+  auto victim = service.Create("order");
+  ASSERT_TRUE(victim.ok());
+  // Exhaustive list lattice over 10 attributes: factorially far from
+  // terminating, with fast early level boundaries for the cancel to hit;
+  // the timeout is a test-failure backstop, not the expected exit.
+  ASSERT_TRUE(service.SetOption(*victim, "timeout", "120").ok());
+  ASSERT_TRUE(service.LoadTable(*victim, flight).ok());
+  ASSERT_TRUE(service.Submit(*victim).ok());
+
+  for (SequentialBaseline& job : jobs) {
+    auto id = service.Create(job.algorithm);
+    ASSERT_TRUE(id.ok());
+    for (const auto& [name, value] : job.options) {
+      ASSERT_TRUE(service.SetOption(*id, name, value).ok());
+    }
+    sinks.push_back(std::make_unique<CollectingOdSink>());
+    ASSERT_TRUE(service.SetSink(*id, sinks.back().get()).ok());
+    ASSERT_TRUE(service.LoadTable(*id, job.table).ok());
+    ASSERT_TRUE(service.Submit(*id).ok());
+    ids.push_back(*id);
+  }
+
+  // Cancel the victim as soon as it is actually executing (mid-flight,
+  // not pre-queued): the engine honors it at its next level boundary.
+  while (service.Poll(*victim)->state == SessionState::kQueued) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service.Poll(*victim)->state, SessionState::kRunning);
+  ASSERT_TRUE(service.Cancel(*victim).ok());
+  service.WaitAll();
+
+  auto victim_state = service.Poll(*victim)->state;
+  EXPECT_EQ(victim_state, SessionState::kCancelled);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(service.Poll(ids[i])->state, SessionState::kDone)
+        << jobs[i].algorithm;
+    const CollectingOdSink& concurrent = *sinks[i];
+    const CollectingOdSink& sequential = jobs[i].sink;
+    EXPECT_EQ(concurrent.constancy_ods(), sequential.constancy_ods())
+        << jobs[i].algorithm;
+    EXPECT_EQ(concurrent.compatibility_ods(),
+              sequential.compatibility_ods())
+        << jobs[i].algorithm;
+    EXPECT_EQ(concurrent.bidirectional_ods(),
+              sequential.bidirectional_ods())
+        << jobs[i].algorithm;
+    EXPECT_EQ(concurrent.list_ods(), sequential.list_ods())
+        << jobs[i].algorithm;
+    EXPECT_EQ(concurrent.TotalOds(), sequential.TotalOds())
+        << jobs[i].algorithm;
+  }
+}
+
+TEST(DiscoveryServiceTest, DestroyRunningSessionIsSafe) {
+  DiscoveryService service(2);
+  auto id = service.Create("order");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.SetOption(*id, "timeout", "120").ok());
+  ASSERT_TRUE(service.LoadTable(*id, WideFlight()).ok());
+  ASSERT_TRUE(service.Submit(*id).ok());
+  // Destroy while queued or running: the handle dies now, the worker
+  // winds down on its own (service destruction below waits for it).
+  ASSERT_TRUE(service.Destroy(*id).ok());
+  EXPECT_EQ(service.Find(*id), nullptr);
+  EXPECT_EQ(service.num_sessions(), 0);
+}
+
+TEST(DiscoveryServiceTest, DestructorCancelsLiveSessions) {
+  auto service = std::make_unique<DiscoveryService>(2);
+  auto id = service->Create("order");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service->SetOption(*id, "timeout", "120").ok());
+  ASSERT_TRUE(service->LoadTable(*id, WideFlight()).ok());
+  ASSERT_TRUE(service->Submit(*id).ok());
+  // Must return promptly (cancel at the next level boundary), not after
+  // the 120s timeout backstop.
+  service.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fastod
