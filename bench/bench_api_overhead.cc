@@ -2,7 +2,9 @@
 // engine through AlgorithmRegistry::Create + SetOption + LoadData + Execute
 // with a streaming CollectingOdSink must cost the same as calling the
 // legacy entry point directly (the adapters add one options copy and a
-// virtual dispatch per run; the sink replaces one vector append per OD).
+// virtual dispatch per run; with emit-ods=false the sink replaces one
+// vector append per OD — sinks tee by default, so the bench opts out of
+// materialization to keep both modes at one append per OD).
 #include <cstdio>
 #include <memory>
 
@@ -27,6 +29,9 @@ void Row(const char* label, const Table& table) {
   auto algo = AlgorithmRegistry::Default().Create("fastod");
   CollectingOdSink sink;
   (*algo)->SetSink(&sink);
+  // Sinks tee since the server work landed; keep this a pure
+  // stream-vs-materialize comparison (one append per OD on both sides).
+  (void)(*algo)->SetOption("emit-ods", "false");
   (void)(*algo)->LoadData(*rel);
   WallTimer api_timer;
   (void)(*algo)->Execute();

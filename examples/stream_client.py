@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Example client for the fastod HTTP discovery server (stdlib only).
+
+Start a server, then run this script against it:
+
+    ./build/fastod serve --port=8080 &
+    python3 examples/stream_client.py 127.0.0.1:8080 [data.csv]
+
+It exercises the whole session lifecycle:
+  1. GET  /v1/algorithms          — list engines and their options
+  2. POST /v1/sessions            — submit a discovery with "stream": true
+  3. GET  /v1/sessions/{id}/stream — print each OD line as it arrives
+     (chunked transfer; lines appear while the session runs)
+  4. GET  /v1/sessions/{id}        — final state + progress
+  5. GET  /v1/sessions/{id}/result — full report; the script verifies the
+     streamed OD set matches it exactly and exits non-zero otherwise.
+
+Without a CSV argument a small built-in employee/tax table is used.
+"""
+import http.client
+import json
+import sys
+
+DEMO_CSV = (
+    "month,quarter,salary,tax_rate,tax_group\n"
+    "1,1,1000,10,A\n"
+    "2,1,1500,15,A\n"
+    "3,1,2000,20,B\n"
+    "4,2,2500,25,B\n"
+    "5,2,3000,30,C\n"
+    "6,2,3500,35,C\n"
+)
+
+
+def request(conn, method, path, body=None):
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    payload = response.read().decode()
+    if response.status >= 400:
+        raise SystemExit(f"{method} {path} -> {response.status}: {payload}")
+    return json.loads(payload)
+
+
+def main():
+    address = sys.argv[1] if len(sys.argv) > 1 else "127.0.0.1:8080"
+    csv = open(sys.argv[2]).read() if len(sys.argv) > 2 else DEMO_CSV
+    host, _, port = address.partition(":")
+
+    conn = http.client.HTTPConnection(host, int(port or 8080), timeout=60)
+
+    algorithms = request(conn, "GET", "/v1/algorithms")["algorithms"]
+    print("algorithms:", ", ".join(a["name"] for a in algorithms))
+
+    session = request(
+        conn,
+        "POST",
+        "/v1/sessions",
+        json.dumps({"algorithm": "fastod", "csv": csv, "stream": True}),
+    )
+    sid = session["id"]
+    print(f"session {sid}: {session['state']}")
+
+    # Stream: one JSON line per discovered OD, while the session runs.
+    # http.client decodes the chunked transfer transparently.
+    stream_conn = http.client.HTTPConnection(host, int(port or 8080),
+                                             timeout=60)
+    stream_conn.request("GET", f"/v1/sessions/{sid}/stream")
+    stream = stream_conn.getresponse()
+    streamed = []
+    for raw in stream:
+        for line in raw.splitlines():
+            event = json.loads(line)
+            if event["type"] == "end":
+                print(f"stream closed: state={event['state']} "
+                      f"streamed={event['streamed']}")
+            else:
+                streamed.append(event)
+                print("  OD:", json.dumps(event))
+    stream_conn.close()
+
+    info = request(conn, "GET", f"/v1/sessions/{sid}")
+    print(f"final state: {info['state']} progress={info['progress']}")
+
+    # The post-hoc report must name exactly the streamed set.
+    report = request(conn, "GET", f"/v1/sessions/{sid}/result")
+    expected = []
+    for od in report.get("constancy_ods", []):
+        expected.append({"type": "constancy", "context": od["context"],
+                         "attribute": od["attribute"]})
+    for od in report.get("compatibility_ods", []):
+        expected.append({"type": "compatibility", "context": od["context"],
+                         "a": od["a"], "b": od["b"]})
+    for od in report.get("bidirectional_ods", []):
+        expected.append({"type": "bidirectional", "context": od["context"],
+                         "a": od["a"], "b": od["b"],
+                         "polarity": od["polarity"]})
+    key = lambda od: json.dumps(od, sort_keys=True)  # noqa: E731
+    if sorted(map(key, streamed)) != sorted(map(key, expected)):
+        raise SystemExit(
+            f"MISMATCH: streamed {len(streamed)} ODs but /result names "
+            f"{len(expected)}")
+    print(f"OK: streamed set == /result set ({len(streamed)} ODs)")
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -207,8 +207,8 @@ class Run {
     });
     if (expired.load()) result_.timed_out = true;
     if (interrupted.load()) result_.cancelled = true;
-    // Merge in node order: deterministic output for any thread count. With
-    // a sink attached, ODs stream out here instead of accumulating.
+    // Merge in node order: deterministic output for any thread count. A
+    // sink streams here; emit_ods independently accumulates the vectors.
     for (NodeOutcome& o : outcomes) {
       result_.num_constancy += o.num_constancy;
       result_.num_compatibility += o.num_compatibility;
@@ -229,7 +229,8 @@ class Run {
         for (const BidiCompatibilityOd& od : o.bidirectional) {
           options_.sink->OnBidirectional(od);
         }
-      } else if (options_.emit_ods) {
+      }
+      if (options_.emit_ods) {
         std::move(o.constancy.begin(), o.constancy.end(),
                   std::back_inserter(result_.constancy_ods));
         std::move(o.compatibility.begin(), o.compatibility.end(),

@@ -89,11 +89,13 @@ struct FastodOptions {
   int num_threads = 1;
 
   /// Streaming emission target (api/od_sink.h). When set, every
-  /// discovered OD is delivered to the sink — in the same deterministic
-  /// order the result vectors would have held — and the result vectors
-  /// stay empty; counts are still filled. This is how the no-pruning
-  /// ablation's tens of millions of ODs are consumed without
-  /// materializing. Must outlive the discovery run.
+  /// discovered OD is delivered to the sink, in the same deterministic
+  /// order the result vectors hold. Streaming and materialization are
+  /// independent: emit_ods still controls whether the result vectors are
+  /// filled, so a server can stream a run *and* serve its full report
+  /// afterwards, while the no-pruning ablation's tens of millions of ODs
+  /// are consumed with sink + emit_ods=false in O(1) memory. Must
+  /// outlive the discovery run.
   OdSink* sink = nullptr;
 
   /// Cooperative cancellation + progress (common/cancellation.h), polled

@@ -201,7 +201,8 @@ class Run {
     ++result_.num_fds;
     if (options_.sink != nullptr) {
       options_.sink->OnConstancy(fd);
-    } else {
+    }
+    if (options_.emit_fds) {
       result_.fds.push_back(fd);
     }
   }

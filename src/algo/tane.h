@@ -30,9 +30,13 @@ struct TaneOptions {
   double timeout_seconds = 0.0;
   /// Stop after lattice level `max_level` (0 = no limit).
   int max_level = 0;
+  /// Keep discovered FDs in the result vector (true) or only count them
+  /// (false) — the TANE analogue of FastodOptions::emit_ods.
+  bool emit_fds = true;
   /// Streaming emission (api/od_sink.h): when set, minimal FDs are
-  /// delivered through OnConstancy() in discovery order and the result
-  /// vector stays empty. Must outlive the run.
+  /// delivered through OnConstancy() in discovery order. Independent of
+  /// emit_fds, so a run can stream and still render its full report.
+  /// Must outlive the run.
   OdSink* sink = nullptr;
   /// Cooperative cancellation + progress, polled at level boundaries.
   ExecutionControl* control = nullptr;
@@ -41,7 +45,7 @@ struct TaneOptions {
 struct TaneResult {
   /// Minimal FDs X -> A, reusing the canonical constancy shape (an FD X->A
   /// and the OD X: [] -> A are the same statement — Theorem 2). Empty when
-  /// TaneOptions::sink streamed them instead.
+  /// TaneOptions::emit_fds is false (count-only mode).
   std::vector<ConstancyOd> fds;
   /// Total minimal FDs found, valid in both modes.
   int64_t num_fds = 0;

@@ -71,6 +71,12 @@ class Algorithm {
   /// Binds an already-encoded relation (no raw values retained).
   Status LoadData(EncodedRelation relation);
   bool has_data() const { return relation_.has_value(); }
+  /// The loaded relation's schema, or nullptr before LoadData. Stable for
+  /// the algorithm's lifetime once data is bound — frontends that render
+  /// streamed ODs (attribute indices) back to names hold onto it.
+  const Schema* schema() const {
+    return relation_.has_value() ? &relation_->schema() : nullptr;
+  }
 
   /// Runs the engine on the loaded data. Requires LoadData; may be called
   /// again after reconfiguring with SetOption. Cancellation (through the

@@ -114,6 +114,8 @@ TaneAlgorithm::TaneAlgorithm()
                       kNoLimit);
   options().AddInt("max-level", &opts_.max_level,
                    "stop after lattice level L (0 = none)", 0, 64);
+  options().AddBool("emit-fds", &opts_.emit_fds,
+                    "materialize FDs (false = count only)");
 }
 
 Status TaneAlgorithm::ExecuteInternal() {

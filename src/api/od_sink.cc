@@ -34,6 +34,68 @@ void CollectingOdSink::Clear() {
   conditional_.clear();
 }
 
+ChannelOdSink::ChannelOdSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ChannelOdSink::Push(OdEvent event) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) {
+      ++dropped_;
+      return;
+    }
+    queue_.push_back(std::move(event));
+    ++pushed_;
+  }
+  not_empty_.notify_one();
+}
+
+void ChannelOdSink::OnConstancy(const ConstancyOd& od) { Push(od); }
+void ChannelOdSink::OnCompatibility(const CompatibilityOd& od) { Push(od); }
+void ChannelOdSink::OnBidirectional(const BidiCompatibilityOd& od) {
+  Push(od);
+}
+void ChannelOdSink::OnListOd(const ListOd& od) { Push(od); }
+void ChannelOdSink::OnConditional(const ConditionalOd& od) { Push(od); }
+
+bool ChannelOdSink::Pop(OdEvent* out, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, timeout,
+                      [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // timeout, or closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void ChannelOdSink::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool ChannelOdSink::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int64_t ChannelOdSink::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+int64_t ChannelOdSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 void MutexOdSink::OnConstancy(const ConstancyOd& od) {
   std::lock_guard<std::mutex> lock(mutex_);
   wrapped_->OnConstancy(od);

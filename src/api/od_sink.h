@@ -27,8 +27,13 @@
 #ifndef FASTOD_API_OD_SINK_H_
 #define FASTOD_API_OD_SINK_H_
 
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <variant>
 #include <vector>
 
 #include "algo/conditional.h"
@@ -112,6 +117,63 @@ class CountingOdSink : public OdSink {
   int64_t num_bidirectional_ = 0;
   int64_t num_list_ = 0;
   int64_t num_conditional_ = 0;
+};
+
+/// Any one emitted dependency, shape-erased for queueing and transport.
+using OdEvent = std::variant<ConstancyOd, CompatibilityOd,
+                             BidiCompatibilityOd, ListOd, ConditionalOd>;
+
+/// Bounded producer/consumer channel between a running engine and a
+/// concurrent reader — the incremental-delivery primitive the HTTP
+/// server's /stream endpoint is built on.
+///
+/// The engine thread is the producer: every hook enqueues one OdEvent,
+/// *blocking* while the queue is at capacity, so a slow consumer applies
+/// backpressure instead of letting an Exp-6-sized result set pile up in
+/// memory. The consumer thread calls Pop() until it returns false with
+/// the channel closed.
+///
+/// Close() may be called from either side and is where the lifetime knot
+/// unties: a consumer that goes away (client disconnect) closes the
+/// channel, which unblocks and *drops* all further pushes — the engine
+/// run completes normally, it just stops paying for delivery. Events
+/// already queued remain poppable after Close (drain-then-stop).
+class ChannelOdSink : public OdSink {
+ public:
+  explicit ChannelOdSink(size_t capacity = 256);
+
+  // Producer side — the OdSink hooks (single-producer contract as above).
+  void OnConstancy(const ConstancyOd& od) override;
+  void OnCompatibility(const CompatibilityOd& od) override;
+  void OnBidirectional(const BidiCompatibilityOd& od) override;
+  void OnListOd(const ListOd& od) override;
+  void OnConditional(const ConditionalOd& od) override;
+
+  // Consumer side.
+  /// Dequeues the oldest event. Returns false on timeout with the queue
+  /// still open (caller may retry) and on a drained closed channel
+  /// (caller should stop); distinguish via closed().
+  bool Pop(OdEvent* out,
+           std::chrono::milliseconds timeout = std::chrono::milliseconds(50));
+  /// Irreversibly stops accepting events and wakes both sides.
+  void Close();
+  bool closed() const;
+
+  /// Accepted / dropped-after-close counters, for diagnostics.
+  int64_t pushed() const;
+  int64_t dropped() const;
+
+ private:
+  void Push(OdEvent event);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<OdEvent> queue_;  // guarded by mutex_
+  bool closed_ = false;        // guarded by mutex_
+  int64_t pushed_ = 0;         // guarded by mutex_
+  int64_t dropped_ = 0;        // guarded by mutex_
 };
 
 /// Decorator that serializes every hook of a wrapped sink, lifting the

@@ -48,6 +48,8 @@ int CodeOf(const Status& status) {
       return FASTOD_ERR_IO;
     case StatusCode::kResourceExhausted:
       return FASTOD_ERR_RESOURCE_EXHAUSTED;
+    case StatusCode::kInternal:
+      return FASTOD_ERR_INTERNAL;
   }
   return FASTOD_ERR_INVALID_ARGUMENT;
 }

@@ -35,8 +35,8 @@
 #define FASTOD_VERSION_MINOR 3
 #define FASTOD_VERSION_PATCH 0
 
-/* Error codes. 1..6 mirror fastod::StatusCode; 7 flags misuse of the C
- * layer itself (NULL or destroyed handle). */
+/* Error codes. 1..6 and 8 mirror fastod::StatusCode; 7 flags misuse of
+ * the C layer itself (NULL or destroyed handle). */
 #define FASTOD_OK 0
 #define FASTOD_ERR_INVALID_ARGUMENT 1
 #define FASTOD_ERR_NOT_FOUND 2
@@ -45,6 +45,7 @@
 #define FASTOD_ERR_IO 5
 #define FASTOD_ERR_RESOURCE_EXHAUSTED 6
 #define FASTOD_ERR_NULL_HANDLE 7
+#define FASTOD_ERR_INTERNAL 8
 
 /* Session states returned by fastod_poll() and fastod_wait(). The
  * terminal states are DONE, FAILED and CANCELLED. */

@@ -1,10 +1,14 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "api/algorithm.h"
@@ -16,6 +20,7 @@
 #include "gen/date_dim.h"
 #include "gen/generators.h"
 #include "report/report.h"
+#include "server/discovery_server.h"
 #include "service/discovery_service.h"
 #include "validate/od_validator.h"
 #include "validate/violation_scanner.h"
@@ -42,6 +47,8 @@ std::string Usage() {
          "  fastod batch <manifest.txt> [--threads=N] [--output=text|json]\n"
          "                             (each line: <file.csv> <algorithm> "
          "[--opt=val ...])\n"
+         "  fastod serve [--port=N] [--host=ADDR] [--threads=N]\n"
+         "                             [--http-threads=N] [--no-csv-path]\n"
          "  fastod algorithms [NAME...]\n"
          "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
          "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
@@ -531,6 +538,74 @@ CliResult Batch(const std::vector<std::string>& args) {
   return result;
 }
 
+// `fastod serve` termination flag, flipped by SIGINT/SIGTERM. sig_atomic_t
+// because signal handlers may only touch lock-free async-signal-safe
+// state.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void ServeSignalHandler(int) { g_serve_stop = 1; }
+
+// Runs the HTTP discovery server until SIGINT/SIGTERM. The startup line
+// goes straight to stdout (not CliResult.output, which is only flushed
+// on exit) so scripts can scrape the bound port immediately.
+CliResult Serve(const std::vector<std::string>& args) {
+  int64_t port = 8080;
+  int64_t threads = 0;
+  int64_t http_threads = 8;
+  std::string host = "127.0.0.1";
+  bool no_csv_path = false;
+  FlagSet flags;
+  flags.AddInt("port", &port, "TCP port to listen on (0 = ephemeral)");
+  flags.AddString("host", &host, "IPv4 address to bind");
+  flags.AddInt("threads", &threads,
+               "concurrently executing sessions (0 = hardware)");
+  flags.AddInt("http-threads", &http_threads,
+               "HTTP workers (each open /stream pins one)");
+  flags.AddBool("no-csv-path", &no_csv_path,
+                "reject server-side \"csv_path\" submissions");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (!flags.positional().empty()) {
+    return Fail(Status::InvalidArgument("serve takes no positional "
+                                        "arguments"));
+  }
+  if (port < 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+  if (threads < 0 || threads > 1024) {
+    return Fail(Status::InvalidArgument("--threads must be in [0, 1024]"));
+  }
+  if (http_threads < 1 || http_threads > 1024) {
+    return Fail(Status::InvalidArgument(
+        "--http-threads must be in [1, 1024]"));
+  }
+
+  DiscoveryServerOptions options;
+  options.host = host;
+  options.port = static_cast<int>(port);
+  options.worker_threads = static_cast<int>(threads);
+  options.http_threads = static_cast<int>(http_threads);
+  options.allow_csv_path = !no_csv_path;
+  DiscoveryServer server(options);
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+
+  std::printf("fastod serve: listening on http://%s:%d (Ctrl-C to stop)\n",
+              host.c_str(), server.port());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.Stop();
+  CliResult result;
+  result.output = "fastod serve: stopped\n";
+  return result;
+}
+
 CliResult Generate(const std::vector<std::string>& args) {
   int64_t rows = 1000;
   int64_t attrs = 10;
@@ -586,6 +661,7 @@ CliResult RunCli(const std::vector<std::string>& args) {
   if (command == "discover") return Discover(rest);
   if (command == "algorithms") return Algorithms(rest);
   if (command == "batch") return Batch(rest);
+  if (command == "serve") return Serve(rest);
   if (command == "validate") return Validate(rest);
   if (command == "violations") return Violations(rest);
   if (command == "conditional") return Conditional(rest);

@@ -2,9 +2,7 @@
 
 namespace fastod {
 
-namespace {
-
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -20,15 +18,15 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -23,7 +23,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kResourceExhausted,
+  kInternal,  // unexpected failure inside the library (e.g. engine threw)
 };
+
+/// "OK", "InvalidArgument", ... — the stable spelling used in ToString()
+/// and machine-readable error payloads (e.g. the HTTP API's "code"
+/// field).
+const char* StatusCodeName(StatusCode code);
 
 /// Lightweight status object: an error code plus a human-readable message.
 /// A default-constructed Status is OK.
@@ -51,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

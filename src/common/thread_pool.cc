@@ -50,7 +50,14 @@ void ThreadPool::WorkerMain() {
       }
     }
     if (task) {
-      task();
+      // Worker boundary: a throwing task must not unwind into the worker
+      // loop (std::thread would terminate the process). Tasks with a
+      // failure channel (DiscoverySession::Run) convert exceptions to
+      // Status themselves; this is the backstop for ones that don't.
+      try {
+        task();
+      } catch (...) {
+      }
       continue;
     }
     DrainLoop(loop);

@@ -49,7 +49,10 @@ class ThreadPool {
   /// overlap arbitrarily with each other and with ParallelFor loops. The
   /// destructor drains the queue: every submitted task runs before the
   /// pool is torn down, so tasks may safely reference state that outlives
-  /// the pool object.
+  /// the pool object. An exception escaping a task is caught at the
+  /// worker boundary and discarded — the worker survives; tasks that need
+  /// the failure must catch it themselves and report through their own
+  /// channel (as DiscoverySession::Run does via Status).
   void Submit(std::function<void()> task);
 
  private:

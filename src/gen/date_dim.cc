@@ -35,7 +35,7 @@ Table GenDateDim(int64_t num_days, int start_year, int64_t first_date_sk) {
   int dom = 1;
   int doy = 1;  // day of year, 1-based
   for (int64_t i = 0; i < num_days; ++i) {
-    char date_str[16];
+    char date_str[32];  // sized for the full int range, not just 4-digit years
     std::snprintf(date_str, sizeof(date_str), "%04d-%02d-%02d", year, month,
                   dom);
     const int quarter = (month - 1) / 3 + 1;

@@ -19,12 +19,10 @@
 #include "algo/fastod.h"
 #include "algo/order.h"
 #include "algo/tane.h"
+#include "common/json.h"  // JsonEscape, used by every renderer below
 #include "data/schema.h"
 
 namespace fastod {
-
-/// Escapes a string for inclusion inside JSON double quotes.
-std::string JsonEscape(const std::string& s);
 
 struct RelationInfo;
 

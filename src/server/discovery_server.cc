@@ -1,0 +1,613 @@
+#include "server/discovery_server.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/json.h"
+#include "data/csv.h"
+#include "data/schema.h"
+#include "od/attribute_set.h"
+
+namespace fastod {
+
+namespace {
+
+int HttpStatusOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+void SendError(HttpResponseWriter& writer, const Status& status) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("error")
+      .String(status.message())
+      .Key("code")
+      .String(StatusCodeName(status.code()))
+      .EndObject();
+  writer.Send(HttpStatusOf(status.code()), "application/json",
+              w.str() + "\n");
+}
+
+void SendJson(HttpResponseWriter& writer, int status,
+              const std::string& body) {
+  writer.Send(status, "application/json", body);
+}
+
+/// Renders a JSON option value to the string spelling SetOption parses.
+Result<std::string> OptionValueToString(const std::string& name,
+                                        const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kString:
+      return value.string_value();
+    case JsonValue::Type::kBool:
+      return std::string(value.bool_value() ? "true" : "false");
+    case JsonValue::Type::kNumber: {
+      double number = value.number_value();
+      if (number == std::floor(number) && std::abs(number) < 1e15) {
+        return std::to_string(static_cast<int64_t>(number));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", number);
+      return std::string(buf);
+    }
+    default:
+      return Status::InvalidArgument(
+          "option '" + name +
+          "' must be a string, number, or boolean, got " + value.Dump());
+  }
+}
+
+void AppendContext(JsonWriter* w, AttributeSet context,
+                   const Schema& schema) {
+  w->BeginArray();
+  for (int a = context.First(); a >= 0; a = context.Next(a)) {
+    w->String(schema.name(a));
+  }
+  w->EndArray();
+}
+
+void AppendSpec(JsonWriter* w, const OrderSpec& spec, const Schema& schema) {
+  w->BeginArray();
+  for (int a : spec) w->String(schema.name(a));
+  w->EndArray();
+}
+
+/// One streamed OD as a single NDJSON line. Field names match the
+/// /result report shapes so clients parse both with one schema.
+std::string EventJsonLine(const OdEvent& event, const Schema& schema) {
+  JsonWriter w;
+  w.BeginObject();
+  std::visit(
+      [&](const auto& od) {
+        using T = std::decay_t<decltype(od)>;
+        if constexpr (std::is_same_v<T, ConstancyOd>) {
+          w.Key("type").String("constancy").Key("context");
+          AppendContext(&w, od.context, schema);
+          w.Key("attribute").String(schema.name(od.attribute));
+        } else if constexpr (std::is_same_v<T, CompatibilityOd>) {
+          w.Key("type").String("compatibility").Key("context");
+          AppendContext(&w, od.context, schema);
+          w.Key("a").String(schema.name(od.a));
+          w.Key("b").String(schema.name(od.b));
+        } else if constexpr (std::is_same_v<T, BidiCompatibilityOd>) {
+          w.Key("type").String("bidirectional").Key("context");
+          AppendContext(&w, od.context, schema);
+          w.Key("a").String(schema.name(od.a));
+          w.Key("b").String(schema.name(od.b));
+          w.Key("polarity").String("opposite");
+        } else if constexpr (std::is_same_v<T, ListOd>) {
+          w.Key("type").String("list").Key("lhs");
+          AppendSpec(&w, od.lhs, schema);
+          w.Key("rhs");
+          AppendSpec(&w, od.rhs, schema);
+        } else if constexpr (std::is_same_v<T, ConditionalOd>) {
+          w.Key("type").String("conditional");
+          w.Key("condition").String(schema.name(od.condition_attribute));
+          w.Key("bindings").BeginArray();
+          for (int32_t rank : od.binding_ranks) w.Int(rank);
+          w.EndArray();
+          w.Key("od").String(CanonicalOdToString(od.od, schema));
+          w.Key("support").Double(od.support);
+        }
+      },
+      event);
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+/// "/v1/sessions/<id>..." → id + remaining suffix, or nullopt.
+std::optional<std::pair<SessionId, std::string>> ParseSessionPath(
+    const std::string& path) {
+  const std::string prefix = "/v1/sessions/";
+  if (path.rfind(prefix, 0) != 0) return std::nullopt;
+  std::string rest = path.substr(prefix.size());
+  size_t slash = rest.find('/');
+  std::string id_text = rest.substr(0, slash);
+  if (id_text.empty()) return std::nullopt;
+  char* end = nullptr;
+  long long id = std::strtoll(id_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || id <= 0) return std::nullopt;
+  return std::make_pair(static_cast<SessionId>(id),
+                        slash == std::string::npos ? ""
+                                                   : rest.substr(slash));
+}
+
+}  // namespace
+
+DiscoveryServer::DiscoveryServer(DiscoveryServerOptions options,
+                                 const AlgorithmRegistry* registry)
+    : registry_(registry != nullptr ? *registry
+                                    : AlgorithmRegistry::Default()),
+      options_(std::move(options)),
+      service_(options_.worker_threads, &registry_),
+      http_([this](const HttpRequest& request,
+                   HttpResponseWriter& writer) { Handle(request, writer); },
+            options_.http_threads) {}
+
+DiscoveryServer::~DiscoveryServer() { Stop(); }
+
+Status DiscoveryServer::Start() {
+  return http_.Start(options_.host, options_.port);
+}
+
+void DiscoveryServer::Stop() {
+  http_.Stop();
+  // Unblock any engine still pushing into an unconsumed channel, so the
+  // service drain in ~DiscoveryService cannot deadlock on backpressure.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, stream] : streams_) stream->channel.Close();
+}
+
+std::shared_ptr<DiscoveryServer::StreamState> DiscoveryServer::FindStream(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+std::string DiscoveryServer::SessionInfoJson(
+    SessionId id, const DiscoveryService::PollInfo& info) const {
+  std::string algorithm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = algorithm_names_.find(id);
+    if (it != algorithm_names_.end()) algorithm = it->second;
+  }
+  auto stream = FindStream(id);
+  JsonWriter w;
+  w.BeginObject()
+      .Key("id")
+      .Int(id)
+      .Key("algorithm")
+      .String(algorithm)
+      .Key("state")
+      .String(SessionStateName(info.state))
+      .Key("progress")
+      .Double(info.progress);
+  if (!info.error.empty()) w.Key("error").String(info.error);
+  if (stream != nullptr) {
+    w.Key("stream").Bool(true).Key("ods_streamed").Int(
+        stream->channel.pushed());
+  }
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+void DiscoveryServer::Handle(const HttpRequest& request,
+                             HttpResponseWriter& writer) {
+  // Routes match on path first, method second: a wrong method on an
+  // existing route is 405 (so clients don't mistake a live session for
+  // a missing one), only an unknown path is 404.
+  auto method_not_allowed = [&](const char* allowed) {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("error")
+        .String(std::string("method ") + request.method +
+                " not allowed here; use " + allowed)
+        .Key("code")
+        .String("MethodNotAllowed")
+        .EndObject();
+    writer.Send(405, "application/json", w.str() + "\n");
+  };
+  if (request.path == "/v1/algorithms") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    HandleAlgorithms(writer);
+    return;
+  }
+  if (request.path == "/v1/sessions") {
+    if (request.method != "POST") return method_not_allowed("POST");
+    HandleCreateSession(request, writer);
+    return;
+  }
+  if (auto session_path = ParseSessionPath(request.path)) {
+    auto [id, suffix] = *session_path;
+    if (suffix.empty()) {
+      if (request.method == "GET") return HandleSessionInfo(id, writer);
+      if (request.method == "DELETE") {
+        auto purge = request.query.find("purge");
+        return HandleCancel(
+            id, purge != request.query.end() && purge->second != "0",
+            writer);
+      }
+      return method_not_allowed("GET or DELETE");
+    }
+    if (suffix == "/result" || suffix == "/stream") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      return suffix == "/result" ? HandleResult(id, writer)
+                                 : HandleStream(id, writer);
+    }
+  }
+  SendError(writer,
+            Status::NotFound("no route for " + request.method + " " +
+                             request.path));
+}
+
+void DiscoveryServer::HandleAlgorithms(HttpResponseWriter& writer) {
+  JsonWriter w;
+  w.BeginObject().Key("algorithms").BeginArray();
+  for (const std::string& name : registry_.Names()) {
+    Result<std::unique_ptr<Algorithm>> algo = registry_.Create(name);
+    if (!algo.ok()) continue;
+    w.BeginObject()
+        .Key("name")
+        .String((*algo)->name())
+        .Key("description")
+        .String((*algo)->description())
+        .Key("options")
+        .BeginArray();
+    for (const std::string& option : (*algo)->GetNeededOptions()) {
+      const OptionInfo* info = (*algo)->FindOption(option);
+      if (info == nullptr) continue;
+      w.BeginObject()
+          .Key("name")
+          .String(info->name)
+          .Key("type")
+          .String(info->type_name)
+          .Key("default")
+          .String(info->default_repr)
+          .Key("description")
+          .String(info->description);
+      if (!info->enum_values.empty()) {
+        w.Key("values").BeginArray();
+        for (const std::string& value : info->enum_values) w.String(value);
+        w.EndArray();
+      }
+      w.EndObject();
+    }
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  SendJson(writer, 200, w.str() + "\n");
+}
+
+void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
+                                          HttpResponseWriter& writer) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return SendError(writer, parsed.status());
+  const JsonValue& body = *parsed;
+  if (!body.is_object()) {
+    return SendError(writer,
+                     Status::InvalidArgument("request body must be a JSON "
+                                             "object"));
+  }
+  for (const auto& [key, value] : body.object_items()) {
+    (void)value;
+    if (key != "algorithm" && key != "options" && key != "csv" &&
+        key != "csv_path" && key != "csv_options" && key != "stream") {
+      return SendError(writer, Status::InvalidArgument(
+                                   "unknown request field '" + key + "'"));
+    }
+  }
+  const JsonValue* algorithm = body.Find("algorithm");
+  if (algorithm == nullptr || !algorithm->is_string()) {
+    return SendError(writer, Status::InvalidArgument(
+                                 "\"algorithm\" (string) is required"));
+  }
+  const JsonValue* csv = body.Find("csv");
+  const JsonValue* csv_path = body.Find("csv_path");
+  if ((csv == nullptr) == (csv_path == nullptr)) {
+    return SendError(writer,
+                     Status::InvalidArgument("provide exactly one of "
+                                             "\"csv\" and \"csv_path\""));
+  }
+  if (csv != nullptr && !csv->is_string()) {
+    return SendError(writer,
+                     Status::InvalidArgument("\"csv\" must be a string"));
+  }
+  if (csv_path != nullptr &&
+      (!csv_path->is_string() || !options_.allow_csv_path)) {
+    return SendError(
+        writer, !options_.allow_csv_path
+                    ? Status::InvalidArgument(
+                          "server-side \"csv_path\" reads are disabled; "
+                          "send inline \"csv\"")
+                    : Status::InvalidArgument(
+                          "\"csv_path\" must be a string"));
+  }
+  CsvOptions csv_options;
+  if (const JsonValue* raw = body.Find("csv_options"); raw != nullptr) {
+    if (!raw->is_object()) {
+      return SendError(writer, Status::InvalidArgument(
+                                   "\"csv_options\" must be an object"));
+    }
+    if (const JsonValue* delim = raw->Find("delimiter"); delim != nullptr) {
+      if (!delim->is_string() || delim->string_value().size() != 1) {
+        return SendError(writer,
+                         Status::InvalidArgument("\"delimiter\" must be a "
+                                                 "one-character string"));
+      }
+      csv_options.delimiter = delim->string_value()[0];
+    }
+    if (const JsonValue* header = raw->Find("has_header");
+        header != nullptr) {
+      if (!header->is_bool()) {
+        return SendError(writer, Status::InvalidArgument(
+                                     "\"has_header\" must be a boolean"));
+      }
+      csv_options.has_header = header->bool_value();
+    }
+    if (const JsonValue* max_rows = raw->Find("max_rows");
+        max_rows != nullptr) {
+      // int_value() saturates rather than invoking UB, but garbage like
+      // 1e30 or 2.5 deserves a 400, not a silent clamp.
+      if (!max_rows->is_number() ||
+          max_rows->number_value() !=
+              static_cast<double>(max_rows->int_value()) ||
+          max_rows->int_value() < -1) {
+        return SendError(writer,
+                         Status::InvalidArgument(
+                             "\"max_rows\" must be an integer >= -1"));
+      }
+      csv_options.max_rows = max_rows->int_value();
+    }
+  }
+  bool stream = false;
+  if (const JsonValue* raw = body.Find("stream"); raw != nullptr) {
+    if (!raw->is_bool()) {
+      return SendError(writer, Status::InvalidArgument(
+                                   "\"stream\" must be a boolean"));
+    }
+    stream = raw->bool_value();
+  }
+
+  Result<SessionId> id = service_.Create(algorithm->string_value());
+  if (!id.ok()) return SendError(writer, id.status());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    algorithm_names_[*id] = algorithm->string_value();
+  }
+
+  Status setup = [&]() -> Status {
+    if (const JsonValue* options = body.Find("options");
+        options != nullptr) {
+      if (!options->is_object()) {
+        return Status::InvalidArgument("\"options\" must be an object");
+      }
+      for (const auto& [name, value] : options->object_items()) {
+        Result<std::string> rendered = OptionValueToString(name, value);
+        if (!rendered.ok()) return rendered.status();
+        if (Status s = service_.SetOption(*id, name, *rendered); !s.ok()) {
+          return s;
+        }
+      }
+    }
+    if (stream) {
+      auto state = std::make_shared<StreamState>(options_.stream_capacity);
+      if (Status s = service_.SetSink(*id, &state->channel); !s.ok()) {
+        return s;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      streams_[*id] = std::move(state);
+    }
+    if (csv != nullptr) {
+      Result<Table> table = ReadCsvString(csv->string_value(), csv_options);
+      if (!table.ok()) return table.status();
+      if (Status s = service_.LoadTable(*id, std::move(table).value());
+          !s.ok()) {
+        return s;
+      }
+      return service_.Submit(*id);
+    }
+    return service_.SubmitCsv(*id, csv_path->string_value(), csv_options);
+  }();
+  if (!setup.ok()) {
+    (void)service_.Destroy(*id);
+    std::lock_guard<std::mutex> lock(mutex_);
+    streams_.erase(*id);
+    algorithm_names_.erase(*id);
+    return SendError(writer, setup);
+  }
+  Result<DiscoveryService::PollInfo> info = service_.Poll(*id);
+  SendJson(writer, 201,
+           SessionInfoJson(*id, info.ok()
+                                    ? *info
+                                    : DiscoveryService::PollInfo()));
+}
+
+void DiscoveryServer::HandleSessionInfo(SessionId id,
+                                        HttpResponseWriter& writer) {
+  Result<DiscoveryService::PollInfo> info = service_.Poll(id);
+  if (!info.ok()) return SendError(writer, info.status());
+  SendJson(writer, 200, SessionInfoJson(id, *info));
+}
+
+void DiscoveryServer::HandleCancel(SessionId id, bool purge,
+                                   HttpResponseWriter& writer) {
+  if (purge) {
+    // Purge frees everything the session retains (encoded relation,
+    // cached report, stream channel). Only terminal sessions qualify: a
+    // live run still holds the sink pointer, so freeing the channel
+    // under it would be a use-after-free — cancel first, poll terminal,
+    // then purge.
+    auto session = service_.Find(id);
+    if (session == nullptr) {
+      return SendError(writer, Status::NotFound("no session with id " +
+                                                std::to_string(id)));
+    }
+    if (!IsTerminal(session->state())) {
+      return SendError(writer,
+                       Status::FailedPrecondition(
+                           "session is " +
+                           std::string(SessionStateName(session->state())) +
+                           "; purge requires a terminal session (cancel "
+                           "and poll first)"));
+    }
+    if (Status s = service_.Destroy(id); !s.ok()) {
+      return SendError(writer, s);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      streams_.erase(id);
+      algorithm_names_.erase(id);
+    }
+    JsonWriter w;
+    w.BeginObject().Key("id").Int(id).Key("purged").Bool(true).EndObject();
+    return SendJson(writer, 200, w.str() + "\n");
+  }
+  if (Status s = service_.Cancel(id); !s.ok()) {
+    return SendError(writer, s);
+  }
+  // Unblock a producer stuck on backpressure so the cancel can be
+  // honored even when nobody is (or will be) consuming the stream; the
+  // consumer, if any, drains the queue and sees the terminal state.
+  if (auto stream = FindStream(id); stream != nullptr) {
+    stream->channel.Close();
+  }
+  Result<DiscoveryService::PollInfo> info = service_.Poll(id);
+  if (!info.ok()) return SendError(writer, info.status());
+  SendJson(writer, 200, SessionInfoJson(id, *info));
+}
+
+void DiscoveryServer::HandleResult(SessionId id,
+                                   HttpResponseWriter& writer) {
+  Result<std::string> json = service_.ResultJson(id);
+  if (!json.ok()) return SendError(writer, json.status());
+  if (json->empty()) {
+    // Failed, or cancelled before the run started: no report exists.
+    Result<DiscoveryService::PollInfo> info = service_.Poll(id);
+    if (!info.ok()) return SendError(writer, info.status());
+    JsonWriter w;
+    w.BeginObject()
+        .Key("state")
+        .String(SessionStateName(info->state))
+        .Key("error")
+        .String(info->error)
+        .EndObject();
+    int status = info->state == SessionState::kFailed ? 500 : 200;
+    return SendJson(writer, status, w.str() + "\n");
+  }
+  SendJson(writer, 200, *json);
+}
+
+void DiscoveryServer::HandleStream(SessionId id,
+                                   HttpResponseWriter& writer) {
+  auto session = service_.Find(id);
+  if (session == nullptr) {
+    return SendError(writer,
+                     Status::NotFound("no session with id " +
+                                      std::to_string(id)));
+  }
+  auto stream = FindStream(id);
+  if (stream == nullptr) {
+    return SendError(writer, Status::FailedPrecondition(
+                                 "session was not created with "
+                                 "\"stream\": true"));
+  }
+  if (stream->claimed.exchange(true)) {
+    return SendError(writer, Status::FailedPrecondition(
+                                 "stream already consumed (one reader "
+                                 "per session)"));
+  }
+  // Once the client is gone there is nothing left to deliver: Close()
+  // turns the engine's remaining pushes into drops (the run still
+  // finishes for /result consumers) and the handler simply returns —
+  // no draining loop survives a dead peer.
+  if (!writer.BeginChunked(200, "application/x-ndjson")) {
+    stream->channel.Close();
+    return;
+  }
+
+  ChannelOdSink& channel = stream->channel;
+  OdEvent event;
+  int64_t streamed = 0;
+  const Schema* schema = nullptr;
+  for (;;) {
+    if (channel.Pop(&event, std::chrono::milliseconds(50))) {
+      // The engine emitted this after binding data, so the schema is
+      // set; it is immutable for the rest of the session.
+      if (schema == nullptr) schema = session->algorithm().schema();
+      if (!writer.WriteChunk(EventJsonLine(event, *schema))) {
+        channel.Close();
+        return;
+      }
+      ++streamed;
+      continue;
+    }
+    SessionState state = session->state();
+    if (IsTerminal(state)) {
+      // Every push happened before the terminal transition; one
+      // non-blocking drain empties the queue, then the end line closes
+      // the stream.
+      while (channel.Pop(&event, std::chrono::milliseconds(0))) {
+        if (schema == nullptr) schema = session->algorithm().schema();
+        if (!writer.WriteChunk(EventJsonLine(event, *schema))) {
+          channel.Close();
+          return;
+        }
+        ++streamed;
+      }
+      JsonWriter w;
+      w.BeginObject()
+          .Key("type")
+          .String("end")
+          .Key("state")
+          .String(SessionStateName(state))
+          .Key("streamed")
+          .Int(streamed);
+      if (state == SessionState::kFailed) {
+        w.Key("error").String(session->status().ToString());
+      }
+      w.EndObject();
+      writer.WriteChunk(w.str() + "\n");
+      writer.EndChunked();
+      return;
+    }
+    if (http_.stopping()) {
+      channel.Close();
+      writer.EndChunked();
+      return;
+    }
+    if (channel.closed()) {
+      // Cancelled (DELETE closed the channel) but the engine hasn't hit
+      // its checkpoint yet: Pop returns instantly on a closed drained
+      // channel, so pace the terminal-state polling explicitly instead
+      // of spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace fastod

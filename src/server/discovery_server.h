@@ -1,0 +1,139 @@
+// The HTTP frontend over DiscoveryService — the ROADMAP's "server
+// frontend" and "incremental result delivery over the wire" items.
+//
+// JSON API (all bodies are JSON; errors are {"error", "code"} with the
+// Status code mapped onto the HTTP status):
+//
+//   GET    /v1/algorithms            registry-driven metadata: every
+//                                    algorithm with its typed options
+//   POST   /v1/sessions              create + submit one session
+//          {"algorithm": "fastod",              (required)
+//           "options": {"threads": 2},          (values may be
+//                                                string/number/bool)
+//           "csv": "a,b\n1,2\n",                inline data — XOR —
+//           "csv_path": "/data/flight.csv",     server-side file, read
+//                                               on the worker
+//           "csv_options": {"delimiter": ",", "has_header": true,
+//                           "max_rows": 1000},
+//           "stream": true}                     enable /stream below
+//   GET    /v1/sessions/{id}         {"id","algorithm","state",
+//                                     "progress","error"?}
+//   DELETE /v1/sessions/{id}         cooperative cancel (idempotent)
+//   DELETE /v1/sessions/{id}?purge=1 destroy a *terminal* session and
+//                                    free everything it retains (the
+//                                    encoded relation, cached report,
+//                                    stream channel); 409 while live —
+//                                    long-running servers must purge or
+//                                    they accumulate one dataset per
+//                                    session
+//   GET    /v1/sessions/{id}/result  the stable report JSON of a
+//                                    terminal session (409 before)
+//   GET    /v1/sessions/{id}/stream  chunked transfer; one JSON line per
+//                                    OD *while the session runs*, closed
+//                                    by an {"type":"end",...} line
+//
+// Streaming rides a bounded ChannelOdSink: the engine blocks when the
+// client cannot keep up (backpressure, not unbounded buffering), and a
+// client that disconnects closes the channel, which lets the run finish
+// while dropping delivery. Mirroring FASTOD's level-wise traversal, ODs
+// arrive in the engine's deterministic emission order, so the streamed
+// set of a completed session is exactly the /result set.
+//
+// Caveat that follows from backpressure: a "stream": true session whose
+// stream is never consumed parks its worker once the channel fills
+// (stream_capacity events). Clients that opt into streaming must either
+// read the stream or DELETE the session; cancel and server shutdown
+// both close the channel, so nothing can wedge past the session's
+// lifetime.
+#ifndef FASTOD_SERVER_DISCOVERY_SERVER_H_
+#define FASTOD_SERVER_DISCOVERY_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/od_sink.h"
+#include "api/registry.h"
+#include "common/status.h"
+#include "server/httpd.h"
+#include "service/discovery_service.h"
+
+namespace fastod {
+
+struct DiscoveryServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 8080;  // 0 picks an ephemeral port (see port())
+  /// HTTP workers. Every open /stream pins one for the session's
+  /// lifetime, so size this above the expected concurrent stream count.
+  int http_threads = 8;
+  /// Concurrently executing discovery sessions (0 = hardware).
+  int worker_threads = 0;
+  /// ChannelOdSink bound per streaming session.
+  size_t stream_capacity = 256;
+  /// Permit {"csv_path": ...} submissions that read files server-side.
+  /// Disable when exposing the server beyond trusted callers.
+  bool allow_csv_path = true;
+};
+
+class DiscoveryServer {
+ public:
+  explicit DiscoveryServer(DiscoveryServerOptions options = {},
+                           const AlgorithmRegistry* registry = nullptr);
+  ~DiscoveryServer();
+
+  DiscoveryServer(const DiscoveryServer&) = delete;
+  DiscoveryServer& operator=(const DiscoveryServer&) = delete;
+
+  Status Start();
+  void Stop();
+  /// The bound port (valid after Start; differs from options.port when
+  /// that was 0).
+  int port() const { return http_.port(); }
+
+  /// The backing service, for in-process inspection in tests.
+  DiscoveryService& service() { return service_; }
+
+ private:
+  // Per-session streaming state. The channel must outlive the session's
+  // terminal transition (the engine may still be pushing), so states are
+  // only dropped with the server.
+  struct StreamState {
+    explicit StreamState(size_t capacity) : channel(capacity) {}
+    ChannelOdSink channel;
+    std::atomic<bool> claimed{false};  // one consumer per stream
+  };
+
+  void Handle(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandleAlgorithms(HttpResponseWriter& writer);
+  void HandleCreateSession(const HttpRequest& request,
+                           HttpResponseWriter& writer);
+  void HandleSessionInfo(SessionId id, HttpResponseWriter& writer);
+  void HandleCancel(SessionId id, bool purge, HttpResponseWriter& writer);
+  void HandleResult(SessionId id, HttpResponseWriter& writer);
+  void HandleStream(SessionId id, HttpResponseWriter& writer);
+
+  std::shared_ptr<StreamState> FindStream(SessionId id) const;
+  std::string SessionInfoJson(SessionId id,
+                              const DiscoveryService::PollInfo& info) const;
+
+  const AlgorithmRegistry& registry_;
+  DiscoveryServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<SessionId, std::shared_ptr<StreamState>> streams_;
+  std::map<SessionId, std::string> algorithm_names_;
+
+  // Destruction order is load-bearing: ~HttpServer first (no new
+  // requests, handlers drained), then ~DiscoveryService (cancels and
+  // joins every run), and only then the stream channels above, which
+  // running engines may push into until the service drain completes.
+  DiscoveryService service_;
+  HttpServer http_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_SERVER_DISCOVERY_SERVER_H_

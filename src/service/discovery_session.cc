@@ -1,5 +1,6 @@
 #include "service/discovery_session.h"
 
+#include <exception>
 #include <utility>
 
 namespace fastod {
@@ -107,18 +108,33 @@ void DiscoverySession::Run() {
       csv_options = csv_options_;
     }
   }
-  if (load_csv) {
-    Result<Table> table = ReadCsvFile(path, csv_options);
-    if (!table.ok()) {
-      Finish(SessionState::kFailed, table.status());
-      return;
+  // Exceptions from the load or the engine (bad_alloc, a third-party
+  // backend throwing) become a kFailed session, never an unwinding worker
+  // thread: the library's no-throw contract holds at this boundary.
+  Status executed;
+  try {
+    if (load_csv) {
+      Result<Table> table = ReadCsvFile(path, csv_options);
+      if (!table.ok()) {
+        Finish(SessionState::kFailed, table.status());
+        return;
+      }
+      if (Status s = algorithm_->LoadData(std::move(table).value());
+          !s.ok()) {
+        Finish(SessionState::kFailed, s);
+        return;
+      }
     }
-    if (Status s = algorithm_->LoadData(std::move(table).value()); !s.ok()) {
-      Finish(SessionState::kFailed, s);
-      return;
-    }
+    executed = algorithm_->Execute();
+  } catch (const std::exception& e) {
+    Finish(SessionState::kFailed,
+           Status::Internal(std::string("engine threw: ") + e.what()));
+    return;
+  } catch (...) {
+    Finish(SessionState::kFailed,
+           Status::Internal("engine threw a non-standard exception"));
+    return;
   }
-  Status executed = algorithm_->Execute();
   if (!executed.ok()) {
     Finish(SessionState::kFailed, executed);
     return;

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "algo/brute_force_discovery.h"
@@ -106,7 +110,9 @@ TEST(OptionRegistryTest, DescribeOptionsSnapshot) {
             "  --timeout=<double>               abort after this many "
             "seconds (0 = none) (default: 0)\n"
             "  --max-level=<int>                stop after lattice level L "
-            "(0 = none) (default: 0)\n");
+            "(0 = none) (default: 0)\n"
+            "  --emit-fds=<bool>                materialize FDs (false = "
+            "count only) (default: true)\n");
 }
 
 TEST(OptionRegistryTest, ApproximateSurfacesItsOwnDefault) {
@@ -369,19 +375,20 @@ TEST_F(ApiEquivalenceTest, JsonNamesTheAlgorithm) {
 
 // ------------------------------------------------------------ streaming
 
-TEST_F(ApiEquivalenceTest, FastodSinkStreamsWithoutMaterializing) {
+TEST_F(ApiEquivalenceTest, FastodSinkTeesAndStillMaterializes) {
+  // Streaming tees by default: the sink receives the legacy sequence AND
+  // the result vectors fill (so a streamed session can still render its
+  // full report); emit-ods=false opts back into count-only memory use.
   CollectingOdSink sink;
   FastodAlgorithm algo;
   algo.SetSink(&sink);
   ASSERT_TRUE(algo.LoadData(table_).ok());
   ASSERT_TRUE(algo.Execute().ok());
-  // Result vectors stay empty; the sink received the legacy sequence.
-  EXPECT_TRUE(algo.result().constancy_ods.empty());
-  EXPECT_TRUE(algo.result().compatibility_ods.empty());
   FastodResult legacy = Fastod().Discover(*rel_);
   EXPECT_EQ(sink.constancy_ods(), legacy.constancy_ods);
   EXPECT_EQ(sink.compatibility_ods(), legacy.compatibility_ods);
-  // Counts survive in streaming mode.
+  EXPECT_EQ(algo.result().constancy_ods, legacy.constancy_ods);
+  EXPECT_EQ(algo.result().compatibility_ods, legacy.compatibility_ods);
   EXPECT_EQ(algo.result().num_constancy, legacy.num_constancy);
   EXPECT_EQ(algo.result().num_compatibility, legacy.num_compatibility);
 }
@@ -414,8 +421,19 @@ TEST_F(ApiEquivalenceTest, TaneSinkStreamsFds) {
   ASSERT_TRUE(algo.Execute().ok());
   TaneResult legacy = Tane().Discover(*rel_);
   EXPECT_EQ(sink.constancy_ods(), legacy.fds);
-  EXPECT_TRUE(algo.result().fds.empty());
+  EXPECT_EQ(algo.result().fds, legacy.fds);  // tees, like FASTOD
   EXPECT_EQ(algo.result().num_fds, legacy.num_fds);
+
+  // Count-only mode drops the vector but keeps streaming and counts.
+  CollectingOdSink count_only_sink;
+  TaneAlgorithm count_only;
+  count_only.SetSink(&count_only_sink);
+  ASSERT_TRUE(count_only.SetOption("emit-fds", "false").ok());
+  ASSERT_TRUE(count_only.LoadData(table_).ok());
+  ASSERT_TRUE(count_only.Execute().ok());
+  EXPECT_TRUE(count_only.result().fds.empty());
+  EXPECT_EQ(count_only.result().num_fds, legacy.num_fds);
+  EXPECT_EQ(count_only_sink.constancy_ods(), legacy.fds);
 }
 
 TEST_F(ApiEquivalenceTest, OrderSinkTeesListOds) {
@@ -454,6 +472,133 @@ TEST_F(ApiEquivalenceTest, ControlReportsCompletion) {
   ASSERT_TRUE(algo.Execute().ok());
   EXPECT_FALSE(algo.result().cancelled);
   EXPECT_DOUBLE_EQ(control.Progress(), 1.0);
+}
+
+// --------------------------------------------------- ChannelOdSink
+
+TEST(ChannelOdSinkTest, DeliversEventsInOrderAcrossThreads) {
+  ChannelOdSink channel(8);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      channel.OnConstancy(ConstancyOd{AttributeSet(), i % 7});
+    }
+    channel.Close();
+  });
+  int popped = 0;
+  OdEvent event;
+  while (true) {
+    if (!channel.Pop(&event, std::chrono::milliseconds(100))) {
+      if (channel.closed()) break;
+      continue;
+    }
+    ASSERT_TRUE(std::holds_alternative<ConstancyOd>(event));
+    EXPECT_EQ(std::get<ConstancyOd>(event).attribute, popped % 7);
+    ++popped;
+  }
+  producer.join();
+  EXPECT_EQ(popped, 100);
+  EXPECT_EQ(channel.pushed(), 100);
+  EXPECT_EQ(channel.dropped(), 0);
+}
+
+TEST(ChannelOdSinkTest, BackpressureBlocksProducerUntilPopped) {
+  ChannelOdSink channel(2);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 5; ++i) {
+      channel.OnConstancy(ConstancyOd{AttributeSet(), i});
+      produced.fetch_add(1);
+    }
+  });
+  // Capacity 2: the producer cannot run ahead of the consumer by more
+  // than the buffer, however long we stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(produced.load(), 3);  // 2 buffered + 1 in flight
+  OdEvent event;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(channel.Pop(&event, std::chrono::milliseconds(1000)));
+  }
+  producer.join();
+  EXPECT_EQ(produced.load(), 5);
+  EXPECT_FALSE(channel.Pop(&event, std::chrono::milliseconds(1)));
+}
+
+TEST(ChannelOdSinkTest, CloseUnblocksProducerAndDropsButKeepsQueued) {
+  ChannelOdSink channel(1);
+  channel.OnConstancy(ConstancyOd{AttributeSet(), 1});  // fills the buffer
+  std::thread producer([&] {
+    channel.OnConstancy(ConstancyOd{AttributeSet(), 2});  // blocks
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel.Close();  // unblocks the producer; its event is dropped
+  producer.join();
+  EXPECT_EQ(channel.dropped(), 1);
+  // Drain-then-stop: the queued event is still deliverable after Close.
+  OdEvent event;
+  ASSERT_TRUE(channel.Pop(&event, std::chrono::milliseconds(10)));
+  EXPECT_EQ(std::get<ConstancyOd>(event).attribute, 1);
+  EXPECT_FALSE(channel.Pop(&event, std::chrono::milliseconds(10)));
+  EXPECT_EQ(channel.pushed(), 1);
+}
+
+TEST(ChannelOdSinkTest, CarriesEveryOdShape) {
+  ChannelOdSink channel(8);
+  channel.OnConstancy(ConstancyOd{AttributeSet(), 0});
+  channel.OnCompatibility(CompatibilityOd(AttributeSet(), 0, 1));
+  channel.OnBidirectional(BidiCompatibilityOd(AttributeSet(), 0, 1));
+  channel.OnListOd(ListOd{{0}, {1}});
+  channel.OnConditional(ConditionalOd{});
+  OdEvent event;
+  ASSERT_TRUE(channel.Pop(&event));
+  EXPECT_TRUE(std::holds_alternative<ConstancyOd>(event));
+  ASSERT_TRUE(channel.Pop(&event));
+  EXPECT_TRUE(std::holds_alternative<CompatibilityOd>(event));
+  ASSERT_TRUE(channel.Pop(&event));
+  EXPECT_TRUE(std::holds_alternative<BidiCompatibilityOd>(event));
+  ASSERT_TRUE(channel.Pop(&event));
+  EXPECT_TRUE(std::holds_alternative<ListOd>(event));
+  ASSERT_TRUE(channel.Pop(&event));
+  EXPECT_TRUE(std::holds_alternative<ConditionalOd>(event));
+}
+
+// A live engine streaming through the channel produces exactly the
+// CollectingOdSink sequence — the primitive the server's /stream rides.
+TEST(ChannelOdSinkTest, EngineStreamMatchesCollectingSink) {
+  Table table = EmployeeTaxTable();
+  CollectingOdSink expected;
+  FastodAlgorithm baseline;
+  baseline.SetSink(&expected);
+  ASSERT_TRUE(baseline.LoadData(table).ok());
+  ASSERT_TRUE(baseline.Execute().ok());
+
+  ChannelOdSink channel(4);  // smaller than the result set: exercises
+                             // backpressure against a live engine
+  FastodAlgorithm streamed;
+  streamed.SetSink(&channel);
+  ASSERT_TRUE(streamed.LoadData(table).ok());
+  std::thread runner([&] {
+    ASSERT_TRUE(streamed.Execute().ok());
+    channel.Close();
+  });
+  CollectingOdSink replayed;
+  OdEvent event;
+  while (true) {
+    if (!channel.Pop(&event, std::chrono::milliseconds(100))) {
+      if (channel.closed()) break;
+      continue;
+    }
+    if (std::holds_alternative<ConstancyOd>(event)) {
+      replayed.OnConstancy(std::get<ConstancyOd>(event));
+    } else if (std::holds_alternative<CompatibilityOd>(event)) {
+      replayed.OnCompatibility(std::get<CompatibilityOd>(event));
+    } else if (std::holds_alternative<BidiCompatibilityOd>(event)) {
+      replayed.OnBidirectional(std::get<BidiCompatibilityOd>(event));
+    }
+  }
+  runner.join();
+  EXPECT_EQ(replayed.constancy_ods(), expected.constancy_ods());
+  EXPECT_EQ(replayed.compatibility_ods(), expected.compatibility_ods());
+  EXPECT_EQ(replayed.TotalOds(), expected.TotalOds());
 }
 
 }  // namespace

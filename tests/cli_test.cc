@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -9,9 +11,12 @@
 namespace fastod {
 namespace {
 
-// Writes a small CSV fixture and returns its path.
+// Writes a small CSV fixture and returns its path. The PID prefix keeps
+// parallel ctest processes (which share TempDir) from clobbering and
+// deleting each other's fixtures mid-test — this was a real -j flake.
 std::string WriteFixture(const std::string& name, const std::string& body) {
-  std::string path = ::testing::TempDir() + "/" + name;
+  std::string path = ::testing::TempDir() + "/" +
+                     std::to_string(::getpid()) + "_" + name;
   std::ofstream out(path);
   out << body;
   return path;
@@ -293,6 +298,34 @@ TEST_F(CliTest, UsageMentionsNewCommands) {
   CliResult r = RunCli({"help"});
   EXPECT_NE(r.output.find("fastod batch"), std::string::npos);
   EXPECT_NE(r.output.find("fastod algorithms"), std::string::npos);
+  EXPECT_NE(r.output.find("fastod serve"), std::string::npos);
+}
+
+// `serve` blocks until signalled, so tests only cover its argument
+// validation; the full server lifecycle is exercised in server_test.cc.
+TEST_F(CliTest, ServeRejectsBadFlags) {
+  CliResult bad_port = RunCli({"serve", "--port=70000"});
+  EXPECT_EQ(bad_port.exit_code, 1);
+  EXPECT_NE(bad_port.error.find("--port"), std::string::npos);
+
+  CliResult bad_threads = RunCli({"serve", "--threads=-1"});
+  EXPECT_EQ(bad_threads.exit_code, 1);
+  EXPECT_NE(bad_threads.error.find("--threads"), std::string::npos);
+
+  CliResult bad_http = RunCli({"serve", "--http-threads=0"});
+  EXPECT_EQ(bad_http.exit_code, 1);
+  EXPECT_NE(bad_http.error.find("--http-threads"), std::string::npos);
+
+  CliResult positional = RunCli({"serve", "extra"});
+  EXPECT_EQ(positional.exit_code, 1);
+  EXPECT_NE(positional.error.find("positional"), std::string::npos);
+
+  CliResult bad_host = RunCli({"serve", "--host=not-an-ip", "--port=0"});
+  EXPECT_EQ(bad_host.exit_code, 1);
+  EXPECT_NE(bad_host.error.find("address"), std::string::npos);
+
+  CliResult unknown = RunCli({"serve", "--nope=1"});
+  EXPECT_EQ(unknown.exit_code, 1);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "algo/fastod.h"
@@ -56,6 +57,34 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
   std::atomic<int> count{0};
   pool.ParallelFor(257, [&](int64_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 257);
+}
+
+// Regression for the worker boundary: a Submit task that throws must be
+// contained there — the worker survives and keeps draining the queue
+// (before the fix the exception unwound WorkerMain and std::thread
+// called std::terminate).
+TEST(ThreadPoolTest, ThrowingSubmitTaskDoesNotKillWorker) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);  // one worker: it must survive to run the rest
+    pool.Submit([] { throw std::runtime_error("boom"); });
+    pool.Submit([&] { ran.fetch_add(1); });
+    pool.Submit([] { throw 42; });  // non-std exceptions too
+    pool.Submit([&] { ran.fetch_add(1); });
+  }  // ~ThreadPool drains the queue without terminate()
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, QueueDrainsAfterThrowingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([] { throw std::runtime_error("boom"); });
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // destructor runs every queued task
+  EXPECT_EQ(ran.load(), 8);
 }
 
 TEST(ThreadPoolTest, UnevenWorkloadsFinish) {

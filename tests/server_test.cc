@@ -1,0 +1,848 @@
+// End-to-end tests for the HTTP frontend (src/server/): a real
+// DiscoveryServer on an ephemeral port, driven through raw sockets —
+// the same wire bytes curl would produce. The acceptance bars:
+//
+//  * a streaming session delivers OD lines over chunked transfer *while
+//    the session is still running* (proved with an engine that blocks
+//    between emissions), and the streamed per-type sequences are
+//    bit-for-bit the sequential CollectingOdSink run's;
+//  * DELETE mid-stream cancels: the stream drains and closes with an
+//    {"type":"end","state":"cancelled"} line;
+//  * /result of a completed streamed session names exactly the streamed
+//    ODs.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engines.h"
+#include "api/od_sink.h"
+#include "api/registry.h"
+#include "common/json.h"
+#include "data/csv.h"
+#include "gen/generators.h"
+#include "server/discovery_server.h"
+
+namespace fastod {
+namespace {
+
+// ------------------------------------------------- tiny HTTP client
+
+/// Connects to 127.0.0.1:port. Returns -1 on failure.
+int Connect(int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;                            // chunked-decoded
+};
+
+/// Incremental reader for one response on an open socket; understands
+/// Content-Length and chunked transfer coding. NextChunk() returns one
+/// decoded chunk at a time, which is how the streaming tests observe
+/// per-OD delivery before the response completes.
+class ResponseReader {
+ public:
+  explicit ResponseReader(int fd) : fd_(fd) {}
+  ~ResponseReader() { close(fd_); }
+
+  bool ReadHeader(ClientResponse* out) {
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    std::string head = buffer_.substr(0, header_end);
+    buffer_ = buffer_.substr(header_end + 4);
+    size_t line_end = head.find("\r\n");
+    std::string status_line = head.substr(0, line_end);
+    if (status_line.size() < 12) return false;
+    out->status = std::atoi(status_line.substr(9, 3).c_str());
+    size_t pos = line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      size_t value = line.find_first_not_of(" \t", colon + 1);
+      out->headers[name] =
+          value == std::string::npos ? "" : line.substr(value);
+    }
+    chunked_ = out->headers.count("transfer-encoding") != 0 &&
+               out->headers["transfer-encoding"] == "chunked";
+    return true;
+  }
+
+  /// One decoded chunk (chunked responses only); empty on end-of-stream.
+  std::string NextChunk() {
+    size_t line_end;
+    while ((line_end = buffer_.find("\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    size_t size = std::strtoul(buffer_.substr(0, line_end).c_str(),
+                               nullptr, 16);
+    buffer_ = buffer_.substr(line_end + 2);
+    if (size == 0) return "";
+    while (buffer_.size() < size + 2) {
+      if (!Fill()) return "";
+    }
+    std::string chunk = buffer_.substr(0, size);
+    buffer_ = buffer_.substr(size + 2);  // past the trailing CRLF
+    return chunk;
+  }
+
+  /// The rest of the body (both codings), for non-streaming requests.
+  std::string ReadBody(const ClientResponse& response) {
+    if (chunked_) {
+      std::string body;
+      for (std::string chunk = NextChunk(); !chunk.empty();
+           chunk = NextChunk()) {
+        body += chunk;
+      }
+      return body;
+    }
+    auto it = response.headers.find("content-length");
+    if (it != response.headers.end()) {
+      size_t length = std::strtoul(it->second.c_str(), nullptr, 10);
+      while (buffer_.size() < length && Fill()) {
+      }
+      return buffer_.substr(0, length);
+    }
+    while (Fill()) {
+    }
+    return buffer_;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_;
+  std::string buffer_;
+  bool chunked_ = false;
+};
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RequestText(const std::string& method, const std::string& path,
+                        const std::string& body) {
+  std::string out = method + " " + path + " HTTP/1.1\r\n"
+                    "Host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    out += "Content-Type: application/json\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n";
+  }
+  return out + "\r\n" + body;
+}
+
+/// One complete request/response exchange.
+ClientResponse Fetch(int port, const std::string& method,
+                     const std::string& path,
+                     const std::string& body = "") {
+  ClientResponse response;
+  int fd = Connect(port);
+  if (fd < 0) return response;
+  ResponseReader reader(fd);
+  if (!SendAll(fd, RequestText(method, path, body))) return response;
+  if (!reader.ReadHeader(&response)) return response;
+  response.body = reader.ReadBody(response);
+  return response;
+}
+
+// ------------------------------------------------- test algorithms
+
+/// Emits one constancy OD per step, blocking between steps until the
+/// test releases it (or cancel arrives) — deterministic mid-run
+/// streaming without sleeps.
+class TrickleAlgorithm : public Algorithm {
+ public:
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int released = 0;  // steps allowed beyond the first
+
+    void Release() {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++released;
+      }
+      cv.notify_all();
+    }
+  };
+
+  TrickleAlgorithm(Gate* gate, int steps)
+      : Algorithm("trickle", "test-only step-gated emitter"),
+        gate_(gate),
+        steps_(steps) {}
+
+  std::string ResultText() const override { return "trickle\n"; }
+  std::string ResultJson() const override {
+    return "{\"algorithm\": \"trickle\"}\n";
+  }
+
+ protected:
+  Status ExecuteInternal() override {
+    for (int step = 0; step < steps_; ++step) {
+      if (sink() != nullptr) {
+        sink()->OnConstancy(ConstancyOd{AttributeSet(), step % 2});
+      }
+      if (step + 1 == steps_) break;
+      std::unique_lock<std::mutex> lock(gate_->mutex);
+      bool ok = gate_->cv.wait_for(
+          lock, std::chrono::seconds(30), [&] {
+            return gate_->released > step ||
+                   (control() != nullptr && control()->CancelRequested());
+          });
+      if (!ok || (control() != nullptr && control()->CancelRequested())) {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Gate* gate_;
+  int steps_;
+};
+
+class ThrowingAlgorithm : public Algorithm {
+ public:
+  ThrowingAlgorithm()
+      : Algorithm("throwing", "test-only engine that throws") {}
+  std::string ResultText() const override { return ""; }
+  std::string ResultJson() const override { return ""; }
+
+ protected:
+  Status ExecuteInternal() override {
+    throw std::runtime_error("deliberate test explosion");
+  }
+};
+
+std::string EmployeeCsv() { return WriteCsvString(EmployeeTaxTable()); }
+
+/// Starts a server on an ephemeral port with the builtin engines plus
+/// the test-only ones above.
+class ServerFixture {
+ public:
+  explicit ServerFixture(int steps = 2) {
+    RegisterBuiltinAlgorithms(&registry_);
+    registry_.Register("trickle", [this, steps] {
+      return std::unique_ptr<Algorithm>(new TrickleAlgorithm(&gate_,
+                                                             steps));
+    });
+    registry_.Register("throwing", [] {
+      return std::unique_ptr<Algorithm>(new ThrowingAlgorithm());
+    });
+    DiscoveryServerOptions options;
+    options.port = 0;
+    options.http_threads = 4;
+    options.worker_threads = 2;
+    server_ = std::make_unique<DiscoveryServer>(options, &registry_);
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  int port() const { return server_->port(); }
+  TrickleAlgorithm::Gate& gate() { return gate_; }
+  DiscoveryServer& server() { return *server_; }
+
+ private:
+  AlgorithmRegistry registry_;
+  TrickleAlgorithm::Gate gate_;
+  std::unique_ptr<DiscoveryServer> server_;
+};
+
+int64_t SessionIdOf(const std::string& body) {
+  auto parsed = ParseJson(body);
+  EXPECT_TRUE(parsed.ok()) << body;
+  const JsonValue* id = parsed->Find("id");
+  EXPECT_NE(id, nullptr) << body;
+  return id == nullptr ? -1 : id->int_value();
+}
+
+std::string StateOf(int port, int64_t id) {
+  ClientResponse response =
+      Fetch(port, "GET", "/v1/sessions/" + std::to_string(id));
+  auto parsed = ParseJson(response.body);
+  if (!parsed.ok()) return "unparseable";
+  const JsonValue* state = parsed->Find("state");
+  return state == nullptr ? "missing" : state->string_value();
+}
+
+void WaitTerminal(int port, int64_t id) {
+  for (int i = 0; i < 3000; ++i) {
+    std::string state = StateOf(port, id);
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "session " << id << " never reached a terminal state";
+}
+
+// ------------------------------------------------------------- tests
+
+TEST(DiscoveryServerTest, AlgorithmsEndpointIsRegistryDriven) {
+  ServerFixture fixture;
+  ClientResponse response = Fetch(fixture.port(), "GET", "/v1/algorithms");
+  EXPECT_EQ(response.status, 200);
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* algorithms = parsed->Find("algorithms");
+  ASSERT_NE(algorithms, nullptr);
+  bool found_fastod_threads = false;
+  for (const JsonValue& algo : algorithms->array_items()) {
+    const JsonValue* name = algo.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string_value() != "fastod") continue;
+    for (const JsonValue& option : algo.Find("options")->array_items()) {
+      if (option.Find("name")->string_value() == "threads") {
+        found_fastod_threads = true;
+        EXPECT_EQ(option.Find("type")->string_value(), "int");
+      }
+    }
+  }
+  EXPECT_TRUE(found_fastod_threads) << response.body;
+}
+
+TEST(DiscoveryServerTest, InlineCsvSessionRoundTrip) {
+  ServerFixture fixture;
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv")
+      .String(EmployeeCsv())
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "done");
+
+  ClientResponse result = Fetch(
+      fixture.port(), "GET", "/v1/sessions/" + std::to_string(id) +
+                                 "/result");
+  EXPECT_EQ(result.status, 200);
+
+  // Byte-for-byte the direct library run, wall-clock stats aside.
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  ASSERT_TRUE((*algo)->LoadData(EmployeeTaxTable()).ok());
+  ASSERT_TRUE((*algo)->Execute().ok());
+  std::string expected = (*algo)->ResultJson();
+  ASSERT_NE(result.body.find("\"constancy_ods\""), std::string::npos);
+  EXPECT_EQ(result.body.substr(result.body.find("\"constancy_ods\"")),
+            expected.substr(expected.find("\"constancy_ods\"")));
+}
+
+TEST(DiscoveryServerTest, OptionsForwardToEngineAndRejectUnknown) {
+  ServerFixture fixture;
+  JsonWriter good;
+  good.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("options")
+      .BeginObject()
+      .Key("threads")
+      .Int(2)
+      .Key("bidirectional")
+      .Bool(true)
+      .EndObject()
+      .Key("csv")
+      .String(EmployeeCsv())
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", good.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(fixture.port(), id);
+  ClientResponse result = Fetch(
+      fixture.port(), "GET", "/v1/sessions/" + std::to_string(id) +
+                                 "/result");
+  EXPECT_NE(result.body.find("\"bidirectional_ods\""), std::string::npos);
+
+  JsonWriter bad;
+  bad.BeginObject()
+      .Key("algorithm")
+      .String("tane")
+      .Key("options")
+      .BeginObject()
+      .Key("threads")  // not a TANE option
+      .Int(2)
+      .EndObject()
+      .Key("csv")
+      .String(EmployeeCsv())
+      .EndObject();
+  ClientResponse rejected =
+      Fetch(fixture.port(), "POST", "/v1/sessions", bad.str());
+  // Unknown option names are NotFound in the option registry → 404.
+  EXPECT_EQ(rejected.status, 404) << rejected.body;
+  EXPECT_NE(rejected.body.find("threads"), std::string::npos);
+}
+
+TEST(DiscoveryServerTest, ErrorRoutesAndCodes) {
+  ServerFixture fixture;
+  EXPECT_EQ(Fetch(fixture.port(), "GET", "/nope").status, 404);
+  EXPECT_EQ(Fetch(fixture.port(), "GET", "/v1/sessions/424242").status,
+            404);
+  EXPECT_EQ(Fetch(fixture.port(), "POST", "/v1/sessions", "{oops").status,
+            400);
+  // Wrong method on an existing route is 405, not 404.
+  EXPECT_EQ(Fetch(fixture.port(), "GET", "/v1/sessions").status, 405);
+  EXPECT_EQ(Fetch(fixture.port(), "POST", "/v1/algorithms", "{}").status,
+            405);
+  EXPECT_EQ(Fetch(fixture.port(), "POST", "/v1/sessions/1/result", "{}")
+                .status,
+            405);
+
+  // Hostile numbers must be rejected, not undefined-behavior cast.
+  ClientResponse huge = Fetch(
+      fixture.port(), "POST", "/v1/sessions",
+      R"({"algorithm": "fastod", "csv": "a\n1\n",
+          "csv_options": {"max_rows": 1e30}})");
+  EXPECT_EQ(huge.status, 400);
+  EXPECT_NE(huge.body.find("max_rows"), std::string::npos);
+
+  // Unknown algorithm: NotFound listing registered names.
+  ClientResponse unknown = Fetch(
+      fixture.port(), "POST", "/v1/sessions",
+      R"({"algorithm": "magic", "csv": "a\n1\n"})");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_NE(unknown.body.find("fastod"), std::string::npos);
+
+  // csv XOR csv_path.
+  ClientResponse both = Fetch(
+      fixture.port(), "POST", "/v1/sessions",
+      R"({"algorithm": "fastod", "csv": "a\n1\n", "csv_path": "/x.csv"})");
+  EXPECT_EQ(both.status, 400);
+
+  // Unknown top-level field (typo protection).
+  ClientResponse typo = Fetch(
+      fixture.port(), "POST", "/v1/sessions",
+      R"({"algorithm": "fastod", "csv": "a\n1\n", "streaming": true})");
+  EXPECT_EQ(typo.status, 400);
+  EXPECT_NE(typo.body.find("streaming"), std::string::npos);
+}
+
+TEST(DiscoveryServerTest, CsvPathReadsOnWorker) {
+  ServerFixture fixture;
+  std::string path = ::testing::TempDir() + "/server_test_data.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string csv = EmployeeCsv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv_path")
+      .String(path)
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "done");
+  std::remove(path.c_str());
+
+  // A missing file fails on the worker and surfaces through polling.
+  JsonWriter missing;
+  missing.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv_path")
+      .String("/no/such/file.csv")
+      .EndObject();
+  ClientResponse bad =
+      Fetch(fixture.port(), "POST", "/v1/sessions", missing.str());
+  ASSERT_EQ(bad.status, 201) << bad.body;  // submission itself succeeds
+  int64_t bad_id = SessionIdOf(bad.body);
+  WaitTerminal(fixture.port(), bad_id);
+  EXPECT_EQ(StateOf(fixture.port(), bad_id), "failed");
+  ClientResponse result = Fetch(
+      fixture.port(), "GET",
+      "/v1/sessions/" + std::to_string(bad_id) + "/result");
+  EXPECT_EQ(result.status, 500);
+  EXPECT_NE(result.body.find("/no/such/file.csv"), std::string::npos);
+}
+
+TEST(DiscoveryServerTest, ResultBeforeTerminalIsConflict) {
+  ServerFixture fixture;
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("trickle")
+      .Key("csv")
+      .String("a,b\n1,2\n")
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  // The trickle engine is now blocked mid-run on its gate.
+  ClientResponse early = Fetch(
+      fixture.port(), "GET", "/v1/sessions/" + std::to_string(id) +
+                                 "/result");
+  EXPECT_EQ(early.status, 409) << early.body;
+  fixture.gate().Release();
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "done");
+}
+
+// The headline acceptance test: an OD line is delivered while the
+// session is provably still running, the full streamed sequence equals
+// the sequential CollectingOdSink run bit-for-bit, and /result
+// afterwards names exactly the streamed set.
+TEST(DiscoveryServerTest, StreamsOdsMidRunMatchingSequentialSink) {
+  ServerFixture fixture;
+  Table table = GenFlightLike(300, 8, 7);
+
+  // Sequential baseline.
+  CollectingOdSink baseline;
+  auto algo = AlgorithmRegistry::Default().Create("fastod");
+  ASSERT_TRUE(algo.ok());
+  (*algo)->SetSink(&baseline);
+  ASSERT_TRUE((*algo)->LoadData(table).ok());
+  ASSERT_TRUE((*algo)->Execute().ok());
+  ASSERT_GT(baseline.TotalOds(), 0);
+
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv")
+      .String(WriteCsvString(table))
+      .Key("stream")
+      .Bool(true)
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+
+  int fd = Connect(fixture.port());
+  ASSERT_GE(fd, 0);
+  ResponseReader reader(fd);
+  ASSERT_TRUE(SendAll(
+      fd, RequestText("GET",
+                      "/v1/sessions/" + std::to_string(id) + "/stream",
+                      "")));
+  ClientResponse header;
+  ASSERT_TRUE(reader.ReadHeader(&header));
+  EXPECT_EQ(header.status, 200);
+  EXPECT_EQ(header.headers["transfer-encoding"], "chunked");
+
+  std::vector<JsonValue> lines;
+  bool saw_end = false;
+  std::string buffered;
+  for (std::string chunk = reader.NextChunk(); !chunk.empty();
+       chunk = reader.NextChunk()) {
+    buffered += chunk;
+    size_t newline;
+    while ((newline = buffered.find('\n')) != std::string::npos) {
+      auto parsed = ParseJson(buffered.substr(0, newline));
+      buffered = buffered.substr(newline + 1);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      if (parsed->Find("type")->string_value() == "end") {
+        EXPECT_EQ(parsed->Find("state")->string_value(), "done");
+        EXPECT_EQ(parsed->Find("streamed")->int_value(),
+                  static_cast<int64_t>(lines.size()));
+        saw_end = true;
+      } else {
+        lines.push_back(std::move(*parsed));
+      }
+    }
+  }
+  ASSERT_TRUE(saw_end);
+  ASSERT_EQ(static_cast<int64_t>(lines.size()), baseline.TotalOds());
+
+  // Per-type sequences match the sequential sink in emission order.
+  Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
+  ASSERT_TRUE(encoded.ok());
+  const Schema& schema = encoded->schema();
+  auto context_names = [&](AttributeSet context) {
+    std::vector<std::string> names;
+    for (int a = context.First(); a >= 0; a = context.Next(a)) {
+      names.push_back(schema.name(a));
+    }
+    return names;
+  };
+  auto json_names = [](const JsonValue& array) {
+    std::vector<std::string> names;
+    for (const JsonValue& item : array.array_items()) {
+      names.push_back(item.string_value());
+    }
+    return names;
+  };
+  size_t constancy_seen = 0;
+  size_t compatibility_seen = 0;
+  for (const JsonValue& line : lines) {
+    const std::string& type = line.Find("type")->string_value();
+    if (type == "constancy") {
+      ASSERT_LT(constancy_seen, baseline.constancy_ods().size());
+      const ConstancyOd& expected =
+          baseline.constancy_ods()[constancy_seen++];
+      EXPECT_EQ(json_names(*line.Find("context")),
+                context_names(expected.context));
+      EXPECT_EQ(line.Find("attribute")->string_value(),
+                schema.name(expected.attribute));
+    } else if (type == "compatibility") {
+      ASSERT_LT(compatibility_seen, baseline.compatibility_ods().size());
+      const CompatibilityOd& expected =
+          baseline.compatibility_ods()[compatibility_seen++];
+      EXPECT_EQ(json_names(*line.Find("context")),
+                context_names(expected.context));
+      EXPECT_EQ(line.Find("a")->string_value(), schema.name(expected.a));
+      EXPECT_EQ(line.Find("b")->string_value(), schema.name(expected.b));
+    } else {
+      FAIL() << "unexpected line type " << type;
+    }
+  }
+  EXPECT_EQ(constancy_seen, baseline.constancy_ods().size());
+  EXPECT_EQ(compatibility_seen, baseline.compatibility_ods().size());
+
+  // And the post-hoc /result names the same set.
+  ClientResponse result = Fetch(
+      fixture.port(), "GET", "/v1/sessions/" + std::to_string(id) +
+                                 "/result");
+  EXPECT_EQ(result.status, 200);
+  auto report = ParseJson(result.body);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->Find("constancy_ods")->array_items().size(),
+            baseline.constancy_ods().size());
+  EXPECT_EQ(report->Find("compatibility_ods")->array_items().size(),
+            baseline.compatibility_ods().size());
+}
+
+TEST(DiscoveryServerTest, StreamDeliversBeforeSessionCompletes) {
+  ServerFixture fixture(/*steps=*/2);
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("trickle")
+      .Key("csv")
+      .String("a,b\n1,2\n")
+      .Key("stream")
+      .Bool(true)
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+
+  int fd = Connect(fixture.port());
+  ASSERT_GE(fd, 0);
+  ResponseReader reader(fd);
+  ASSERT_TRUE(SendAll(
+      fd, RequestText("GET",
+                      "/v1/sessions/" + std::to_string(id) + "/stream",
+                      "")));
+  ClientResponse header;
+  ASSERT_TRUE(reader.ReadHeader(&header));
+  ASSERT_EQ(header.status, 200);
+
+  // First OD line arrives while the engine is parked on its gate — the
+  // session is mid-run by construction, which *is* the incremental
+  // delivery claim.
+  std::string first = reader.NextChunk();
+  ASSERT_NE(first.find("\"constancy\""), std::string::npos) << first;
+  EXPECT_EQ(StateOf(fixture.port(), id), "running");
+
+  fixture.gate().Release();
+  std::string rest;
+  for (std::string chunk = reader.NextChunk(); !chunk.empty();
+       chunk = reader.NextChunk()) {
+    rest += chunk;
+  }
+  EXPECT_NE(rest.find("\"end\""), std::string::npos) << rest;
+  EXPECT_NE(rest.find("\"done\""), std::string::npos) << rest;
+  WaitTerminal(fixture.port(), id);
+}
+
+TEST(DiscoveryServerTest, CancelMidStreamEndsStreamAsCancelled) {
+  ServerFixture fixture(/*steps=*/1000);  // gate never releases enough
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("trickle")
+      .Key("csv")
+      .String("a,b\n1,2\n")
+      .Key("stream")
+      .Bool(true)
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+
+  int fd = Connect(fixture.port());
+  ASSERT_GE(fd, 0);
+  ResponseReader reader(fd);
+  ASSERT_TRUE(SendAll(
+      fd, RequestText("GET",
+                      "/v1/sessions/" + std::to_string(id) + "/stream",
+                      "")));
+  ClientResponse header;
+  ASSERT_TRUE(reader.ReadHeader(&header));
+  ASSERT_EQ(header.status, 200);
+  std::string first = reader.NextChunk();
+  ASSERT_NE(first.find("constancy"), std::string::npos);
+
+  // Cancel while the engine sits mid-run; the stream must drain and
+  // close with state=cancelled (TrickleAlgorithm honors the cancel at
+  // its gate — cooperative cancellation, same as the real engines).
+  ClientResponse cancelled =
+      Fetch(fixture.port(), "DELETE", "/v1/sessions/" + std::to_string(id));
+  EXPECT_EQ(cancelled.status, 200) << cancelled.body;
+  fixture.gate().Release();  // wake the gate so it can observe the flag
+
+  std::string rest;
+  for (std::string chunk = reader.NextChunk(); !chunk.empty();
+       chunk = reader.NextChunk()) {
+    rest += chunk;
+  }
+  EXPECT_NE(rest.find("\"end\""), std::string::npos) << rest;
+  EXPECT_NE(rest.find("\"cancelled\""), std::string::npos) << rest;
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "cancelled");
+}
+
+TEST(DiscoveryServerTest, StreamRequiresOptInAndSingleReader) {
+  ServerFixture fixture;
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv")
+      .String(EmployeeCsv())
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201);
+  int64_t id = SessionIdOf(created.body);
+  ClientResponse stream = Fetch(
+      fixture.port(), "GET", "/v1/sessions/" + std::to_string(id) +
+                                 "/stream");
+  EXPECT_EQ(stream.status, 409);
+  EXPECT_NE(stream.body.find("stream"), std::string::npos);
+  WaitTerminal(fixture.port(), id);
+}
+
+TEST(DiscoveryServerTest, PurgeFreesTerminalSessionsAndRejectsLive) {
+  ServerFixture fixture;
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("trickle")  // parks on its gate → reliably non-terminal
+      .Key("csv")
+      .String("a,b\n1,2\n")
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  std::string base = "/v1/sessions/" + std::to_string(id);
+
+  // Purge of a live session is refused; the handle stays valid.
+  ClientResponse live = Fetch(fixture.port(), "DELETE", base + "?purge=1");
+  EXPECT_EQ(live.status, 409) << live.body;
+  EXPECT_EQ(Fetch(fixture.port(), "GET", base).status, 200);
+
+  fixture.gate().Release();
+  WaitTerminal(fixture.port(), id);
+  ClientResponse purged =
+      Fetch(fixture.port(), "DELETE", base + "?purge=1");
+  EXPECT_EQ(purged.status, 200) << purged.body;
+  EXPECT_NE(purged.body.find("\"purged\": true"), std::string::npos);
+  // The handle is gone from every route.
+  EXPECT_EQ(Fetch(fixture.port(), "GET", base).status, 404);
+  EXPECT_EQ(Fetch(fixture.port(), "GET", base + "/result").status, 404);
+  EXPECT_EQ(Fetch(fixture.port(), "DELETE", base + "?purge=1").status,
+            404);
+}
+
+TEST(DiscoveryServerTest, ThrowingEngineFailsSessionNotServer) {
+  ServerFixture fixture;
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("throwing")
+      .Key("csv")
+      .String("a,b\n1,2\n")
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "failed");
+  ClientResponse info =
+      Fetch(fixture.port(), "GET", "/v1/sessions/" + std::to_string(id));
+  EXPECT_NE(info.body.find("deliberate test explosion"), std::string::npos)
+      << info.body;
+
+  // The worker survived: a healthy session right after still completes.
+  JsonWriter next;
+  next.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("csv")
+      .String(EmployeeCsv())
+      .EndObject();
+  ClientResponse ok =
+      Fetch(fixture.port(), "POST", "/v1/sessions", next.str());
+  ASSERT_EQ(ok.status, 201);
+  int64_t ok_id = SessionIdOf(ok.body);
+  WaitTerminal(fixture.port(), ok_id);
+  EXPECT_EQ(StateOf(fixture.port(), ok_id), "done");
+}
+
+}  // namespace
+}  // namespace fastod

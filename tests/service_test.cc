@@ -12,6 +12,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "api/engines.h"
@@ -454,6 +455,56 @@ TEST(DiscoveryServiceTest, ConcurrentMixedBatchMatchesSequentialRuns) {
     EXPECT_EQ(concurrent.TotalOds(), sequential.TotalOds())
         << jobs[i].algorithm;
   }
+}
+
+// ---------------------------------- exception containment (regression)
+
+class ThrowingAlgorithm : public Algorithm {
+ public:
+  ThrowingAlgorithm()
+      : Algorithm("throwing", "test-only engine that throws") {}
+  std::string ResultText() const override { return ""; }
+  std::string ResultJson() const override { return ""; }
+
+ protected:
+  Status ExecuteInternal() override {
+    throw std::runtime_error("kaboom at level 3");
+  }
+};
+
+// A throwing engine must end the session kFailed with the exception's
+// message in its Status — and must not take down the worker: the next
+// session on the same (single-worker) pool completes normally.
+TEST(DiscoveryServiceTest, ThrowingSessionFailsWithoutKillingPool) {
+  AlgorithmRegistry registry;
+  RegisterBuiltinAlgorithms(&registry);
+  registry.Register("throwing", [] {
+    return std::unique_ptr<Algorithm>(new ThrowingAlgorithm());
+  });
+  DiscoveryService service(1, &registry);
+
+  auto bad = service.Create("throwing");
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(service.LoadTable(*bad, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*bad).ok());
+  auto state = service.Wait(*bad);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, SessionState::kFailed);
+  auto poll = service.Poll(*bad);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kFailed);
+  EXPECT_NE(poll->error.find("kaboom at level 3"), std::string::npos);
+  EXPECT_NE(poll->error.find("Internal"), std::string::npos);
+
+  // The single worker survived the throw: a healthy session completes.
+  auto good = service.Create("fastod");
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(service.LoadTable(*good, EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.Submit(*good).ok());
+  auto good_state = service.Wait(*good);
+  ASSERT_TRUE(good_state.ok());
+  EXPECT_EQ(*good_state, SessionState::kDone);
+  EXPECT_FALSE(service.ResultJson(*good)->empty());
 }
 
 TEST(DiscoveryServiceTest, DestroyRunningSessionIsSafe) {
