@@ -5,13 +5,25 @@
 // virtual dispatch per run; with emit-ods=false the sink replaces one
 // vector append per OD — sinks tee by default, so the bench opts out of
 // materialization to keep both modes at one append per OD).
+//
+// The repeated-session rows quantify the DatasetStore's
+// load-once/discover-many amortization: N sessions over one relation,
+// either each re-reading + re-encoding the CSV (mode=fresh-load, the
+// pre-store server behavior) or all binding one LoadedDataset built once
+// (mode=shared-dataset, CSV parse + encode + level-1 partitions skipped
+// per session).
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "api/engines.h"
 #include "api/od_sink.h"
 #include "api/registry.h"
 #include "bench_util.h"
+#include "data/csv.h"
+#include "data/dataset_store.h"
 #include "gen/generators.h"
 
 namespace {
@@ -51,6 +63,77 @@ void Row(const char* label, const Table& table) {
                   : 0.0);
 }
 
+// N discovery sessions over one relation, with and without the shared
+// DatasetStore. Both modes run the identical engine configuration; the
+// difference is purely per-session input preparation.
+void RepeatedSessionsRow(const char* label, const Table& table,
+                         int sessions) {
+  std::string path = "/tmp/bench_api_overhead_" +
+                     std::to_string(::getpid()) + ".csv";
+  if (!WriteCsvFile(table, path).ok()) {
+    std::printf("%-14s | cannot write %s, skipped\n", label, path.c_str());
+    return;
+  }
+
+  auto run_one = [](Algorithm& algo) {
+    (void)algo.SetOption("emit-ods", "false");
+    CountingOdSink sink;
+    algo.SetSink(&sink);
+    (void)algo.Execute();
+    return sink.Total();
+  };
+
+  // Mode 1: every session parses, types, and encodes the CSV itself.
+  WallTimer fresh_timer;
+  int64_t fresh_ods = 0;
+  for (int i = 0; i < sessions; ++i) {
+    auto algo = AlgorithmRegistry::Default().Create("fastod");
+    auto loaded = ReadCsvFile(path);
+    if (!loaded.ok()) {
+      std::printf("%-14s | cannot read %s back, skipped\n", label,
+                  path.c_str());
+      std::remove(path.c_str());
+      return;
+    }
+    (void)(*algo)->LoadData(*std::move(loaded));
+    fresh_ods = run_one(**algo);
+  }
+  double fresh_seconds = fresh_timer.ElapsedSeconds();
+
+  // Mode 2: one store load, then N sessions bind it by reference and
+  // start from the prebuilt level-1 partitions.
+  DatasetStore store;
+  WallTimer shared_timer;
+  auto dataset = store.PutCsvFile(label, path);
+  if (!dataset.ok()) {
+    std::printf("%-14s | store load failed (%s), skipped\n", label,
+                dataset.status().ToString().c_str());
+    std::remove(path.c_str());
+    return;
+  }
+  double load_once_seconds = shared_timer.ElapsedSeconds();
+  int64_t shared_ods = 0;
+  for (int i = 0; i < sessions; ++i) {
+    auto algo = AlgorithmRegistry::Default().Create("fastod");
+    auto shared = store.Get(label);  // cannot fail: no budget, just Put
+    (void)(*algo)->LoadData(shared.ok() ? *std::move(shared) : *dataset);
+    shared_ods = run_one(**algo);
+  }
+  double shared_seconds = shared_timer.ElapsedSeconds();
+  std::remove(path.c_str());
+
+  std::string params_base = std::string("workload=") + label +
+                            " sessions=" + std::to_string(sessions);
+  RecordJson(params_base + " mode=fresh-load", fresh_seconds);
+  RecordJson(params_base + " mode=shared-dataset", shared_seconds);
+  std::printf("%-14s | %2d sessions | fresh-load %8.3fs | shared-dataset "
+              "%8.3fs (load-once %.3fs) | speedup %.2fx%s\n",
+              label, sessions, fresh_seconds, shared_seconds,
+              load_once_seconds,
+              shared_seconds > 0.0 ? fresh_seconds / shared_seconds : 0.0,
+              fresh_ods == shared_ods ? "" : " | OD MISMATCH");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,5 +145,12 @@ int main(int argc, char** argv) {
   Row("flight 1Kx10", GenFlightLike(1000 * scale, 10, 7));
   Row("ncvoter 2Kx8", GenNcvoterLike(2000 * scale, 8, 11));
   Row("dbtesma 1Kx12", GenDbtesmaLike(1000 * scale, 12, 23));
+
+  std::printf("\nload-once/discover-many (shared DatasetStore vs "
+              "per-session CSV load)\n");
+  RepeatedSessionsRow("flight 2Kx10", GenFlightLike(2000 * scale, 10, 7),
+                      8);
+  RepeatedSessionsRow("ncvoter 4Kx8", GenNcvoterLike(4000 * scale, 8, 11),
+                      8);
   return 0;
 }

@@ -101,6 +101,14 @@ struct FastodOptions {
   /// Cooperative cancellation + progress (common/cancellation.h), polled
   /// at the same cadence as the timeout deadline. Must outlive the run.
   ExecutionControl* control = nullptr;
+
+  /// Prebuilt level-1 partitions Π*_{A}, one per attribute of the
+  /// relation being discovered (data/dataset_store.h builds them once per
+  /// dataset). When set, level initialization copies these instead of
+  /// recomputing ForAttribute per attribute — the partition half of the
+  /// load-once/discover-many amortization. Borrowed; must outlive the
+  /// run and match the relation exactly.
+  const std::vector<StrippedPartition>* singleton_partitions = nullptr;
 };
 
 /// Telemetry for one lattice level (drives Figure 7).

@@ -87,13 +87,20 @@ class Run {
     root.cc = full_set_;
     previous_.Add(std::move(root));
     cache_.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(n));
+    const std::vector<StrippedPartition>* prebuilt =
+        options_.singleton_partitions;
+    FASTOD_DCHECK(prebuilt == nullptr ||
+                  static_cast<int>(prebuilt->size()) ==
+                      relation_.NumAttributes());
     for (int a = 0; a < relation_.NumAttributes(); ++a) {
       Node node;
       node.set = AttributeSet::Single(a);
       current_.Add(std::move(node));
       cache_.Put(1, AttributeSet::Single(a),
-                 StrippedPartition::ForAttribute(relation_.ranks(a),
-                                                 relation_.NumDistinct(a)));
+                 prebuilt != nullptr
+                     ? (*prebuilt)[a]
+                     : StrippedPartition::ForAttribute(
+                           relation_.ranks(a), relation_.NumDistinct(a)));
     }
   }
 

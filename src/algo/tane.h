@@ -20,6 +20,7 @@
 #include "data/encode.h"
 #include "data/table.h"
 #include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -40,6 +41,10 @@ struct TaneOptions {
   OdSink* sink = nullptr;
   /// Cooperative cancellation + progress, polled at level boundaries.
   ExecutionControl* control = nullptr;
+  /// Prebuilt level-1 partitions Π*_{A}, one per attribute (see
+  /// FastodOptions::singleton_partitions). Borrowed; must outlive the
+  /// run and match the relation exactly.
+  const std::vector<StrippedPartition>* singleton_partitions = nullptr;
 };
 
 struct TaneResult {

@@ -21,6 +21,7 @@
 #ifndef FASTOD_API_ALGORITHM_H_
 #define FASTOD_API_ALGORITHM_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "api/option.h"
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "data/dataset_store.h"
 #include "data/encode.h"
 #include "data/table.h"
 
@@ -70,12 +72,19 @@ class Algorithm {
   Status LoadData(Table table);
   /// Binds an already-encoded relation (no raw values retained).
   Status LoadData(EncodedRelation relation);
-  bool has_data() const { return relation_.has_value(); }
+  /// Binds a shared, already-preprocessed dataset (data/dataset_store.h):
+  /// no copy of the table, encoding, or level-1 partitions is made, and
+  /// holding the pointer pins the dataset for the algorithm's lifetime —
+  /// the load-once/discover-many path.
+  Status LoadData(std::shared_ptr<const LoadedDataset> dataset);
+  bool has_data() const {
+    return relation_.has_value() || dataset_ != nullptr;
+  }
   /// The loaded relation's schema, or nullptr before LoadData. Stable for
   /// the algorithm's lifetime once data is bound — frontends that render
   /// streamed ODs (attribute indices) back to names hold onto it.
   const Schema* schema() const {
-    return relation_.has_value() ? &relation_->schema() : nullptr;
+    return has_data() ? &relation().schema() : nullptr;
   }
 
   /// Runs the engine on the loaded data. Requires LoadData; may be called
@@ -113,11 +122,19 @@ class Algorithm {
   /// Engine invocation; data is loaded and the wall clock is running.
   virtual Status ExecuteInternal() = 0;
 
-  const EncodedRelation& relation() const { return *relation_; }
-  /// The raw table, when LoadData(Table) was used; nullptr otherwise.
+  const EncodedRelation& relation() const {
+    return dataset_ != nullptr ? dataset_->relation() : *relation_;
+  }
+  /// The raw table, when LoadData(Table) or a shared dataset was used;
+  /// nullptr otherwise.
   const Table* table() const {
+    if (dataset_ != nullptr) return &dataset_->table();
     return table_.has_value() ? &*table_ : nullptr;
   }
+  /// The shared dataset, when LoadData(shared_ptr) was used; nullptr
+  /// otherwise. Engines read prebuilt artifacts (level-1 partitions)
+  /// from here instead of recomputing them.
+  const LoadedDataset* dataset() const { return dataset_.get(); }
   OdSink* sink() const { return sink_; }
   ExecutionControl* control() const { return control_; }
 
@@ -127,6 +144,7 @@ class Algorithm {
   OptionRegistry options_;
   std::optional<Table> table_;
   std::optional<EncodedRelation> relation_;
+  std::shared_ptr<const LoadedDataset> dataset_;
   OdSink* sink_ = nullptr;
   ExecutionControl* control_ = nullptr;
   bool executed_ = false;

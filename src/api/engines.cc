@@ -75,6 +75,9 @@ Status FastodAlgorithm::ExecuteInternal() {
   run.swap_method = static_cast<SwapCheckMethod>(swap_method_choice_);
   run.sink = sink();
   run.control = control();
+  if (dataset() != nullptr) {
+    run.singleton_partitions = &dataset()->singleton_partitions();
+  }
   result_ = Fastod(run).Discover(relation());
   return Status::Ok();
 }
@@ -122,6 +125,9 @@ Status TaneAlgorithm::ExecuteInternal() {
   TaneOptions run = opts_;
   run.sink = sink();
   run.control = control();
+  if (dataset() != nullptr) {
+    run.singleton_partitions = &dataset()->singleton_partitions();
+  }
   result_ = Tane(run).Discover(relation());
   return Status::Ok();
 }

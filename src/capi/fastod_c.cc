@@ -18,6 +18,7 @@
 
 #include "api/registry.h"
 #include "common/status.h"
+#include "data/dataset_store.h"
 #include "service/discovery_service.h"
 
 namespace {
@@ -26,11 +27,13 @@ using fastod::AlgorithmRegistry;
 using fastod::CsvOptions;
 using fastod::DiscoveryService;
 using fastod::DiscoverySession;
+using fastod::LoadedDataset;
 using fastod::OptionInfo;
 using fastod::SessionId;
 using fastod::SessionState;
 using fastod::Status;
 using fastod::StatusCode;
+using fastod::Table;
 
 int CodeOf(const Status& status) {
   switch (status.code()) {
@@ -74,6 +77,13 @@ struct fastod_session {
   mutable std::mutex mutex;
   std::string last_error;   // guarded by mutex
   std::string result_copy;  // guarded by mutex
+};
+
+// A shared-dataset handle is one strong reference to an immutable
+// LoadedDataset; sessions bound to it take their own references, so
+// destroy order between handles and sessions is a non-issue.
+struct fastod_dataset {
+  std::shared_ptr<const LoadedDataset> dataset;
 };
 
 namespace {
@@ -231,6 +241,62 @@ int fastod_load_csv_opts(fastod_session_t* session, const char* path,
   options.max_rows = max_rows;
   return Apply(session, GlobalService().LoadCsv(session->id, path, options));
 }
+
+fastod_dataset_t* fastod_dataset_load_csv(const char* path) {
+  return fastod_dataset_load_csv_opts(path, ',', 1, -1);
+}
+
+fastod_dataset_t* fastod_dataset_load_csv_opts(const char* path,
+                                               char delimiter,
+                                               int has_header,
+                                               long max_rows) {
+  if (path == nullptr) {
+    ThreadError() = "path must be non-NULL";
+    return nullptr;
+  }
+  CsvOptions options;
+  options.delimiter = delimiter;
+  options.has_header = has_header != 0;
+  options.max_rows = max_rows;
+  fastod::Result<Table> table = fastod::ReadCsvFile(path, options);
+  if (!table.ok()) {
+    ThreadError() = table.status().message();
+    return nullptr;
+  }
+  fastod::Result<std::shared_ptr<const LoadedDataset>> dataset =
+      LoadedDataset::Build(path, *std::move(table),
+                           std::string("csv:") + path);
+  if (!dataset.ok()) {
+    ThreadError() = dataset.status().message();
+    return nullptr;
+  }
+  auto* handle = new fastod_dataset();
+  handle->dataset = *std::move(dataset);
+  return handle;
+}
+
+long fastod_dataset_rows(const fastod_dataset_t* dataset) {
+  if (dataset == nullptr) return -1;
+  return static_cast<long>(dataset->dataset->NumRows());
+}
+
+int fastod_dataset_columns(const fastod_dataset_t* dataset) {
+  if (dataset == nullptr) return -1;
+  return dataset->dataset->NumAttributes();
+}
+
+int fastod_use_dataset(fastod_session_t* session,
+                       const fastod_dataset_t* dataset) {
+  if (session == nullptr) return FASTOD_ERR_NULL_HANDLE;
+  if (dataset == nullptr) {
+    return Fail(session,
+                Status::InvalidArgument("dataset must be non-NULL"));
+  }
+  return Apply(session,
+               GlobalService().LoadDataset(session->id, dataset->dataset));
+}
+
+void fastod_dataset_destroy(fastod_dataset_t* dataset) { delete dataset; }
 
 int fastod_execute(fastod_session_t* session) {
   int code = fastod_execute_async(session);

@@ -32,7 +32,7 @@
 #define FASTOD_CAPI_FASTOD_C_H_
 
 #define FASTOD_VERSION_MAJOR 0
-#define FASTOD_VERSION_MINOR 3
+#define FASTOD_VERSION_MINOR 4
 #define FASTOD_VERSION_PATCH 0
 
 /* Error codes. 1..6 and 8 mirror fastod::StatusCode; 7 flags misuse of
@@ -70,6 +70,9 @@ extern "C" {
 
 /* Opaque session handle. */
 typedef struct fastod_session fastod_session_t;
+
+/* Opaque shared-dataset handle (load once, discover many). */
+typedef struct fastod_dataset fastod_dataset_t;
 
 /* "MAJOR.MINOR.PATCH", matching the macros this header was built with. */
 const char* fastod_version_string(void);
@@ -125,6 +128,35 @@ const char* fastod_option_description(const fastod_session_t* session,
 int fastod_load_csv(fastod_session_t* session, const char* path);
 int fastod_load_csv_opts(fastod_session_t* session, const char* path,
                          char delimiter, int has_header, long max_rows);
+
+/* ---- Shared datasets ------------------------------------------------ */
+
+/* Loads a CSV once — parse, type inference, order-preserving encoding,
+ * and the level-1 partitions every level-wise engine builds first — into
+ * an immutable dataset any number of sessions can bind by reference via
+ * fastod_use_dataset(), including sessions running concurrently with
+ * different algorithms. Returns NULL on failure; the message is then
+ * available via fastod_last_error(NULL). */
+fastod_dataset_t* fastod_dataset_load_csv(const char* path);
+fastod_dataset_t* fastod_dataset_load_csv_opts(const char* path,
+                                               char delimiter,
+                                               int has_header,
+                                               long max_rows);
+
+/* Row / attribute counts of a loaded dataset (-1 on NULL). */
+long fastod_dataset_rows(const fastod_dataset_t* dataset);
+int fastod_dataset_columns(const fastod_dataset_t* dataset);
+
+/* Binds the dataset to a session — no copy, no re-parse; the session
+ * keeps the data alive for its own lifetime, so destroying the dataset
+ * handle while sessions still use it is safe. Only valid before
+ * execution is scheduled. */
+int fastod_use_dataset(fastod_session_t* session,
+                       const fastod_dataset_t* dataset);
+
+/* Releases the handle's reference. Safe on NULL. Sessions bound to the
+ * dataset are unaffected (reference counting keeps the data alive). */
+void fastod_dataset_destroy(fastod_dataset_t* dataset);
 
 /* Runs discovery on the calling thread; returns once terminal. */
 int fastod_execute(fastod_session_t* session);

@@ -16,6 +16,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "data/csv.h"
+#include "data/dataset_store.h"
 #include "data/encode.h"
 #include "gen/date_dim.h"
 #include "gen/generators.h"
@@ -45,10 +46,13 @@ std::string Usage() {
          AlgorithmRegistry::Default().NamesList() +
          "\n"
          "  fastod batch <manifest.txt> [--threads=N] [--output=text|json]\n"
-         "                             (each line: <file.csv> <algorithm> "
-         "[--opt=val ...])\n"
+         "                             (job lines: <file.csv|@dataset> "
+         "<algorithm> [--opt=val ...];\n"
+         "                              `dataset <name> <file.csv>` loads "
+         "once for many @name jobs)\n"
          "  fastod serve [--port=N] [--host=ADDR] [--threads=N]\n"
          "                             [--http-threads=N] [--no-csv-path]\n"
+         "                             [--dataset-budget-mb=N]\n"
          "  fastod algorithms [NAME...]\n"
          "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
          "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
@@ -360,29 +364,59 @@ CliResult Algorithms(const std::vector<std::string>& args) {
   return result;
 }
 
-// One parsed line of a batch manifest.
+// One parsed line of a batch manifest. `csv` is either a file path or an
+// "@name" reference to a `dataset` directive.
 struct BatchJob {
   std::string csv;
   std::string algorithm;
   std::vector<std::pair<std::string, std::string>> options;
 };
 
-Result<std::vector<BatchJob>> ParseManifest(const std::string& path) {
+struct BatchManifest {
+  /// `dataset <name> <file.csv>` directives, in file order: each CSV is
+  /// loaded once into a DatasetStore and shared by every @name job.
+  std::vector<std::pair<std::string, std::string>> datasets;
+  std::vector<BatchJob> jobs;
+};
+
+Result<BatchManifest> ParseManifest(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open manifest '" + path + "'");
   }
-  std::vector<BatchJob> jobs;
+  BatchManifest manifest;
   std::string line;
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     std::string trimmed(Trim(line));
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    BatchJob job;
     std::istringstream tokens(trimmed);
     std::string token;
-    while (tokens >> token) {
+    tokens >> token;
+    if (token == "dataset") {
+      std::string name;
+      std::string csv;
+      std::string extra;
+      tokens >> name >> csv;
+      if (name.empty() || csv.empty() || (tokens >> extra)) {
+        return Status::InvalidArgument(
+            "manifest line " + std::to_string(line_number) +
+            ": expected `dataset <name> <file.csv>`");
+      }
+      for (const auto& [existing, existing_csv] : manifest.datasets) {
+        (void)existing_csv;
+        if (existing == name) {
+          return Status::InvalidArgument(
+              "manifest line " + std::to_string(line_number) +
+              ": dataset '" + name + "' defined twice");
+        }
+      }
+      manifest.datasets.emplace_back(std::move(name), std::move(csv));
+      continue;
+    }
+    BatchJob job;
+    do {
       if (token.rfind("--", 0) == 0) {
         std::string name = token.substr(2);
         std::string value;
@@ -400,21 +434,22 @@ Result<std::vector<BatchJob>> ParseManifest(const std::string& path) {
         return Status::InvalidArgument(
             "manifest line " + std::to_string(line_number) +
             ": unexpected token '" + token +
-            "' (expected: <file.csv> <algorithm> [--opt=val ...])");
+            "' (expected: <file.csv|@dataset> <algorithm> "
+            "[--opt=val ...])");
       }
-    }
+    } while (tokens >> token);
     if (job.csv.empty() || job.algorithm.empty()) {
       return Status::InvalidArgument(
           "manifest line " + std::to_string(line_number) +
-          ": expected <file.csv> <algorithm> [--opt=val ...]");
+          ": expected <file.csv|@dataset> <algorithm> [--opt=val ...]");
     }
-    jobs.push_back(std::move(job));
+    manifest.jobs.push_back(std::move(job));
   }
-  if (jobs.empty()) {
+  if (manifest.jobs.empty()) {
     return Status::InvalidArgument("manifest '" + path +
                                    "' contains no jobs");
   }
-  return jobs;
+  return manifest;
 }
 
 // Runs a manifest of CSV×algorithm jobs concurrently through the
@@ -445,19 +480,35 @@ CliResult Batch(const std::vector<std::string>& args) {
   if (csv.delimiter.size() != 1) {
     return Fail(Status::InvalidArgument("--delimiter must be one character"));
   }
-  Result<std::vector<BatchJob>> jobs = ParseManifest(flags.positional()[0]);
-  if (!jobs.ok()) return Fail(jobs.status());
+  Result<BatchManifest> manifest = ParseManifest(flags.positional()[0]);
+  if (!manifest.ok()) return Fail(manifest.status());
+  const std::vector<BatchJob>& jobs = manifest->jobs;
 
   CsvOptions csv_options;
   csv_options.delimiter = csv.delimiter[0];
   csv_options.has_header = !csv.no_header;
   csv_options.max_rows = csv.max_rows;
 
-  DiscoveryService service(static_cast<int>(threads));
-  std::vector<SessionId> ids(jobs->size(), 0);
-  std::vector<std::string> submit_errors(jobs->size());
-  for (size_t i = 0; i < jobs->size(); ++i) {
-    const BatchJob& job = (*jobs)[i];
+  // Named datasets load once into a batch-local store; every @name job
+  // shares the parse, encoding, and level-1 partitions. A dataset that
+  // fails to load fails the batch up front — its jobs could only fail
+  // one by one later anyway.
+  DatasetStore store;
+  for (const auto& [name, dataset_csv] : manifest->datasets) {
+    Result<std::shared_ptr<const LoadedDataset>> loaded =
+        store.PutCsvFile(name, dataset_csv, csv_options);
+    if (!loaded.ok()) {
+      return Fail(Status(loaded.status().code(),
+                         "dataset '" + name + "': " +
+                             loaded.status().message()));
+    }
+  }
+
+  DiscoveryService service(static_cast<int>(threads), nullptr, &store);
+  std::vector<SessionId> ids(jobs.size(), 0);
+  std::vector<std::string> submit_errors(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob& job = jobs[i];
     Result<SessionId> id = service.Create(job.algorithm);
     if (!id.ok()) {
       submit_errors[i] = id.status().ToString();
@@ -471,10 +522,11 @@ CliResult Batch(const std::vector<std::string>& args) {
       }
     }
     if (submit_errors[i].empty()) {
-      if (Status s = service.SubmitCsv(*id, job.csv, csv_options);
-          !s.ok()) {
-        submit_errors[i] = s.ToString();
-      }
+      Status submitted =
+          job.csv[0] == '@'
+              ? service.SubmitDataset(*id, job.csv.substr(1))
+              : service.SubmitCsv(*id, job.csv, csv_options);
+      if (!submitted.ok()) submit_errors[i] = submitted.ToString();
     }
   }
   service.WaitAll();
@@ -482,8 +534,8 @@ CliResult Batch(const std::vector<std::string>& args) {
   CliResult result;
   bool any_failed = false;
   std::string json_rows;
-  for (size_t i = 0; i < jobs->size(); ++i) {
-    const BatchJob& job = (*jobs)[i];
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob& job = jobs[i];
     std::string state = "failed";
     std::string error = submit_errors[i];
     double seconds = 0.0;
@@ -552,6 +604,7 @@ CliResult Serve(const std::vector<std::string>& args) {
   int64_t port = 8080;
   int64_t threads = 0;
   int64_t http_threads = 8;
+  int64_t dataset_budget_mb = 256;
   std::string host = "127.0.0.1";
   bool no_csv_path = false;
   FlagSet flags;
@@ -563,6 +616,8 @@ CliResult Serve(const std::vector<std::string>& args) {
                "HTTP workers (each open /stream pins one)");
   flags.AddBool("no-csv-path", &no_csv_path,
                 "reject server-side \"csv_path\" submissions");
+  flags.AddInt("dataset-budget-mb", &dataset_budget_mb,
+               "resident-dataset memory budget in MiB (0 = unlimited)");
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (!flags.positional().empty()) {
     return Fail(Status::InvalidArgument("serve takes no positional "
@@ -578,6 +633,11 @@ CliResult Serve(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument(
         "--http-threads must be in [1, 1024]"));
   }
+  // 1 TiB cap keeps the <<20 below well inside int64 range.
+  if (dataset_budget_mb < 0 || dataset_budget_mb > (1LL << 20)) {
+    return Fail(Status::InvalidArgument(
+        "--dataset-budget-mb must be in [0, 1048576]"));
+  }
 
   DiscoveryServerOptions options;
   options.host = host;
@@ -585,6 +645,7 @@ CliResult Serve(const std::vector<std::string>& args) {
   options.worker_threads = static_cast<int>(threads);
   options.http_threads = static_cast<int>(http_threads);
   options.allow_csv_path = !no_csv_path;
+  options.dataset_budget_bytes = dataset_budget_mb << 20;
   DiscoveryServer server(options);
   if (Status s = server.Start(); !s.ok()) return Fail(s);
 

@@ -1,0 +1,242 @@
+#include "data/dataset_store.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace fastod {
+
+namespace {
+
+/// Resident bytes of one column of raw cells: the Value footprint plus
+/// string heap allocations (small strings may actually live inline, so
+/// this over- rather than under-counts — the safe direction for a cap).
+int64_t ColumnBytes(const std::vector<Value>& column) {
+  int64_t bytes = static_cast<int64_t>(column.size() * sizeof(Value));
+  for (const Value& value : column) {
+    if (value.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(value.AsString().capacity());
+    }
+  }
+  return bytes;
+}
+
+int64_t PartitionBytes(const StrippedPartition& partition) {
+  return static_cast<int64_t>(
+      (partition.NumElements() + partition.NumClasses() + 1) *
+      sizeof(int32_t));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Build(
+    std::string id, Table table, std::string source) {
+  WallTimer timer;
+  Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
+  if (!encoded.ok()) return encoded.status();
+  // make_shared needs a public constructor; the explicit new keeps it
+  // private to this factory.
+  std::shared_ptr<LoadedDataset> dataset(new LoadedDataset());
+  dataset->id_ = std::move(id);
+  dataset->source_ = std::move(source);
+  dataset->table_ = std::move(table);
+  dataset->relation_ = *std::move(encoded);
+
+  const EncodedRelation& relation = dataset->relation_;
+  dataset->singletons_.reserve(relation.NumAttributes());
+  int64_t bytes = 0;
+  for (int a = 0; a < relation.NumAttributes(); ++a) {
+    dataset->singletons_.push_back(StrippedPartition::ForAttribute(
+        relation.ranks(a), relation.NumDistinct(a)));
+    bytes += static_cast<int64_t>(relation.ranks(a).size() * sizeof(int32_t));
+    bytes += PartitionBytes(dataset->singletons_.back());
+    bytes += ColumnBytes(dataset->table_.column(a));
+  }
+  dataset->approx_bytes_ = bytes;
+  dataset->load_seconds_ = timer.ElapsedSeconds();
+  return std::shared_ptr<const LoadedDataset>(std::move(dataset));
+}
+
+DatasetStore::DatasetStore(int64_t budget_bytes)
+    : budget_bytes_(budget_bytes < 0 ? 0 : budget_bytes) {}
+
+DatasetStore& DatasetStore::Global() {
+  static DatasetStore* store = new DatasetStore();
+  return *store;
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::PutTable(
+    const std::string& id, Table table, std::string source) {
+  Result<std::shared_ptr<const LoadedDataset>> dataset =
+      LoadedDataset::Build(id, std::move(table), std::move(source));
+  if (!dataset.ok()) return dataset.status();
+  return Insert(*std::move(dataset));
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::PutCsvFile(
+    const std::string& id, const std::string& path,
+    const CsvOptions& options) {
+  Result<Table> table = ReadCsvFile(path, options);
+  if (!table.ok()) return table.status();
+  return PutTable(id, *std::move(table), "csv:" + path);
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::PutCsvString(
+    const std::string& id, const std::string& text,
+    const CsvOptions& options) {
+  Result<Table> table = ReadCsvString(text, options);
+  if (!table.ok()) return table.status();
+  return PutTable(id, *std::move(table), "inline");
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Insert(
+    std::shared_ptr<const LoadedDataset> dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(dataset->id());
+  if (it != datasets_.end()) {
+    return Status::FailedPrecondition(
+        "dataset '" + dataset->id() +
+        "' already exists; erase it before reloading");
+  }
+  if (budget_bytes_ > 0) {
+    // Decide fit against the *pinned* floor before evicting anything: an
+    // insert that can never fit (oversized, or blocked by pinned
+    // residents) must be refused without flushing healthy idle entries.
+    int64_t pinned_bytes = 0;
+    for (const auto& [id, entry] : datasets_) {
+      if (entry.dataset.use_count() != 1) {
+        pinned_bytes += entry.dataset->ApproxBytes();
+      }
+    }
+    if (pinned_bytes + dataset->ApproxBytes() > budget_bytes_) {
+      return Status::ResourceExhausted(
+          "dataset '" + dataset->id() + "' (" +
+          std::to_string(dataset->ApproxBytes()) +
+          " bytes) does not fit the store budget (" +
+          std::to_string(budget_bytes_) + " bytes, " +
+          std::to_string(pinned_bytes) +
+          " pinned); erase or unpin datasets first");
+    }
+    EvictFor(dataset->ApproxBytes());
+  }
+  Entry entry;
+  entry.dataset = dataset;
+  entry.last_used = ++clock_;
+  total_bytes_ += dataset->ApproxBytes();
+  datasets_.emplace(dataset->id(), std::move(entry));
+  return dataset;
+}
+
+void DatasetStore::EvictFor(int64_t needed) {
+  while (total_bytes_ + needed > budget_bytes_) {
+    // LRU among unpinned entries. use_count()==1 means the store holds
+    // the only reference: every outside copy is handed out under this
+    // mutex, so the count cannot rise concurrently — only drop, which
+    // just delays eviction to the next pass.
+    auto victim = datasets_.end();
+    for (auto it = datasets_.begin(); it != datasets_.end(); ++it) {
+      if (it->second.dataset.use_count() != 1) continue;
+      if (victim == datasets_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == datasets_.end()) return;  // everything pinned
+    total_bytes_ -= victim->second.dataset->ApproxBytes();
+    datasets_.erase(victim);
+    ++evictions_;
+  }
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Get(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset with id '" + id + "'");
+  }
+  it->second.last_used = ++clock_;
+  ++it->second.hits;
+  return it->second.dataset;
+}
+
+Status DatasetStore::Erase(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset with id '" + id + "'");
+  }
+  total_bytes_ -= it->second.dataset->ApproxBytes();
+  datasets_.erase(it);
+  return Status::Ok();
+}
+
+namespace {
+
+DatasetInfo InfoOf(const std::string& id,
+                   const std::shared_ptr<const LoadedDataset>& dataset,
+                   int64_t hits) {
+  DatasetInfo info;
+  info.id = id;
+  info.source = dataset->source();
+  info.rows = dataset->NumRows();
+  info.columns = dataset->NumAttributes();
+  info.bytes = dataset->ApproxBytes();
+  info.hits = hits;
+  info.pinned = dataset.use_count() > 1;
+  return info;
+}
+
+}  // namespace
+
+bool DatasetStore::Contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.find(id) != datasets_.end();
+}
+
+Result<DatasetInfo> DatasetStore::Info(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset with id '" + id + "'");
+  }
+  return InfoOf(id, it->second.dataset, it->second.hits);
+}
+
+std::vector<DatasetInfo> DatasetStore::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DatasetInfo> out;
+  out.reserve(datasets_.size());
+  for (const auto& [id, entry] : datasets_) {
+    out.push_back(InfoOf(id, entry.dataset, entry.hits));
+  }
+  return out;
+}
+
+void DatasetStore::SetBudgetBytes(int64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget_bytes < 0 ? 0 : budget_bytes;
+  if (budget_bytes_ > 0) EvictFor(0);
+}
+
+int64_t DatasetStore::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
+}
+
+int64_t DatasetStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+int64_t DatasetStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(datasets_.size());
+}
+
+int64_t DatasetStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace fastod

@@ -1,0 +1,187 @@
+// Load-once, discover-many: a process-wide registry of immutable loaded
+// relations shared across discovery sessions.
+//
+// Every DiscoverySession used to parse, type-infer and dictionary-encode
+// its own CSV; a server answering repeated discoveries over the same
+// relation paid that preprocessing per request. TANE-style systems show
+// input preparation and partition construction dominating at scale, so a
+// LoadedDataset captures the whole pipeline once — the raw Table, its
+// order-preserving EncodedRelation, and the level-1 single-attribute
+// stripped partitions Π*_{A} every level-wise engine builds first — and
+// any number of sessions (concurrent, mixed-algorithm) run over the same
+// instance by shared_ptr.
+//
+// The DatasetStore is the registry: datasets are keyed by caller-chosen
+// id, the store holds one reference each, and sessions pin entries simply
+// by holding the shared_ptr Get() returned. A configurable memory budget
+// bounds residency: when an insert would exceed it, the store evicts
+// unpinned entries (use_count == 1, i.e. no live session) in
+// least-recently-used order; pinned entries are never evicted — an insert
+// that cannot fit even after evicting everything unpinned is refused with
+// ResourceExhausted rather than destroying data under running sessions.
+// Eviction only drops the store's reference: a session that raced its
+// dataset into eviction keeps it alive until the run finishes.
+//
+// All DatasetStore methods are thread-safe. LoadedDataset is deeply
+// immutable after construction, so shared use across threads needs no
+// further synchronization.
+#ifndef FASTOD_DATA_DATASET_STORE_H_
+#define FASTOD_DATA_DATASET_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/csv.h"
+#include "data/encode.h"
+#include "data/table.h"
+#include "partition/stripped_partition.h"
+
+namespace fastod {
+
+/// One fully preprocessed relation: raw values, encoding, and the level-1
+/// partitions. Construction does all the work; the object never changes.
+class LoadedDataset {
+ public:
+  /// Encodes `table` and prebuilds Π*_{A} for every attribute A. Fails on
+  /// relations the engines cannot represent (> 64 attributes). `source`
+  /// is a human-readable provenance note ("csv:/data/flight.csv", ...).
+  static Result<std::shared_ptr<const LoadedDataset>> Build(
+      std::string id, Table table, std::string source = "table");
+
+  const std::string& id() const { return id_; }
+  const std::string& source() const { return source_; }
+  const Table& table() const { return table_; }
+  const EncodedRelation& relation() const { return relation_; }
+  const Schema& schema() const { return relation_.schema(); }
+
+  /// Prebuilt Π*_{A} for attribute A (size NumAttributes()) — the exact
+  /// partitions FASTOD/TANE would construct at lattice level 1, so
+  /// engines seed their caches from here instead of rebuilding.
+  const std::vector<StrippedPartition>& singleton_partitions() const {
+    return singletons_;
+  }
+
+  int64_t NumRows() const { return relation_.NumRows(); }
+  int NumAttributes() const { return relation_.NumAttributes(); }
+
+  /// Estimated resident footprint (table cells + ranks + partitions),
+  /// the unit the store's memory budget is accounted in.
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
+  /// Wall-clock of the one-time preprocessing (parse excluded).
+  double load_seconds() const { return load_seconds_; }
+
+ private:
+  LoadedDataset() = default;
+
+  std::string id_;
+  std::string source_;
+  Table table_;
+  EncodedRelation relation_;
+  std::vector<StrippedPartition> singletons_;
+  int64_t approx_bytes_ = 0;
+  double load_seconds_ = 0.0;
+};
+
+/// Snapshot row of DatasetStore::List().
+struct DatasetInfo {
+  std::string id;
+  std::string source;
+  int64_t rows = 0;
+  int columns = 0;
+  int64_t bytes = 0;
+  /// Get() calls served (sessions bound) since insertion.
+  int64_t hits = 0;
+  /// True when at least one reference besides the store's is live.
+  bool pinned = false;
+};
+
+class DatasetStore {
+ public:
+  /// `budget_bytes` caps the summed ApproxBytes of resident datasets;
+  /// 0 means unlimited.
+  explicit DatasetStore(int64_t budget_bytes = 0);
+
+  DatasetStore(const DatasetStore&) = delete;
+  DatasetStore& operator=(const DatasetStore&) = delete;
+
+  /// The process-wide store the C ABI (and any default-constructed
+  /// service) shares. Unlimited budget until SetBudgetBytes.
+  static DatasetStore& Global();
+
+  // ---- Insertion ----------------------------------------------------
+  /// Each Put preprocesses outside the lock, then registers the dataset
+  /// under `id`. Duplicate ids are refused (FailedPrecondition) — ids
+  /// name immutable data, so silently replacing one would redirect
+  /// future sessions mid-stream. Returns the inserted dataset, pinned.
+  Result<std::shared_ptr<const LoadedDataset>> PutTable(
+      const std::string& id, Table table, std::string source = "table");
+  Result<std::shared_ptr<const LoadedDataset>> PutCsvFile(
+      const std::string& id, const std::string& path,
+      const CsvOptions& options = CsvOptions());
+  Result<std::shared_ptr<const LoadedDataset>> PutCsvString(
+      const std::string& id, const std::string& text,
+      const CsvOptions& options = CsvOptions());
+
+  // ---- Lookup -------------------------------------------------------
+  /// The dataset registered under `id` (NotFound otherwise). Holding the
+  /// returned pointer pins the entry against eviction; it stays valid
+  /// even if the entry is evicted or erased afterwards.
+  Result<std::shared_ptr<const LoadedDataset>> Get(const std::string& id);
+
+  /// True iff `id` is resident. Unlike Get(), does not pin, bump the
+  /// LRU clock, or count a hit — for existence probes (e.g. the
+  /// server's auto-id generation).
+  bool Contains(const std::string& id) const;
+
+  /// One dataset's info row without snapshotting the whole store.
+  Result<DatasetInfo> Info(const std::string& id) const;
+
+  /// Drops the store's reference (NotFound for unknown ids). Live
+  /// sessions keep the dataset alive; new Get()s fail.
+  Status Erase(const std::string& id);
+
+  /// Insertion-ordered snapshot (ids sort lexicographically).
+  std::vector<DatasetInfo> List() const;
+
+  // ---- Budget -------------------------------------------------------
+  /// Re-bounds the store, evicting unpinned LRU entries as needed to get
+  /// under the new budget (pinned entries may keep the total above it).
+  void SetBudgetBytes(int64_t budget_bytes);
+  int64_t budget_bytes() const;
+
+  /// Summed ApproxBytes of resident datasets.
+  int64_t TotalBytes() const;
+  int64_t size() const;
+  /// Total entries evicted by the budget (not Erase) since construction.
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const LoadedDataset> dataset;
+    uint64_t last_used = 0;
+    int64_t hits = 0;
+  };
+
+  Result<std::shared_ptr<const LoadedDataset>> Insert(
+      std::shared_ptr<const LoadedDataset> dataset);
+  /// Evicts unpinned entries, LRU first, until `needed` fits under the
+  /// budget or nothing unpinned remains. Caller holds mutex_.
+  void EvictFor(int64_t needed);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> datasets_;  // guarded by mutex_
+  int64_t budget_bytes_ = 0;               // guarded by mutex_
+  int64_t total_bytes_ = 0;                // guarded by mutex_
+  int64_t evictions_ = 0;                  // guarded by mutex_
+  uint64_t clock_ = 0;                     // guarded by mutex_
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_DATA_DATASET_STORE_H_

@@ -138,6 +138,100 @@ std::string EventJsonLine(const OdEvent& event, const Schema& schema) {
   return w.str() + "\n";
 }
 
+/// Parses a {"csv_options": {...}} object into CsvOptions.
+Result<CsvOptions> ParseCsvOptionsField(const JsonValue* raw) {
+  CsvOptions csv_options;
+  if (raw == nullptr) return csv_options;
+  if (!raw->is_object()) {
+    return Status::InvalidArgument("\"csv_options\" must be an object");
+  }
+  if (const JsonValue* delim = raw->Find("delimiter"); delim != nullptr) {
+    if (!delim->is_string() || delim->string_value().size() != 1) {
+      return Status::InvalidArgument(
+          "\"delimiter\" must be a one-character string");
+    }
+    csv_options.delimiter = delim->string_value()[0];
+  }
+  if (const JsonValue* header = raw->Find("has_header"); header != nullptr) {
+    if (!header->is_bool()) {
+      return Status::InvalidArgument("\"has_header\" must be a boolean");
+    }
+    csv_options.has_header = header->bool_value();
+  }
+  if (const JsonValue* max_rows = raw->Find("max_rows");
+      max_rows != nullptr) {
+    // int_value() saturates rather than invoking UB, but garbage like
+    // 1e30 or 2.5 deserves a 400, not a silent clamp.
+    if (!max_rows->is_number() ||
+        max_rows->number_value() !=
+            static_cast<double>(max_rows->int_value()) ||
+        max_rows->int_value() < -1) {
+      return Status::InvalidArgument(
+          "\"max_rows\" must be an integer >= -1");
+    }
+    csv_options.max_rows = max_rows->int_value();
+  }
+  return csv_options;
+}
+
+/// Shared validation for the "csv" / "csv_path" data-source fields of
+/// session and dataset creation (the XOR-arity rules differ per
+/// endpoint and stay at the call sites).
+Status ValidateCsvSource(const JsonValue* csv, const JsonValue* csv_path,
+                         bool allow_csv_path) {
+  if (csv != nullptr && !csv->is_string()) {
+    return Status::InvalidArgument("\"csv\" must be a string");
+  }
+  if (csv_path != nullptr) {
+    if (!allow_csv_path) {
+      return Status::InvalidArgument(
+          "server-side \"csv_path\" reads are disabled; send inline "
+          "\"csv\"");
+    }
+    if (!csv_path->is_string()) {
+      return Status::InvalidArgument("\"csv_path\" must be a string");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Dataset ids travel inside URL paths, so constrain them to characters
+/// that need no escaping anywhere (and keep List() renderings sane).
+Status ValidateDatasetId(const std::string& id) {
+  if (id.empty() || id.size() > 128) {
+    return Status::InvalidArgument(
+        "dataset id must be 1..128 characters");
+  }
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "dataset id may contain only [A-Za-z0-9._-], got '" + id + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void AppendDatasetInfo(JsonWriter* w, const DatasetInfo& info) {
+  w->BeginObject()
+      .Key("id")
+      .String(info.id)
+      .Key("source")
+      .String(info.source)
+      .Key("rows")
+      .Int(info.rows)
+      .Key("columns")
+      .Int(info.columns)
+      .Key("bytes")
+      .Int(info.bytes)
+      .Key("hits")
+      .Int(info.hits)
+      .Key("pinned")
+      .Bool(info.pinned)
+      .EndObject();
+}
+
 /// "/v1/sessions/<id>..." → id + remaining suffix, or nullopt.
 std::optional<std::pair<SessionId, std::string>> ParseSessionPath(
     const std::string& path) {
@@ -162,7 +256,8 @@ DiscoveryServer::DiscoveryServer(DiscoveryServerOptions options,
     : registry_(registry != nullptr ? *registry
                                     : AlgorithmRegistry::Default()),
       options_(std::move(options)),
-      service_(options_.worker_threads, &registry_),
+      store_(options_.dataset_budget_bytes),
+      service_(options_.worker_threads, &registry_, &store_),
       http_([this](const HttpRequest& request,
                    HttpResponseWriter& writer) { Handle(request, writer); },
             options_.http_threads) {}
@@ -242,6 +337,25 @@ void DiscoveryServer::Handle(const HttpRequest& request,
     HandleCreateSession(request, writer);
     return;
   }
+  if (request.path == "/v1/datasets") {
+    if (request.method == "POST") return HandleCreateDataset(request, writer);
+    if (request.method == "GET") return HandleListDatasets(writer);
+    return method_not_allowed("GET or POST");
+  }
+  const std::string dataset_prefix = "/v1/datasets/";
+  if (request.path.rfind(dataset_prefix, 0) == 0) {
+    std::string dataset_id = request.path.substr(dataset_prefix.size());
+    if (!dataset_id.empty() &&
+        dataset_id.find('/') == std::string::npos) {
+      if (request.method == "GET") {
+        return HandleDatasetInfo(dataset_id, writer);
+      }
+      if (request.method == "DELETE") {
+        return HandleDatasetDelete(dataset_id, writer);
+      }
+      return method_not_allowed("GET or DELETE");
+    }
+  }
   if (auto session_path = ParseSessionPath(request.path)) {
     auto [id, suffix] = *session_path;
     if (suffix.empty()) {
@@ -316,7 +430,8 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
   for (const auto& [key, value] : body.object_items()) {
     (void)value;
     if (key != "algorithm" && key != "options" && key != "csv" &&
-        key != "csv_path" && key != "csv_options" && key != "stream") {
+        key != "csv_path" && key != "dataset_id" && key != "csv_options" &&
+        key != "stream") {
       return SendError(writer, Status::InvalidArgument(
                                    "unknown request field '" + key + "'"));
     }
@@ -328,62 +443,36 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
   }
   const JsonValue* csv = body.Find("csv");
   const JsonValue* csv_path = body.Find("csv_path");
-  if ((csv == nullptr) == (csv_path == nullptr)) {
+  const JsonValue* dataset_id = body.Find("dataset_id");
+  int sources = (csv != nullptr) + (csv_path != nullptr) +
+                (dataset_id != nullptr);
+  if (sources != 1) {
+    return SendError(writer, Status::InvalidArgument(
+                                 "provide exactly one of \"csv\", "
+                                 "\"csv_path\", and \"dataset_id\""));
+  }
+  if (dataset_id != nullptr && !dataset_id->is_string()) {
+    return SendError(writer, Status::InvalidArgument(
+                                 "\"dataset_id\" must be a string"));
+  }
+  if (dataset_id != nullptr && body.Find("csv_options") != nullptr) {
+    // Parse settings were fixed when the dataset was uploaded; silently
+    // ignoring them here would let clients believe they applied.
     return SendError(writer,
-                     Status::InvalidArgument("provide exactly one of "
-                                             "\"csv\" and \"csv_path\""));
+                     Status::InvalidArgument(
+                         "\"csv_options\" does not apply to "
+                         "\"dataset_id\" sessions (set them at upload)"));
   }
-  if (csv != nullptr && !csv->is_string()) {
-    return SendError(writer,
-                     Status::InvalidArgument("\"csv\" must be a string"));
+  if (Status s = ValidateCsvSource(csv, csv_path, options_.allow_csv_path);
+      !s.ok()) {
+    return SendError(writer, s);
   }
-  if (csv_path != nullptr &&
-      (!csv_path->is_string() || !options_.allow_csv_path)) {
-    return SendError(
-        writer, !options_.allow_csv_path
-                    ? Status::InvalidArgument(
-                          "server-side \"csv_path\" reads are disabled; "
-                          "send inline \"csv\"")
-                    : Status::InvalidArgument(
-                          "\"csv_path\" must be a string"));
+  Result<CsvOptions> parsed_csv_options =
+      ParseCsvOptionsField(body.Find("csv_options"));
+  if (!parsed_csv_options.ok()) {
+    return SendError(writer, parsed_csv_options.status());
   }
-  CsvOptions csv_options;
-  if (const JsonValue* raw = body.Find("csv_options"); raw != nullptr) {
-    if (!raw->is_object()) {
-      return SendError(writer, Status::InvalidArgument(
-                                   "\"csv_options\" must be an object"));
-    }
-    if (const JsonValue* delim = raw->Find("delimiter"); delim != nullptr) {
-      if (!delim->is_string() || delim->string_value().size() != 1) {
-        return SendError(writer,
-                         Status::InvalidArgument("\"delimiter\" must be a "
-                                                 "one-character string"));
-      }
-      csv_options.delimiter = delim->string_value()[0];
-    }
-    if (const JsonValue* header = raw->Find("has_header");
-        header != nullptr) {
-      if (!header->is_bool()) {
-        return SendError(writer, Status::InvalidArgument(
-                                     "\"has_header\" must be a boolean"));
-      }
-      csv_options.has_header = header->bool_value();
-    }
-    if (const JsonValue* max_rows = raw->Find("max_rows");
-        max_rows != nullptr) {
-      // int_value() saturates rather than invoking UB, but garbage like
-      // 1e30 or 2.5 deserves a 400, not a silent clamp.
-      if (!max_rows->is_number() ||
-          max_rows->number_value() !=
-              static_cast<double>(max_rows->int_value()) ||
-          max_rows->int_value() < -1) {
-        return SendError(writer,
-                         Status::InvalidArgument(
-                             "\"max_rows\" must be an integer >= -1"));
-      }
-      csv_options.max_rows = max_rows->int_value();
-    }
-  }
+  CsvOptions csv_options = *parsed_csv_options;
   bool stream = false;
   if (const JsonValue* raw = body.Find("stream"); raw != nullptr) {
     if (!raw->is_bool()) {
@@ -431,6 +520,9 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
       }
       return service_.Submit(*id);
     }
+    if (dataset_id != nullptr) {
+      return service_.SubmitDataset(*id, dataset_id->string_value());
+    }
     return service_.SubmitCsv(*id, csv_path->string_value(), csv_options);
   }();
   if (!setup.ok()) {
@@ -445,6 +537,116 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
            SessionInfoJson(*id, info.ok()
                                     ? *info
                                     : DiscoveryService::PollInfo()));
+}
+
+void DiscoveryServer::HandleCreateDataset(const HttpRequest& request,
+                                          HttpResponseWriter& writer) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return SendError(writer, parsed.status());
+  const JsonValue& body = *parsed;
+  if (!body.is_object()) {
+    return SendError(writer,
+                     Status::InvalidArgument("request body must be a JSON "
+                                             "object"));
+  }
+  for (const auto& [key, value] : body.object_items()) {
+    (void)value;
+    if (key != "id" && key != "csv" && key != "csv_path" &&
+        key != "csv_options") {
+      return SendError(writer, Status::InvalidArgument(
+                                   "unknown request field '" + key + "'"));
+    }
+  }
+  const JsonValue* csv = body.Find("csv");
+  const JsonValue* csv_path = body.Find("csv_path");
+  if ((csv == nullptr) == (csv_path == nullptr)) {
+    return SendError(writer,
+                     Status::InvalidArgument("provide exactly one of "
+                                             "\"csv\" and \"csv_path\""));
+  }
+  if (Status s = ValidateCsvSource(csv, csv_path, options_.allow_csv_path);
+      !s.ok()) {
+    return SendError(writer, s);
+  }
+  Result<CsvOptions> csv_options =
+      ParseCsvOptionsField(body.Find("csv_options"));
+  if (!csv_options.ok()) return SendError(writer, csv_options.status());
+  std::string dataset_id;
+  if (const JsonValue* id = body.Find("id"); id != nullptr) {
+    if (!id->is_string()) {
+      return SendError(writer,
+                       Status::InvalidArgument("\"id\" must be a string"));
+    }
+    dataset_id = id->string_value();
+  } else {
+    // Skip ids users already claimed (the charset allows "ds-N"); a
+    // concurrent claim between this probe and the Put still 409s, but
+    // only in a race nobody can hit deliberately without also owning
+    // the id.
+    do {
+      dataset_id = "ds-" + std::to_string(next_dataset_id_.fetch_add(1));
+    } while (store_.Contains(dataset_id));
+  }
+  if (Status s = ValidateDatasetId(dataset_id); !s.ok()) {
+    return SendError(writer, s);
+  }
+  Result<std::shared_ptr<const LoadedDataset>> dataset =
+      csv != nullptr
+          ? store_.PutCsvString(dataset_id, csv->string_value(),
+                                *csv_options)
+          : store_.PutCsvFile(dataset_id, csv_path->string_value(),
+                              *csv_options);
+  if (!dataset.ok()) return SendError(writer, dataset.status());
+  DatasetInfo info;
+  info.id = dataset_id;
+  info.source = (*dataset)->source();
+  info.rows = (*dataset)->NumRows();
+  info.columns = (*dataset)->NumAttributes();
+  info.bytes = (*dataset)->ApproxBytes();
+  JsonWriter w;
+  AppendDatasetInfo(&w, info);
+  SendJson(writer, 201, w.str() + "\n");
+}
+
+void DiscoveryServer::HandleListDatasets(HttpResponseWriter& writer) {
+  JsonWriter w;
+  w.BeginObject().Key("datasets").BeginArray();
+  for (const DatasetInfo& info : store_.List()) {
+    AppendDatasetInfo(&w, info);
+  }
+  w.EndArray()
+      .Key("total_bytes")
+      .Int(store_.TotalBytes())
+      .Key("budget_bytes")
+      .Int(store_.budget_bytes())
+      .Key("evictions")
+      .Int(store_.evictions())
+      .EndObject();
+  SendJson(writer, 200, w.str() + "\n");
+}
+
+void DiscoveryServer::HandleDatasetInfo(const std::string& dataset_id,
+                                        HttpResponseWriter& writer) {
+  Result<DatasetInfo> info = store_.Info(dataset_id);
+  if (!info.ok()) return SendError(writer, info.status());
+  JsonWriter w;
+  AppendDatasetInfo(&w, *info);
+  SendJson(writer, 200, w.str() + "\n");
+}
+
+void DiscoveryServer::HandleDatasetDelete(const std::string& dataset_id,
+                                          HttpResponseWriter& writer) {
+  if (Status s = store_.Erase(dataset_id); !s.ok()) {
+    return SendError(writer, s);
+  }
+  JsonWriter w;
+  w.BeginObject()
+      .Key("id")
+      .String(dataset_id)
+      .Key("deleted")
+      .Bool(true)
+      .EndObject();
+  SendJson(writer, 200, w.str() + "\n");
 }
 
 void DiscoveryServer::HandleSessionInfo(SessionId id,

@@ -12,10 +12,34 @@
 //                                                string/number/bool)
 //           "csv": "a,b\n1,2\n",                inline data — XOR —
 //           "csv_path": "/data/flight.csv",     server-side file, read
-//                                               on the worker
+//                                               on the worker — XOR —
+//           "dataset_id": "flight",             a resident dataset
+//                                               uploaded via /v1/datasets
 //           "csv_options": {"delimiter": ",", "has_header": true,
 //                           "max_rows": 1000},
 //           "stream": true}                     enable /stream below
+//
+//   POST   /v1/datasets              load once, discover many: parse +
+//                                    encode + build level-1 partitions
+//                                    now, then any number of sessions
+//                                    (concurrent, mixed-algorithm) bind
+//                                    the resident dataset by reference
+//          {"id": "flight",                     optional (ds-N otherwise)
+//           "csv": "..." | "csv_path": "...",   exactly one
+//           "csv_options": {...}}
+//   GET    /v1/datasets              {"datasets":[{id,source,rows,
+//                                    columns,bytes,hits,pinned}...],
+//                                    total_bytes,budget_bytes,evictions}
+//   GET    /v1/datasets/{id}         one dataset's info row
+//   DELETE /v1/datasets/{id}         drop the store's reference; running
+//                                    sessions keep the data alive, new
+//                                    dataset_id submissions get 404
+//
+// Dataset residency is bounded by options.dataset_budget_bytes: an
+// upload that would exceed it evicts idle (unpinned) datasets in LRU
+// order, and is refused with 503 when the budget is exhausted by pinned
+// ones. Sessions pin their dataset for their whole lifetime (purge
+// sessions to unpin).
 //   GET    /v1/sessions/{id}         {"id","algorithm","state",
 //                                     "progress","error"?}
 //   DELETE /v1/sessions/{id}         cooperative cancel (idempotent)
@@ -76,6 +100,9 @@ struct DiscoveryServerOptions {
   /// Permit {"csv_path": ...} submissions that read files server-side.
   /// Disable when exposing the server beyond trusted callers.
   bool allow_csv_path = true;
+  /// Memory budget for resident datasets (see data/dataset_store.h);
+  /// 0 = unlimited.
+  int64_t dataset_budget_bytes = 256LL << 20;
 };
 
 class DiscoveryServer {
@@ -110,6 +137,13 @@ class DiscoveryServer {
   void HandleAlgorithms(HttpResponseWriter& writer);
   void HandleCreateSession(const HttpRequest& request,
                            HttpResponseWriter& writer);
+  void HandleCreateDataset(const HttpRequest& request,
+                           HttpResponseWriter& writer);
+  void HandleListDatasets(HttpResponseWriter& writer);
+  void HandleDatasetInfo(const std::string& dataset_id,
+                         HttpResponseWriter& writer);
+  void HandleDatasetDelete(const std::string& dataset_id,
+                           HttpResponseWriter& writer);
   void HandleSessionInfo(SessionId id, HttpResponseWriter& writer);
   void HandleCancel(SessionId id, bool purge, HttpResponseWriter& writer);
   void HandleResult(SessionId id, HttpResponseWriter& writer);
@@ -125,11 +159,15 @@ class DiscoveryServer {
   mutable std::mutex mutex_;
   std::map<SessionId, std::shared_ptr<StreamState>> streams_;
   std::map<SessionId, std::string> algorithm_names_;
+  std::atomic<int64_t> next_dataset_id_{1};  // for autogenerated ids
 
   // Destruction order is load-bearing: ~HttpServer first (no new
   // requests, handlers drained), then ~DiscoveryService (cancels and
-  // joins every run), and only then the stream channels above, which
-  // running engines may push into until the service drain completes.
+  // joins every run — sessions release their dataset pins here), then
+  // the dataset store those sessions were pinning, and only then the
+  // stream channels above, which running engines may push into until
+  // the service drain completes.
+  DatasetStore store_;
   DiscoveryService service_;
   HttpServer http_;
 };

@@ -20,9 +20,11 @@ Status StaleHandle(SessionId id) {
 }  // namespace
 
 DiscoveryService::DiscoveryService(int num_threads,
-                                   const AlgorithmRegistry* registry)
+                                   const AlgorithmRegistry* registry,
+                                   DatasetStore* store)
     : registry_(registry != nullptr ? *registry
                                     : AlgorithmRegistry::Default()),
+      store_(store != nullptr ? *store : DatasetStore::Global()),
       pool_(ResolveThreads(num_threads)) {}
 
 DiscoveryService::~DiscoveryService() {
@@ -79,6 +81,23 @@ Status DiscoveryService::LoadTable(SessionId id, Table table) {
   return session->LoadTable(std::move(table));
 }
 
+Status DiscoveryService::LoadDataset(SessionId id,
+                                     const std::string& dataset_id) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  Result<std::shared_ptr<const LoadedDataset>> dataset =
+      store_.Get(dataset_id);
+  if (!dataset.ok()) return dataset.status();
+  return session->LoadDataset(*std::move(dataset));
+}
+
+Status DiscoveryService::LoadDataset(
+    SessionId id, std::shared_ptr<const LoadedDataset> dataset) {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  return session->LoadDataset(std::move(dataset));
+}
+
 Status DiscoveryService::SetSink(SessionId id, OdSink* sink) {
   auto session = FindMutable(id);
   if (session == nullptr) return StaleHandle(id);
@@ -106,6 +125,12 @@ Status DiscoveryService::SubmitCsv(SessionId id, const std::string& path,
   if (Status s = session->MarkQueued(); !s.ok()) return s;
   pool_.Submit([this, session] { RunSession(session); });
   return Status::Ok();
+}
+
+Status DiscoveryService::SubmitDataset(SessionId id,
+                                       const std::string& dataset_id) {
+  if (Status s = LoadDataset(id, dataset_id); !s.ok()) return s;
+  return Submit(id);
 }
 
 void DiscoveryService::RunSession(

@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/csv.h"
+#include "data/dataset_store.h"
 #include "service/discovery_session.h"
 
 namespace fastod {
@@ -49,15 +50,20 @@ class DiscoveryService {
   /// `num_threads` caps concurrently executing sessions; 0 means
   /// hardware concurrency. `registry` defaults to the process-wide
   /// AlgorithmRegistry; tests inject private registries with extra
-  /// engines.
+  /// engines. `store` is the dataset registry LoadDataset/SubmitDataset
+  /// resolve ids against, defaulting to DatasetStore::Global(); the
+  /// server injects its own budgeted store.
   explicit DiscoveryService(int num_threads = 0,
-                            const AlgorithmRegistry* registry = nullptr);
+                            const AlgorithmRegistry* registry = nullptr,
+                            DatasetStore* store = nullptr);
   ~DiscoveryService();
 
   DiscoveryService(const DiscoveryService&) = delete;
   DiscoveryService& operator=(const DiscoveryService&) = delete;
 
   int num_threads() const { return pool_.num_threads(); }
+  /// The dataset registry this service resolves dataset ids against.
+  DatasetStore& store() { return store_; }
 
   // ---- Session lifecycle --------------------------------------------
   /// Instantiates `algorithm` from the registry behind a fresh session
@@ -70,6 +76,15 @@ class DiscoveryService {
   Status LoadCsv(SessionId id, const std::string& path,
                  const CsvOptions& options = CsvOptions());
   Status LoadTable(SessionId id, Table table);
+  /// Binds the dataset registered in store() under `dataset_id` — by
+  /// reference, so N sessions on one dataset share a single parse,
+  /// encoding, and set of level-1 partitions. The session pins the
+  /// dataset until destroyed.
+  Status LoadDataset(SessionId id, const std::string& dataset_id);
+  /// Same, for a dataset the caller already holds (C ABI dataset
+  /// handles bypass the store's id namespace).
+  Status LoadDataset(SessionId id,
+                     std::shared_ptr<const LoadedDataset> dataset);
   Status SetSink(SessionId id, OdSink* sink);
 
   /// Queues the session's run on the pool and returns immediately.
@@ -79,6 +94,11 @@ class DiscoveryService {
   /// the session turning kFailed.
   Status SubmitCsv(SessionId id, const std::string& path,
                    const CsvOptions& options = CsvOptions());
+  /// LoadDataset + Submit in one call — the load-once/discover-many
+  /// submission path. Binding is in-memory and synchronous (unlike
+  /// SubmitCsv there is no IO to defer), so stale dataset ids fail here,
+  /// not as a kFailed session.
+  Status SubmitDataset(SessionId id, const std::string& dataset_id);
 
   struct PollInfo {
     SessionState state = SessionState::kCreated;
@@ -123,6 +143,7 @@ class DiscoveryService {
   void RunSession(const std::shared_ptr<DiscoverySession>& session);
 
   const AlgorithmRegistry& registry_;
+  DatasetStore& store_;
 
   mutable std::mutex mutex_;
   std::condition_variable terminal_cv_;  // notified on any terminal move

@@ -72,6 +72,17 @@ Status DiscoverySession::LoadTable(Table table) {
   return algorithm_->LoadData(std::move(table));
 }
 
+Status DiscoverySession::LoadDataset(
+    std::shared_ptr<const LoadedDataset> dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateName(state_)) +
+        "; data may only be bound before submission");
+  }
+  return algorithm_->LoadData(std::move(dataset));
+}
+
 void DiscoverySession::SetSink(OdSink* sink) { algorithm_->SetSink(sink); }
 
 Status DiscoverySession::MarkQueued() {

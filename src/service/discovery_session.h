@@ -32,6 +32,7 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "data/csv.h"
+#include "data/dataset_store.h"
 
 namespace fastod {
 
@@ -70,6 +71,10 @@ class DiscoverySession {
   /// surface through state()/status() as kFailed.
   Status SetDeferredCsv(std::string path, CsvOptions options);
   Status LoadTable(Table table);
+  /// Binds a shared preprocessed dataset (data/dataset_store.h) by
+  /// reference — no parse, encode, or copy. The session pins the dataset
+  /// (keeps it alive and ineligible for store eviction) until destroyed.
+  Status LoadDataset(std::shared_ptr<const LoadedDataset> dataset);
   /// Attaches a streaming consumer for the run. The sink must outlive the
   /// session's terminal transition; see the OdSink threading contract.
   void SetSink(OdSink* sink);

@@ -12,9 +12,11 @@
 #include "capi/fastod_c.h"
 #include "data/csv.h"
 #include "gen/generators.h"
+#include "test_util.h"
 
 namespace fastod {
 namespace {
+
 
 std::string WriteEmployeeCsv(const std::string& name) {
   std::string path = ::testing::TempDir() + "/" + name;
@@ -185,6 +187,62 @@ TEST(CApiTest, CsvOptionsRespected) {
   EXPECT_NE(std::string(json).find("\"a\""), std::string::npos);
   fastod_destroy(session);
   std::remove(path.c_str());
+}
+
+TEST(CApiTest, DatasetHandleReusedAcrossSessions) {
+  std::string path = WriteEmployeeCsv("capi_dataset.csv");
+
+  // Reference: a per-session CSV load.
+  fastod_session_t* reference = fastod_create("fastod");
+  ASSERT_NE(reference, nullptr);
+  ASSERT_EQ(fastod_load_csv(reference, path.c_str()), FASTOD_OK);
+  ASSERT_EQ(fastod_execute(reference), FASTOD_OK);
+  const char* reference_json = fastod_result_json(reference);
+  ASSERT_NE(reference_json, nullptr);
+  std::string expected = MaskSeconds(reference_json);
+  fastod_destroy(reference);
+
+  fastod_dataset_t* dataset = fastod_dataset_load_csv(path.c_str());
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_EQ(fastod_dataset_rows(dataset), 6);
+  EXPECT_EQ(fastod_dataset_columns(dataset), 9);
+  // The load happened once; the file is no longer needed.
+  std::remove(path.c_str());
+
+  // Two sessions bind the one load; the handle is destroyed before
+  // either runs, which must not invalidate their references.
+  fastod_session_t* sessions[2];
+  for (fastod_session_t*& session : sessions) {
+    session = fastod_create("fastod");
+    ASSERT_NE(session, nullptr);
+    ASSERT_EQ(fastod_use_dataset(session, dataset), FASTOD_OK);
+  }
+  fastod_dataset_destroy(dataset);
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_EQ(fastod_execute(sessions[round]), FASTOD_OK);
+    const char* json = fastod_result_json(sessions[round]);
+    ASSERT_NE(json, nullptr);
+    EXPECT_EQ(MaskSeconds(json), expected) << "round " << round;
+    fastod_destroy(sessions[round]);
+  }
+}
+
+TEST(CApiTest, DatasetErrorsAreReported) {
+  EXPECT_EQ(fastod_dataset_load_csv("/nonexistent/file.csv"), nullptr);
+  std::string error = fastod_last_error(nullptr);
+  EXPECT_NE(error.find("nonexistent"), std::string::npos);
+  EXPECT_EQ(fastod_dataset_load_csv(nullptr), nullptr);
+  EXPECT_EQ(fastod_dataset_rows(nullptr), -1);
+  EXPECT_EQ(fastod_dataset_columns(nullptr), -1);
+  fastod_dataset_destroy(nullptr);  // safe no-op
+
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(fastod_use_dataset(session, nullptr),
+            FASTOD_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(fastod_use_dataset(nullptr, nullptr),
+            FASTOD_ERR_NULL_HANDLE);
+  fastod_destroy(session);
 }
 
 TEST(CApiTest, CancelBeforeRunYieldsCancelledState) {

@@ -280,6 +280,65 @@ TEST_F(CliTest, BatchReportsPerJobFailuresAndContinues) {
   EXPECT_NE(r.output.find("threads"), std::string::npos);
 }
 
+TEST_F(CliTest, BatchSharesNamedDatasetsAcrossJobs) {
+  std::string manifest = WriteFixture(
+      "cli_batch_dataset.txt",
+      "# one load, three jobs (two via @reference, one direct)\n"
+      "dataset months " + path_ + "\n"
+      "@months fastod --max-level=2\n"
+      "@months tane\n" +
+      path_ + " fastod --max-level=2\n");
+  CliResult r = RunCli({"batch", manifest, "--threads=2", "--output=json"});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.error << r.output;
+  EXPECT_NE(r.output.find("\"csv\": \"@months\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"state\": \"done\""), std::string::npos);
+  // The @months fastod job and the direct-path fastod job found the
+  // same dependencies (same data, same options).
+  size_t first = r.output.find("\"constancy_ods\"");
+  size_t last = r.output.rfind("\"constancy_ods\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(first, last);
+}
+
+TEST_F(CliTest, BatchUnknownDatasetReferenceFailsThatJobOnly) {
+  std::string manifest = WriteFixture(
+      "cli_batch_badref.txt",
+      "@ghost fastod\n" + path_ + " tane\n");
+  CliResult r = RunCli({"batch", manifest});
+  std::remove(manifest.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("ghost"), std::string::npos);
+  // The healthy job still completed.
+  EXPECT_NE(r.output.find("[2] tane"), std::string::npos);
+  EXPECT_NE(r.output.find("done"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchRejectsBadDatasetDirectives) {
+  std::string missing_file = WriteFixture(
+      "cli_batch_dsmissing.txt",
+      "dataset months /no/such/file.csv\n@months fastod\n");
+  CliResult r = RunCli({"batch", missing_file});
+  std::remove(missing_file.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("months"), std::string::npos);
+
+  std::string malformed = WriteFixture("cli_batch_dsbad.txt",
+                                       "dataset only-a-name\n");
+  r = RunCli({"batch", malformed});
+  std::remove(malformed.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("dataset <name> <file.csv>"), std::string::npos);
+
+  std::string duplicate = WriteFixture(
+      "cli_batch_dsdup.txt",
+      "dataset m " + path_ + "\ndataset m " + path_ + "\n@m fastod\n");
+  r = RunCli({"batch", duplicate});
+  std::remove(duplicate.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("defined twice"), std::string::npos);
+}
+
 TEST_F(CliTest, BatchRejectsMalformedManifest) {
   std::string manifest = WriteFixture("cli_batch_bad.txt", "just-one-token\n");
   CliResult r = RunCli({"batch", manifest});
@@ -315,6 +374,11 @@ TEST_F(CliTest, ServeRejectsBadFlags) {
   CliResult bad_http = RunCli({"serve", "--http-threads=0"});
   EXPECT_EQ(bad_http.exit_code, 1);
   EXPECT_NE(bad_http.error.find("--http-threads"), std::string::npos);
+
+  CliResult bad_budget = RunCli({"serve", "--dataset-budget-mb=-1"});
+  EXPECT_EQ(bad_budget.exit_code, 1);
+  EXPECT_NE(bad_budget.error.find("--dataset-budget-mb"),
+            std::string::npos);
 
   CliResult positional = RunCli({"serve", "extra"});
   EXPECT_EQ(positional.exit_code, 1);

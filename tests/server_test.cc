@@ -36,6 +36,7 @@
 #include "data/csv.h"
 #include "gen/generators.h"
 #include "server/discovery_server.h"
+#include "test_util.h"
 
 namespace fastod {
 namespace {
@@ -842,6 +843,206 @@ TEST(DiscoveryServerTest, ThrowingEngineFailsSessionNotServer) {
   int64_t ok_id = SessionIdOf(ok.body);
   WaitTerminal(fixture.port(), ok_id);
   EXPECT_EQ(StateOf(fixture.port(), ok_id), "done");
+}
+
+// ------------------------------------------------- shared datasets
+
+std::string FlightCsv() { return WriteCsvString(GenFlightLike(300, 8, 7)); }
+
+
+/// POSTs one session bound to `source_key`/`source_value` and returns
+/// its /result body after completion.
+std::string RunSessionToResult(int port, const std::string& algorithm,
+                               const std::string& source_key,
+                               const std::string& source_value,
+                               bool stream = false) {
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String(algorithm)
+      .Key(source_key)
+      .String(source_value);
+  if (stream) post.Key("stream").Bool(true);
+  post.EndObject();
+  ClientResponse created = Fetch(port, "POST", "/v1/sessions", post.str());
+  EXPECT_EQ(created.status, 201) << created.body;
+  if (created.status != 201) return "";
+  int64_t id = SessionIdOf(created.body);
+  if (stream) {
+    // Consume the stream to completion first (backpressure: an unread
+    // stream would park the worker).
+    ClientResponse response =
+        Fetch(port, "GET", "/v1/sessions/" + std::to_string(id) +
+                               "/stream");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"type\": \"end\""), std::string::npos)
+        << response.body;
+  }
+  WaitTerminal(port, id);
+  EXPECT_EQ(StateOf(port, id), "done");
+  ClientResponse result =
+      Fetch(port, "GET", "/v1/sessions/" + std::to_string(id) + "/result");
+  EXPECT_EQ(result.status, 200);
+  return result.body;
+}
+
+// The acceptance bar: upload one CSV, run two sessions (one streamed)
+// against its dataset_id, and require bit-for-bit the bodies of two
+// independent inline-csv sessions; then delete the dataset and assert
+// 404 for lookups and new submissions.
+TEST(DiscoveryServerTest, DatasetLifecycleLoadOnceDiscoverMany) {
+  ServerFixture fixture;
+  int port = fixture.port();
+  std::string csv = FlightCsv();
+
+  // References: two sessions each carrying the CSV inline.
+  std::string expected_plain =
+      RunSessionToResult(port, "fastod", "csv", csv);
+  std::string expected_streamed =
+      RunSessionToResult(port, "tane", "csv", csv, /*stream=*/true);
+  ASSERT_FALSE(expected_plain.empty());
+  ASSERT_FALSE(expected_streamed.empty());
+
+  JsonWriter upload;
+  upload.BeginObject()
+      .Key("id")
+      .String("flight")
+      .Key("csv")
+      .String(csv)
+      .EndObject();
+  ClientResponse created =
+      Fetch(port, "POST", "/v1/datasets", upload.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  auto created_info = ParseJson(created.body);
+  ASSERT_TRUE(created_info.ok());
+  EXPECT_EQ(created_info->Find("id")->string_value(), "flight");
+  EXPECT_EQ(created_info->Find("rows")->int_value(), 300);
+  EXPECT_EQ(created_info->Find("columns")->int_value(), 8);
+
+  EXPECT_EQ(MaskSeconds(
+                RunSessionToResult(port, "fastod", "dataset_id", "flight")),
+            MaskSeconds(expected_plain));
+  EXPECT_EQ(MaskSeconds(RunSessionToResult(port, "tane", "dataset_id",
+                                           "flight", /*stream=*/true)),
+            MaskSeconds(expected_streamed));
+
+  // The info row counts both sessions and shows the live pins.
+  ClientResponse info = Fetch(port, "GET", "/v1/datasets/flight");
+  ASSERT_EQ(info.status, 200);
+  auto parsed = ParseJson(info.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("hits")->int_value(), 2);
+  EXPECT_TRUE(parsed->Find("pinned")->bool_value());
+
+  ClientResponse list = Fetch(port, "GET", "/v1/datasets");
+  ASSERT_EQ(list.status, 200);
+  auto listed = ParseJson(list.body);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->Find("datasets")->array_items().size(), 1u);
+  EXPECT_GT(listed->Find("total_bytes")->int_value(), 0);
+
+  ClientResponse deleted =
+      Fetch(port, "DELETE", "/v1/datasets/flight");
+  EXPECT_EQ(deleted.status, 200) << deleted.body;
+  EXPECT_EQ(Fetch(port, "GET", "/v1/datasets/flight").status, 404);
+  EXPECT_EQ(Fetch(port, "DELETE", "/v1/datasets/flight").status, 404);
+  JsonWriter stale;
+  stale.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("dataset_id")
+      .String("flight")
+      .EndObject();
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions", stale.str()).status, 404);
+}
+
+// Concurrent mixed-algorithm sessions sharing one uploaded relation —
+// the multi-tenant shape the store exists for. Every result must match
+// the corresponding inline-csv reference.
+TEST(DiscoveryServerTest, ConcurrentMixedSessionsShareOneDataset) {
+  ServerFixture fixture;
+  int port = fixture.port();
+  std::string csv = FlightCsv();
+  std::map<std::string, std::string> expected;
+  for (const char* algorithm : {"fastod", "tane", "approximate"}) {
+    expected[algorithm] = RunSessionToResult(port, algorithm, "csv", csv);
+    ASSERT_FALSE(expected[algorithm].empty());
+  }
+
+  JsonWriter upload;
+  upload.BeginObject().Key("csv").String(csv).EndObject();
+  ClientResponse created =
+      Fetch(port, "POST", "/v1/datasets", upload.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  auto created_info = ParseJson(created.body);
+  ASSERT_TRUE(created_info.ok());
+  std::string dataset_id = created_info->Find("id")->string_value();
+  EXPECT_EQ(dataset_id.rfind("ds-", 0), 0u) << dataset_id;  // autogenerated
+
+  const std::vector<std::string> algorithms = {
+      "fastod", "tane", "approximate", "fastod", "tane", "approximate"};
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(algorithms.size());
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = RunSessionToResult(port, algorithms[i], "dataset_id",
+                                      dataset_id);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    EXPECT_EQ(MaskSeconds(results[i]), MaskSeconds(expected[algorithms[i]]))
+        << algorithms[i];
+  }
+}
+
+TEST(DiscoveryServerTest, DatasetValidationAndErrorCodes) {
+  ServerFixture fixture;
+  int port = fixture.port();
+
+  // Malformed uploads.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets", "{}").status, 400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets",
+                  "{\"csv\": \"a\\n1\\n\", \"csv_path\": \"x\"}")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets",
+                  "{\"id\": \"bad/id\", \"csv\": \"a\\n1\\n\"}")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets",
+                  "{\"csv\": \"a\\n1\\n\", \"nope\": 1}")
+                .status,
+            400);
+  // Wrong method.
+  EXPECT_EQ(Fetch(port, "PUT", "/v1/datasets").status, 405);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets/x").status, 405);
+
+  // Duplicate id → 409 (FailedPrecondition).
+  JsonWriter upload;
+  upload.BeginObject()
+      .Key("id")
+      .String("dup")
+      .Key("csv")
+      .String("a,b\n1,2\n2,3\n")
+      .EndObject();
+  ASSERT_EQ(Fetch(port, "POST", "/v1/datasets", upload.str()).status, 201);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets", upload.str()).status, 409);
+
+  // A session naming both a csv and a dataset_id is rejected.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions",
+                  "{\"algorithm\": \"fastod\", \"csv\": \"a\\n1\\n\", "
+                  "\"dataset_id\": \"dup\"}")
+                .status,
+            400);
+  // csv_options were fixed at upload; pretending they apply per-session
+  // would be silent misconfiguration.
+  ClientResponse opts = Fetch(
+      port, "POST", "/v1/sessions",
+      "{\"algorithm\": \"fastod\", \"dataset_id\": \"dup\", "
+      "\"csv_options\": {\"delimiter\": \";\"}}");
+  EXPECT_EQ(opts.status, 400);
+  EXPECT_NE(opts.body.find("csv_options"), std::string::npos);
 }
 
 }  // namespace

@@ -5,11 +5,14 @@
 // bit-for-bit the results of sequential single-session runs even while
 // another session is cancelled mid-flight.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -20,6 +23,7 @@
 #include "api/registry.h"
 #include "gen/generators.h"
 #include "service/discovery_service.h"
+#include "test_util.h"
 
 namespace fastod {
 namespace {
@@ -532,6 +536,161 @@ TEST(DiscoveryServiceTest, DestructorCancelsLiveSessions) {
   // the 120s timeout backstop.
   service.reset();
   SUCCEED();
+}
+
+// ------------------------------------------------- shared datasets
+
+
+// Load-once/discover-many acceptance: two sessions bound to one stored
+// dataset must produce bit-for-bit the results of two independent CSV
+// sessions, while the CSV is parsed exactly once — proved by deleting
+// the file after the upload, so any re-parse attempt would fail the
+// session.
+TEST(DiscoveryServiceTest, SharedDatasetMatchesCsvSessionsWithOneParse) {
+  std::string path = ::testing::TempDir() + "/service_test_dataset_" +
+                     std::to_string(::getpid()) + ".csv";
+  ASSERT_TRUE(WriteCsvFile(WideFlight(), path).ok());
+
+  // Reference runs: independent per-session CSV loads.
+  std::string fastod_json;
+  std::string tane_json;
+  {
+    DiscoveryService service(2);
+    auto fastod_id = service.Create("fastod");
+    auto tane_id = service.Create("tane");
+    ASSERT_TRUE(fastod_id.ok() && tane_id.ok());
+    ASSERT_TRUE(service.SubmitCsv(*fastod_id, path).ok());
+    ASSERT_TRUE(service.SubmitCsv(*tane_id, path).ok());
+    service.WaitAll();
+    ASSERT_EQ(service.Poll(*fastod_id)->state, SessionState::kDone);
+    ASSERT_EQ(service.Poll(*tane_id)->state, SessionState::kDone);
+    fastod_json = *service.ResultJson(*fastod_id);
+    tane_json = *service.ResultJson(*tane_id);
+  }
+
+  DatasetStore store;
+  DiscoveryService service(2, nullptr, &store);
+  ASSERT_TRUE(store.PutCsvFile("flight", path).ok());
+  // The one parse happened above; nothing may touch the file again.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+
+  auto fastod_id = service.Create("fastod");
+  auto tane_id = service.Create("tane");
+  ASSERT_TRUE(fastod_id.ok() && tane_id.ok());
+  ASSERT_TRUE(service.SubmitDataset(*fastod_id, "flight").ok());
+  ASSERT_TRUE(service.SubmitDataset(*tane_id, "flight").ok());
+  service.WaitAll();
+  ASSERT_EQ(service.Poll(*fastod_id)->state, SessionState::kDone);
+  ASSERT_EQ(service.Poll(*tane_id)->state, SessionState::kDone);
+  EXPECT_EQ(MaskSeconds(*service.ResultJson(*fastod_id)),
+            MaskSeconds(fastod_json));
+  EXPECT_EQ(MaskSeconds(*service.ResultJson(*tane_id)),
+            MaskSeconds(tane_json));
+
+  std::vector<DatasetInfo> infos = store.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].hits, 2);  // one Get per session, zero re-parses
+}
+
+TEST(DiscoveryServiceTest, SubmitDatasetUnknownIdFailsSynchronously) {
+  DatasetStore store;
+  DiscoveryService service(1, nullptr, &store);
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(id.ok());
+  Status missing = service.SubmitDataset(*id, "nope");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  // The session never queued; it is still configurable and usable.
+  EXPECT_EQ(service.Poll(*id)->state, SessionState::kCreated);
+  ASSERT_TRUE(store.PutTable("yes", EmployeeTaxTable()).ok());
+  ASSERT_TRUE(service.SubmitDataset(*id, "yes").ok());
+  ASSERT_TRUE(service.Wait(*id).ok());
+  EXPECT_EQ(service.Poll(*id)->state, SessionState::kDone);
+}
+
+// Many concurrent mixed-algorithm sessions over one shared dataset: the
+// relation and level-1 partitions are read by every worker at once; the
+// results must match fresh single-session runs. (The sanitizer CI jobs
+// turn any unsynchronized sharing into a failure.)
+TEST(DiscoveryServiceTest, ConcurrentMixedAlgorithmsShareOneDataset) {
+  // ORDER's exhaustive list lattice needs a level cap to terminate on a
+  // 10-attribute relation; the other engines run with defaults.
+  struct MixedJob {
+    const char* algorithm;
+    std::vector<std::pair<std::string, std::string>> options;
+  };
+  const std::vector<MixedJob> jobs = {
+      {"fastod", {}},
+      {"tane", {}},
+      {"order", {{"max-level", "2"}}},
+      {"approximate", {{"max-error", "0.2"}}},
+      {"fastod", {{"threads", "2"}}},
+      {"tane", {}},
+  };
+  // References: one fresh run per job over the same table.
+  std::vector<std::string> expected;
+  for (const MixedJob& job : jobs) {
+    auto algo = AlgorithmRegistry::Default().Create(job.algorithm);
+    ASSERT_TRUE(algo.ok());
+    for (const auto& [name, value] : job.options) {
+      ASSERT_TRUE((*algo)->SetOption(name, value).ok());
+    }
+    ASSERT_TRUE((*algo)->LoadData(WideFlight()).ok());
+    ASSERT_TRUE((*algo)->Execute().ok());
+    expected.push_back((*algo)->ResultJson());
+  }
+
+  DatasetStore store;
+  DiscoveryService service(6, nullptr, &store);
+  ASSERT_TRUE(store.PutTable("shared", WideFlight()).ok());
+  std::vector<SessionId> ids;
+  for (const MixedJob& job : jobs) {
+    auto id = service.Create(job.algorithm);
+    ASSERT_TRUE(id.ok());
+    for (const auto& [name, value] : job.options) {
+      ASSERT_TRUE(service.SetOption(*id, name, value).ok());
+    }
+    ASSERT_TRUE(service.SubmitDataset(*id, "shared").ok());
+    ids.push_back(*id);
+  }
+  service.WaitAll();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(service.Poll(ids[i])->state, SessionState::kDone)
+        << jobs[i].algorithm;
+    EXPECT_EQ(MaskSeconds(*service.ResultJson(ids[i])),
+              MaskSeconds(expected[i]))
+        << jobs[i].algorithm;
+  }
+}
+
+// Sessions pin their dataset: budget pressure may never evict it while
+// they live, and destroying the sessions releases the pin.
+TEST(DiscoveryServiceTest, LiveSessionPinsDatasetAgainstEviction) {
+  DatasetStore store;
+  DiscoveryService service(1, nullptr, &store);
+  ASSERT_TRUE(store.PutTable("pinned", EmployeeTaxTable()).ok());
+  auto id = service.Create("fastod");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.LoadDataset(*id, "pinned").ok());
+
+  store.SetBudgetBytes(1);
+  ASSERT_TRUE(store.Get("pinned").ok());  // still resident
+  ASSERT_EQ(store.evictions(), 0);
+
+  // The bound session still runs fine under the over-budget store.
+  ASSERT_TRUE(service.Submit(*id).ok());
+  ASSERT_TRUE(service.Wait(*id).ok());
+  EXPECT_EQ(service.Poll(*id)->state, SessionState::kDone);
+
+  // Destroying the only pinning session makes the entry evictable; the
+  // next budget pass drops it. The worker that ran the session may hold
+  // its reference for a moment after Wait() returns, so spin briefly.
+  ASSERT_TRUE(service.Destroy(*id).ok());
+  for (int i = 0; i < 1000 && store.Get("pinned").ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    store.SetBudgetBytes(1);
+  }
+  EXPECT_EQ(store.Get("pinned").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.evictions(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+// Small helpers shared across test translation units. Header-only:
+// CMake globs tests/*_test.cc, so anything here must be inline.
+#ifndef FASTOD_TESTS_TEST_UTIL_H_
+#define FASTOD_TESTS_TEST_UTIL_H_
+
+#include <cctype>
+#include <string>
+
+namespace fastod {
+
+/// Masks the wall-clock "seconds" values in a report JSON so two runs of
+/// identical discovery output compare equal bit-for-bit.
+inline std::string MaskSeconds(std::string json) {
+  size_t pos = 0;
+  const std::string key = "\"seconds\": ";
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    size_t start = pos + key.size();
+    size_t end = start;
+    while (end < json.size() &&
+           (std::isdigit(static_cast<unsigned char>(json[end])) != 0 ||
+            json[end] == '.' || json[end] == 'e' || json[end] == '-' ||
+            json[end] == '+')) {
+      ++end;
+    }
+    json.replace(start, end - start, "X");
+    pos = start;
+  }
+  return json;
+}
+
+}  // namespace fastod
+
+#endif  // FASTOD_TESTS_TEST_UTIL_H_
