@@ -12,19 +12,30 @@
 // pre-store server behavior) or all binding one LoadedDataset built once
 // (mode=shared-dataset, CSV parse + encode + level-1 partitions skipped
 // per session).
+// With --overload the bench instead measures the admission-control
+// rejection path: a service filled to its session cap refuses further
+// submissions with kUnavailable, and the p50/p99 latency of those
+// refusals is the number an operator cares about — rejections must stay
+// cheap precisely when the service is busiest.
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/engines.h"
 #include "api/od_sink.h"
 #include "api/registry.h"
 #include "bench_util.h"
+#include "common/cancellation.h"
 #include "data/csv.h"
 #include "data/dataset_store.h"
 #include "gen/generators.h"
+#include "service/discovery_service.h"
 
 namespace {
 
@@ -134,11 +145,100 @@ void RepeatedSessionsRow(const char* label, const Table& table,
               fresh_ods == shared_ods ? "" : " | OD MISMATCH");
 }
 
+// Occupies every admission slot forever (until cancelled): the cheapest
+// way to hold a service at capacity while rejections are timed.
+class SleeperAlgorithm : public Algorithm {
+ public:
+  SleeperAlgorithm()
+      : Algorithm("sleeper", "bench-only: blocks until cancelled") {}
+  std::string ResultText() const override { return "sleeper\n"; }
+  std::string ResultJson() const override {
+    return "{\"algorithm\": \"sleeper\"}\n";
+  }
+
+ protected:
+  Status ExecuteInternal() override {
+    while (control() == nullptr || !control()->StopRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::Ok();
+  }
+};
+
+// Rejection latency at 4x the admission limit: fill `limit` slots with
+// sleepers, then time Create+Submit of 4*limit more sessions, every one
+// of which must be refused with kUnavailable.
+void OverloadRow(int limit) {
+  AlgorithmRegistry registry;
+  registry.Register("sleeper", [] {
+    return std::unique_ptr<Algorithm>(new SleeperAlgorithm());
+  });
+  DiscoveryService service(2, &registry);
+  service.SetMaxActiveSessions(limit);
+  Table table = EmployeeTaxTable();
+
+  for (int i = 0; i < limit; ++i) {
+    auto id = service.Create("sleeper");
+    if (!id.ok() || !service.LoadTable(*id, table).ok() ||
+        !service.Submit(*id).ok()) {
+      std::printf("overload limit=%d | could not fill slots, skipped\n",
+                  limit);
+      return;
+    }
+  }
+
+  const int attempts = 4 * limit;
+  std::vector<double> latencies;
+  latencies.reserve(attempts);
+  int refused = 0;
+  for (int i = 0; i < attempts; ++i) {
+    auto id = service.Create("sleeper");
+    if (!id.ok() || !service.LoadTable(*id, table).ok()) continue;
+    WallTimer timer;
+    Status status = service.Submit(*id);
+    latencies.push_back(timer.ElapsedSeconds());
+    if (status.code() == StatusCode::kUnavailable) ++refused;
+    (void)service.Destroy(*id);
+  }
+  service.CancelAll();
+
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    size_t index = static_cast<size_t>(p * (latencies.size() - 1));
+    return latencies[index];
+  };
+  double p50 = percentile(0.50);
+  double p99 = percentile(0.99);
+  std::string params = "mode=overload limit=" + std::to_string(limit) +
+                       " attempts=" + std::to_string(attempts);
+  RecordJson(params + " stat=p50", p50);
+  RecordJson(params + " stat=p99", p99);
+  std::printf("overload limit=%3d | %3d/%3d refused | rejection p50 "
+              "%8.1fus | p99 %8.1fus\n",
+              limit, refused, attempts, p50 * 1e6, p99 * 1e6);
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int scale = ParseScale(argc, argv);
   BenchJson json("bench_api_overhead", argc, argv);
+  if (HasFlag(argc, argv, "--overload")) {
+    PrintHeader("Admission-control rejection latency (service at "
+                "capacity; submissions at 4x the limit)",
+                "robustness hardening; expectation: refusals stay in "
+                "microseconds under full load");
+    OverloadRow(8 * scale);
+    OverloadRow(64 * scale);
+    return 0;
+  }
   PrintHeader("Unified-API adapter overhead (registry + option registry + "
               "streaming sink vs direct engine calls)",
               "api/ redesign; expectation: overhead within noise");

@@ -36,8 +36,10 @@ import ctypes
 import ctypes.util
 import json
 import os
+import random
 import sys
 import tempfile
+import time
 
 # ---------------------------------------------------------------------------
 # Library loading
@@ -74,6 +76,7 @@ OK = 0
 ERR_INVALID_ARGUMENT, ERR_NOT_FOUND, ERR_OUT_OF_RANGE = 1, 2, 3
 ERR_FAILED_PRECONDITION, ERR_IO, ERR_RESOURCE_EXHAUSTED = 4, 5, 6
 ERR_NULL_HANDLE, ERR_INTERNAL = 7, 8
+ERR_DEADLINE, ERR_UNAVAILABLE = 9, 10
 STATE_CREATED, STATE_QUEUED, STATE_RUNNING = 0, 1, 2
 STATE_DONE, STATE_FAILED, STATE_CANCELLED = 3, 4, 5
 _TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
@@ -134,6 +137,37 @@ class FastodError(RuntimeError):
         super().__init__(f"fastod error {code}: {message}")
         self.code = code
         self.message = message
+
+
+class FastodUnavailable(FastodError):
+    """Transient overload or shutdown (FASTOD_ERR_UNAVAILABLE): the
+    operation was refused, not failed — retry after a backoff."""
+
+    def __init__(self, message: str):
+        super().__init__(ERR_UNAVAILABLE, message)
+
+
+def _raise(code: int, message: str):
+    if code == ERR_UNAVAILABLE:
+        raise FastodUnavailable(message)
+    raise FastodError(code, message)
+
+
+def retry_unavailable(call, *, attempts: int = 5, base_delay: float = 0.1,
+                      max_delay: float = 2.0, sleep=time.sleep,
+                      rng=random.random):
+    """Runs `call()` with capped exponential backoff + full jitter on
+    FastodUnavailable; re-raises it once `attempts` are exhausted. Any
+    other error propagates immediately."""
+    for attempt in range(attempts):
+        try:
+            return call()
+        except FastodUnavailable:
+            if attempt + 1 == attempts:
+                raise
+            delay = min(max_delay, base_delay * (2 ** attempt))
+            sleep(delay * rng())
+    raise AssertionError("unreachable")
 
 
 def version() -> str:
@@ -294,7 +328,7 @@ class Session:
 
     def _check(self, code: int) -> None:
         if code != OK:
-            raise FastodError(code, self.last_error())
+            _raise(code, self.last_error())
 
     def __enter__(self) -> "Session":
         return self
@@ -376,6 +410,39 @@ def _smoke(csv_path: str) -> int:
             f"{session.algorithm}: dataset-bound result diverged")
         print(f"  {session.algorithm}: dataset-bound session matches")
         session.close()
+
+    # Retry helper: passthrough on success, capped backoff on
+    # FastodUnavailable, typed give-up after N attempts (no real sleeps).
+    naps = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise FastodUnavailable("at capacity")
+        return "ok"
+
+    assert retry_unavailable(flaky, sleep=naps.append,
+                             rng=lambda: 1.0) == "ok"
+    assert calls["n"] == 3 and naps == [0.1, 0.2], (calls, naps)
+    try:
+        retry_unavailable(lambda: (_ for _ in ()).throw(
+            FastodUnavailable("down")), attempts=2, sleep=naps.append)
+        raise AssertionError("exhausted retries must re-raise")
+    except FastodUnavailable as error:
+        assert error.code == ERR_UNAVAILABLE, error
+    print("  retry_unavailable: backoff + typed give-up verified")
+
+    # A 1 ms hard deadline on the tiny table may or may not trip — but
+    # when it does, it must surface as the dedicated deadline code.
+    with Session("fastod") as session:
+        session.load_csv(csv_path)
+        session.set_option("timeout-ms", "1")
+        try:
+            session.execute()
+        except FastodError as error:
+            assert error.code == ERR_DEADLINE, error
+            print("  timeout-ms: deadline surfaced as ERR_DEADLINE")
 
     print("fastod.py smoke test passed")
     return 0

@@ -19,7 +19,9 @@ Without a CSV argument a small built-in employee/tax table is used.
 """
 import http.client
 import json
+import random
 import sys
+import time
 
 DEMO_CSV = (
     "month,quarter,salary,tax_rate,tax_group\n"
@@ -32,14 +34,45 @@ DEMO_CSV = (
 )
 
 
-def request(conn, method, path, body=None):
+class FastodUnavailable(RuntimeError):
+    """The server kept refusing (429 quota/capacity or 503 draining)
+    after every retry attempt was exhausted."""
+
+
+def request(conn, method, path, body=None, attempts=5, base_delay=0.25,
+            max_delay=5.0):
+    """One JSON request with retry on transient refusals.
+
+    A 429 or 503 means "not now, retry": the server attaches Retry-After
+    with its own hint, which we honor when present, else fall back to
+    capped exponential backoff with full jitter. Anything else >= 400 is
+    a real error and aborts.
+    """
     headers = {"Content-Type": "application/json"} if body else {}
-    conn.request(method, path, body=body, headers=headers)
-    response = conn.getresponse()
-    payload = response.read().decode()
-    if response.status >= 400:
-        raise SystemExit(f"{method} {path} -> {response.status}: {payload}")
-    return json.loads(payload)
+    for attempt in range(attempts):
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        payload = response.read().decode()
+        if response.status in (429, 503):
+            if attempt + 1 == attempts:
+                raise FastodUnavailable(
+                    f"{method} {path} -> {response.status} after "
+                    f"{attempts} attempts: {payload}")
+            retry_after = response.getheader("Retry-After")
+            if retry_after is not None:
+                # Honor the server's hint, with a little jitter on top so
+                # synchronized clients do not stampede back together.
+                delay = float(retry_after) * (1.0 + 0.25 * random.random())
+            else:
+                backoff = min(max_delay, base_delay * (2 ** attempt))
+                delay = backoff * random.random()
+            time.sleep(delay)
+            continue
+        if response.status >= 400:
+            raise SystemExit(
+                f"{method} {path} -> {response.status}: {payload}")
+        return json.loads(payload)
+    raise AssertionError("unreachable")
 
 
 def main():

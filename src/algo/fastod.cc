@@ -515,8 +515,11 @@ class Run {
                               /*opposite=*/true) <= options_.max_error;
   }
 
+  // Deadline expiry (the hard timeout-ms armed on the control) stops the
+  // run at the same safepoints as cancellation; Algorithm::Execute turns
+  // it into a kDeadlineExceeded error afterwards.
   bool Cancelled() const {
-    return options_.control != nullptr && options_.control->CancelRequested();
+    return options_.control != nullptr && options_.control->StopRequested();
   }
 
   // Per-node buffers are needed both to materialize (emit_ods) and to

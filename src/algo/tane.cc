@@ -64,7 +64,7 @@ class Run {
         result_.timed_out = true;
         break;
       }
-      if (options_.control != nullptr && options_.control->CancelRequested()) {
+      if (options_.control != nullptr && options_.control->StopRequested()) {
         result_.cancelled = true;
         break;
       }

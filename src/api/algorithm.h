@@ -113,8 +113,7 @@ class Algorithm {
   virtual std::string ResultJson() const = 0;
 
  protected:
-  Algorithm(std::string name, std::string description)
-      : name_(std::move(name)), description_(std::move(description)) {}
+  Algorithm(std::string name, std::string description);
 
   /// Subclasses register their options here, in their constructor.
   OptionRegistry& options() { return options_; }
@@ -147,6 +146,11 @@ class Algorithm {
   std::shared_ptr<const LoadedDataset> dataset_;
   OdSink* sink_ = nullptr;
   ExecutionControl* control_ = nullptr;
+  // Hard wall-clock deadline for Execute() (the "timeout-ms" option every
+  // engine inherits): exceeding it is a kDeadlineExceeded *error*, unlike
+  // the engines' own soft "timeout" option, which ends a run cleanly with
+  // timed_out=true in the report. 0 = none.
+  int64_t timeout_ms_ = 0;
   bool executed_ = false;
   double load_seconds_ = 0.0;
   double execute_seconds_ = 0.0;

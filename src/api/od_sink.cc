@@ -1,5 +1,7 @@
 #include "api/od_sink.h"
 
+#include "common/fault.h"
+
 namespace fastod {
 
 void CollectingOdSink::OnConstancy(const ConstancyOd& od) {
@@ -38,6 +40,11 @@ ChannelOdSink::ChannelOdSink(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void ChannelOdSink::Push(OdEvent event) {
+  if (FASTOD_FAULT_POINT("sink.push")) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++dropped_;
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,

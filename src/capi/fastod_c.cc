@@ -53,6 +53,10 @@ int CodeOf(const Status& status) {
       return FASTOD_ERR_RESOURCE_EXHAUSTED;
     case StatusCode::kInternal:
       return FASTOD_ERR_INTERNAL;
+    case StatusCode::kDeadlineExceeded:
+      return FASTOD_ERR_DEADLINE;
+    case StatusCode::kUnavailable:
+      return FASTOD_ERR_UNAVAILABLE;
   }
   return FASTOD_ERR_INVALID_ARGUMENT;
 }

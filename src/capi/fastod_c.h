@@ -32,11 +32,11 @@
 #define FASTOD_CAPI_FASTOD_C_H_
 
 #define FASTOD_VERSION_MAJOR 0
-#define FASTOD_VERSION_MINOR 4
+#define FASTOD_VERSION_MINOR 5
 #define FASTOD_VERSION_PATCH 0
 
-/* Error codes. 1..6 and 8 mirror fastod::StatusCode; 7 flags misuse of
- * the C layer itself (NULL or destroyed handle). */
+/* Error codes. 1..6 and 8..10 mirror fastod::StatusCode; 7 flags misuse
+ * of the C layer itself (NULL or destroyed handle). */
 #define FASTOD_OK 0
 #define FASTOD_ERR_INVALID_ARGUMENT 1
 #define FASTOD_ERR_NOT_FOUND 2
@@ -46,6 +46,12 @@
 #define FASTOD_ERR_RESOURCE_EXHAUSTED 6
 #define FASTOD_ERR_NULL_HANDLE 7
 #define FASTOD_ERR_INTERNAL 8
+/* The run's hard wall-clock deadline passed (the "timeout-ms" option);
+ * the session is FASTOD_STATE_FAILED with this code in its status. */
+#define FASTOD_ERR_DEADLINE 9
+/* Transient overload or shutdown (admission cap, pool stopping); the
+ * operation was refused — retry later. */
+#define FASTOD_ERR_UNAVAILABLE 10
 
 /* Session states returned by fastod_poll() and fastod_wait(). The
  * terminal states are DONE, FAILED and CANCELLED. */

@@ -605,6 +605,10 @@ CliResult Serve(const std::vector<std::string>& args) {
   int64_t threads = 0;
   int64_t http_threads = 8;
   int64_t dataset_budget_mb = 256;
+  int64_t max_sessions = 0;
+  int64_t max_sessions_per_client = 0;
+  int64_t max_body_mb = 0;
+  int64_t drain_timeout_s = 30;
   std::string host = "127.0.0.1";
   bool no_csv_path = false;
   FlagSet flags;
@@ -618,6 +622,18 @@ CliResult Serve(const std::vector<std::string>& args) {
                 "reject server-side \"csv_path\" submissions");
   flags.AddInt("dataset-budget-mb", &dataset_budget_mb,
                "resident-dataset memory budget in MiB (0 = unlimited)");
+  flags.AddInt("max-sessions", &max_sessions,
+               "admission cap on queued+running sessions; past it "
+               "POST /v1/sessions gets 429 (0 = unlimited)");
+  flags.AddInt("max-sessions-per-client", &max_sessions_per_client,
+               "live-session quota per client (X-Client-Id header, else "
+               "peer IP); past it 429 (0 = unlimited)");
+  flags.AddInt("max-body-mb", &max_body_mb,
+               "request-body cap in MiB, rejected with 413 past it "
+               "(0 = default 64)");
+  flags.AddInt("drain-timeout-s", &drain_timeout_s,
+               "on SIGTERM/SIGINT, seconds to wait for in-flight "
+               "sessions before cancelling stragglers");
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (!flags.positional().empty()) {
     return Fail(Status::InvalidArgument("serve takes no positional "
@@ -638,6 +654,18 @@ CliResult Serve(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument(
         "--dataset-budget-mb must be in [0, 1048576]"));
   }
+  if (max_sessions < 0 || max_sessions_per_client < 0) {
+    return Fail(Status::InvalidArgument(
+        "--max-sessions and --max-sessions-per-client must be >= 0"));
+  }
+  if (max_body_mb < 0 || max_body_mb > (1LL << 20)) {
+    return Fail(Status::InvalidArgument(
+        "--max-body-mb must be in [0, 1048576]"));
+  }
+  if (drain_timeout_s < 0 || drain_timeout_s > 86400) {
+    return Fail(Status::InvalidArgument(
+        "--drain-timeout-s must be in [0, 86400]"));
+  }
 
   DiscoveryServerOptions options;
   options.host = host;
@@ -646,6 +674,9 @@ CliResult Serve(const std::vector<std::string>& args) {
   options.http_threads = static_cast<int>(http_threads);
   options.allow_csv_path = !no_csv_path;
   options.dataset_budget_bytes = dataset_budget_mb << 20;
+  options.max_sessions = max_sessions;
+  options.max_sessions_per_client = max_sessions_per_client;
+  options.max_body_bytes = static_cast<size_t>(max_body_mb) << 20;
   DiscoveryServer server(options);
   if (Status s = server.Start(); !s.ok()) return Fail(s);
 
@@ -661,9 +692,17 @@ CliResult Serve(const std::vector<std::string>& args) {
   }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  // Graceful drain: refuse new sessions (503 + Retry-After), let
+  // in-flight runs and streams finish, cancel whatever outlives the
+  // drain budget, then tear the server down. Always exits 0 — a signal
+  // is the normal way to stop a server, not an error.
+  server.BeginDrain();
+  bool clean = server.Drain(static_cast<double>(drain_timeout_s));
   server.Stop();
   CliResult result;
-  result.output = "fastod serve: stopped\n";
+  result.output = clean ? "fastod serve: stopped\n"
+                        : "fastod serve: stopped (drain timeout; "
+                          "stragglers cancelled)\n";
   return result;
 }
 

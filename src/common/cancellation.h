@@ -1,15 +1,24 @@
-// Cooperative cancellation and progress reporting for long discovery runs.
+// Cooperative cancellation, deadlines, and progress reporting for long
+// discovery runs.
 //
 // An ExecutionControl is shared between a caller (typically through
 // api/algorithm.h) and a running engine: the caller flips the cancel flag
-// from another thread, the engine polls it at level boundaries — the same
-// places it polls its Deadline — and aborts cleanly with partial results.
-// Progress flows the other way: engines report a coarse [0, 1] fraction
-// (lattice level over attribute count) that frontends may display.
+// (or arms a monotonic deadline) from another thread, the engine polls
+// StopRequested() at level boundaries — one check covers both stop
+// reasons — and aborts cleanly with partial results. Progress flows the
+// other way: engines report a coarse [0, 1] fraction (lattice level over
+// attribute count) that frontends may display.
+//
+// Cancellation and deadline expiry are deliberately distinguishable
+// after the stop: cancellation is a clean early exit (partial results
+// kept), while a passed deadline is an error the session layer reports
+// as kDeadlineExceeded.
 #ifndef FASTOD_COMMON_CANCELLATION_H_
 #define FASTOD_COMMON_CANCELLATION_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 namespace fastod {
 
@@ -27,9 +36,37 @@ class ExecutionControl {
     return cancel_.load(std::memory_order_relaxed);
   }
 
+  /// Arms a monotonic deadline `millis` from now (non-positive disarms).
+  /// Engines observe it through StopRequested()/DeadlineExceeded() at the
+  /// same safepoints as cancellation.
+  void SetDeadlineAfterMillis(int64_t millis) {
+    if (millis <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    deadline_ns_.store(NowNanos() + millis * 1'000'000,
+                       std::memory_order_relaxed);
+  }
+
+  bool HasDeadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool DeadlineExceeded() const {
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && NowNanos() > deadline;
+  }
+
+  /// One poll covering both stop reasons; engines check this wherever
+  /// they used to check CancelRequested().
+  bool StopRequested() const {
+    return CancelRequested() || DeadlineExceeded();
+  }
+
   /// Reset for reuse across runs.
   void Reset() {
     cancel_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
     progress_.store(0.0, std::memory_order_relaxed);
   }
 
@@ -44,7 +81,16 @@ class ExecutionControl {
   double Progress() const { return progress_.load(std::memory_order_relaxed); }
 
  private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   std::atomic<bool> cancel_{false};
+  // steady_clock nanos of the armed deadline; 0 = none. Relaxed is
+  // enough: a late observation only delays the stop by one poll.
+  std::atomic<int64_t> deadline_ns_{0};
   std::atomic<double> progress_{0.0};
 };
 

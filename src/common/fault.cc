@@ -1,0 +1,120 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fastod {
+namespace fault {
+
+namespace {
+
+enum class Action { kThrow, kFail };
+
+struct PointSchedule {
+  Action action = Action::kFail;
+  int64_t trip_on_hit = 1;  // 1-based hit number that trips
+  int64_t hits = 0;
+  bool tripped = false;  // each schedule entry fires exactly once
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, PointSchedule> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// "point:action:N" → entry; false on malformed input.
+bool ParseEntry(const std::string& entry,
+                std::map<std::string, PointSchedule>* out) {
+  size_t c1 = entry.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  size_t c2 = entry.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  std::string point = entry.substr(0, c1);
+  std::string action = entry.substr(c1 + 1, c2 - c1 - 1);
+  std::string count = entry.substr(c2 + 1);
+  PointSchedule schedule;
+  if (action == "throw") {
+    schedule.action = Action::kThrow;
+  } else if (action == "fail") {
+    schedule.action = Action::kFail;
+  } else {
+    return false;
+  }
+  if (count.empty()) return false;
+  char* end = nullptr;
+  long long n = std::strtoll(count.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n < 1) return false;
+  schedule.trip_on_hit = n;
+  (*out)[std::move(point)] = schedule;
+  return true;
+}
+
+}  // namespace
+
+std::atomic<bool> g_faults_active{false};
+
+bool CheckSlow(const char* point) {
+  Action action;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(point);
+    if (it == r.points.end()) return false;
+    PointSchedule& schedule = it->second;
+    ++schedule.hits;
+    if (schedule.tripped || schedule.hits != schedule.trip_on_hit) {
+      return false;
+    }
+    schedule.tripped = true;
+    action = schedule.action;
+  }
+  if (action == Action::kThrow) throw FaultInjected(point);
+  return true;
+}
+
+bool SetSchedule(const std::string& spec) {
+  std::map<std::string, PointSchedule> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    if (!entry.empty() && !ParseEntry(entry, &parsed)) return false;
+    pos = comma + 1;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.points = std::move(parsed);
+  g_faults_active.store(!r.points.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void Clear() { (void)SetSchedule(""); }
+
+int64_t Hits(const char* point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+bool ReloadFromEnv() {
+  const char* spec = std::getenv("FASTOD_FAULTS");
+  return SetSchedule(spec == nullptr ? "" : spec);
+}
+
+namespace {
+// Arms FASTOD_FAULTS schedules before main() so whole-process tests
+// (CLI smoke runs, the serve binary) can inject without code changes.
+const bool g_env_loaded = ReloadFromEnv();
+}  // namespace
+
+}  // namespace fault
+}  // namespace fastod

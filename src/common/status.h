@@ -24,6 +24,8 @@ enum class StatusCode {
   kIoError,
   kResourceExhausted,
   kInternal,  // unexpected failure inside the library (e.g. engine threw)
+  kDeadlineExceeded,  // the run's wall-clock deadline passed (timeout-ms)
+  kUnavailable,       // transient overload/shutdown; retry later
 };
 
 /// "OK", "InvalidArgument", ... — the stable spelling used in ToString()
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -14,14 +14,17 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // idempotent; workers already joined(ing)
     shutdown_ = true;
   }
   work_ready_.notify_all();
   for (std::thread& t : workers_) {
-    t.join();
+    if (t.joinable()) t.join();
   }
 }
 
@@ -69,13 +72,16 @@ void ThreadPool::WorkerMain() {
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    FASTOD_CHECK(!shutdown_);
+    // A submission racing (or trailing) Stop() is refused, not crashed
+    // on and not silently dropped: the caller learns the pool is gone.
+    if (shutdown_) return false;
     tasks_.push_back(std::move(task));
   }
   work_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::DrainLoop(ForLoop* loop) {

@@ -46,14 +46,22 @@ class ThreadPool {
 
   /// Enqueues a task for execution on the next free worker and returns
   /// immediately. Tasks run in submission order (one worker each) and may
-  /// overlap arbitrarily with each other and with ParallelFor loops. The
-  /// destructor drains the queue: every submitted task runs before the
-  /// pool is torn down, so tasks may safely reference state that outlives
-  /// the pool object. An exception escaping a task is caught at the
-  /// worker boundary and discarded — the worker survives; tasks that need
-  /// the failure must catch it themselves and report through their own
+  /// overlap arbitrarily with each other and with ParallelFor loops.
+  /// Shutdown drains the queue: every accepted task runs before the pool
+  /// is torn down, so tasks may safely reference state that outlives the
+  /// pool object. An exception escaping a task is caught at the worker
+  /// boundary and discarded — the worker survives; tasks that need the
+  /// failure must catch it themselves and report through their own
   /// channel (as DiscoverySession::Run does via Status).
-  void Submit(std::function<void()> task);
+  ///
+  /// Returns false — and does not take the task — once Stop() has begun,
+  /// instead of racing shutdown. Callers owning a failure channel
+  /// surface that as kUnavailable (see DiscoveryService::Submit).
+  [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Drains queued tasks and joins the workers. Idempotent; also run by
+  /// the destructor. After Stop(), Submit() refuses new tasks.
+  void Stop();
 
  private:
   struct ForLoop {

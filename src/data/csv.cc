@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include "common/fault.h"
+
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -141,6 +143,9 @@ std::string QuoteField(const std::string& s) {
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options) {
+  if (FASTOD_FAULT_POINT("csv.read")) {
+    return Status::IoError("injected fault: csv.read");
+  }
   auto tokenized = Tokenize(text, options.delimiter);
   if (!tokenized.ok()) return tokenized.status();
   const std::vector<std::vector<std::string>>& records = *tokenized;

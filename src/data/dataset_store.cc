@@ -1,5 +1,7 @@
 #include "data/dataset_store.h"
 
+#include "common/fault.h"
+
 #include <utility>
 
 #include "common/timer.h"
@@ -91,6 +93,10 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetStore::PutCsvString(
 
 Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Insert(
     std::shared_ptr<const LoadedDataset> dataset) {
+  if (FASTOD_FAULT_POINT("dataset_store.insert")) {
+    return Status::ResourceExhausted(
+        "injected fault: dataset_store.insert");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = datasets_.find(dataset->id());
   if (it != datasets_.end()) {

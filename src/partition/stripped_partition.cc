@@ -1,5 +1,7 @@
 #include "partition/stripped_partition.h"
 
+#include "common/fault.h"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -17,6 +19,9 @@ StrippedPartition StrippedPartition::Universe(int64_t num_rows) {
 
 StrippedPartition StrippedPartition::ForAttribute(
     const std::vector<int32_t>& ranks, int32_t num_distinct) {
+  // No coded-failure path out of a partition build: only "throw"
+  // schedules apply (contained at the session worker boundary).
+  (void)FASTOD_FAULT_POINT("partition.build");
   const int64_t n = static_cast<int64_t>(ranks.size());
   // Counting sort by rank keeps classes in ascending value order.
   std::vector<int32_t> counts(num_distinct + 1, 0);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/timer.h"
 #include "data/csv.h"
 #include "data/schema.h"
 #include "od/attribute_set.h"
@@ -31,12 +32,25 @@ int HttpStatusOf(StatusCode code) {
     case StatusCode::kFailedPrecondition:
       return 409;
     case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
       return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
     case StatusCode::kIoError:
     case StatusCode::kInternal:
       return 500;
   }
   return 500;
+}
+
+/// The session state spelled for the wire: a deadline failure gets its
+/// own state so clients need not parse the error message.
+std::string WireStateName(SessionState state, StatusCode error_code) {
+  if (state == SessionState::kFailed &&
+      error_code == StatusCode::kDeadlineExceeded) {
+    return "deadline_exceeded";
+  }
+  return SessionStateName(state);
 }
 
 void SendError(HttpResponseWriter& writer, const Status& status) {
@@ -54,6 +68,31 @@ void SendError(HttpResponseWriter& writer, const Status& status) {
 void SendJson(HttpResponseWriter& writer, int status,
               const std::string& body) {
   writer.Send(status, "application/json", body);
+}
+
+/// Overload/drain rejection: `http_status` is 429 (per-client quota,
+/// admission cap) or 503 (draining), always with a Retry-After hint.
+void SendRetryLater(HttpResponseWriter& writer, const Status& status,
+                    int http_status, int retry_after_seconds) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("error")
+      .String(status.message())
+      .Key("code")
+      .String(StatusCodeName(status.code()))
+      .EndObject();
+  writer.Send(http_status, "application/json", w.str() + "\n",
+              {{"Retry-After", std::to_string(retry_after_seconds)}});
+}
+
+/// Quota key: an explicit client identity beats the peer address (many
+/// clients behind one NAT/proxy share an IP), which beats nothing.
+std::string ClientKey(const HttpRequest& request) {
+  auto it = request.headers.find("x-client-id");
+  if (it != request.headers.end() && !it->second.empty()) {
+    return it->second;
+  }
+  return request.peer.empty() ? "unknown" : request.peer;
 }
 
 /// Renders a JSON option value to the string spelling SetOption parses.
@@ -260,12 +299,38 @@ DiscoveryServer::DiscoveryServer(DiscoveryServerOptions options,
       service_(options_.worker_threads, &registry_, &store_),
       http_([this](const HttpRequest& request,
                    HttpResponseWriter& writer) { Handle(request, writer); },
-            options_.http_threads) {}
+            options_.http_threads) {
+  service_.SetMaxActiveSessions(options_.max_sessions);
+  http_.set_max_body_bytes(options_.max_body_bytes);
+}
 
 DiscoveryServer::~DiscoveryServer() { Stop(); }
 
 Status DiscoveryServer::Start() {
   return http_.Start(options_.host, options_.port);
+}
+
+void DiscoveryServer::BeginDrain() { draining_.store(true); }
+
+bool DiscoveryServer::Drain(double timeout_seconds) {
+  WallTimer timer;
+  while (service_.num_active() > 0) {
+    if (timer.ElapsedSeconds() >= timeout_seconds) {
+      // Stragglers: close their channels first so an engine parked on
+      // stream backpressure reaches its cancellation checkpoint.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [id, stream] : streams_) stream->channel.Close();
+      }
+      service_.CancelAll();
+      while (service_.num_active() > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
 }
 
 void DiscoveryServer::Stop() {
@@ -274,6 +339,46 @@ void DiscoveryServer::Stop() {
   // service drain in ~DiscoveryService cannot deadlock on backpressure.
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [id, stream] : streams_) stream->channel.Close();
+}
+
+Status DiscoveryServer::AdmitClient(const std::string& client_key,
+                                    SessionId id) {
+  if (options_.max_sessions_per_client <= 0) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<SessionId>& live = client_sessions_[client_key];
+  // Terminal sessions free their quota slot without requiring a purge.
+  for (auto it = live.begin(); it != live.end();) {
+    auto session = service_.Find(*it);
+    if (session == nullptr || IsTerminal(session->state())) {
+      session_clients_.erase(*it);
+      it = live.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (static_cast<int64_t>(live.size()) >=
+      options_.max_sessions_per_client) {
+    return Status::Unavailable(
+        "client '" + client_key + "' is at its session quota (" +
+        std::to_string(live.size()) + "/" +
+        std::to_string(options_.max_sessions_per_client) +
+        " live sessions); wait for one to finish or cancel it");
+  }
+  live.insert(id);
+  session_clients_[id] = client_key;
+  return Status::Ok();
+}
+
+void DiscoveryServer::ForgetClientSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = session_clients_.find(id);
+  if (it == session_clients_.end()) return;
+  auto client = client_sessions_.find(it->second);
+  if (client != client_sessions_.end()) {
+    client->second.erase(id);
+    if (client->second.empty()) client_sessions_.erase(client);
+  }
+  session_clients_.erase(it);
 }
 
 std::shared_ptr<DiscoveryServer::StreamState> DiscoveryServer::FindStream(
@@ -299,7 +404,7 @@ std::string DiscoveryServer::SessionInfoJson(
       .Key("algorithm")
       .String(algorithm)
       .Key("state")
-      .String(SessionStateName(info.state))
+      .String(WireStateName(info.state, info.error_code))
       .Key("progress")
       .Double(info.progress);
   if (!info.error.empty()) w.Key("error").String(info.error);
@@ -419,6 +524,13 @@ void DiscoveryServer::HandleAlgorithms(HttpResponseWriter& writer) {
 
 void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
                                           HttpResponseWriter& writer) {
+  if (draining_.load()) {
+    return SendRetryLater(
+        writer,
+        Status::Unavailable(
+            "server is draining; no new sessions are admitted"),
+        503, options_.retry_after_seconds);
+  }
   Result<JsonValue> parsed = ParseJson(request.body);
   if (!parsed.ok()) return SendError(writer, parsed.status());
   const JsonValue& body = *parsed;
@@ -488,6 +600,15 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
     std::lock_guard<std::mutex> lock(mutex_);
     algorithm_names_[*id] = algorithm->string_value();
   }
+  if (Status quota = AdmitClient(ClientKey(request), *id); !quota.ok()) {
+    (void)service_.Destroy(*id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      algorithm_names_.erase(*id);
+    }
+    return SendRetryLater(writer, quota, 429,
+                          options_.retry_after_seconds);
+  }
 
   Status setup = [&]() -> Status {
     if (const JsonValue* options = body.Find("options");
@@ -527,9 +648,18 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
   }();
   if (!setup.ok()) {
     (void)service_.Destroy(*id);
-    std::lock_guard<std::mutex> lock(mutex_);
-    streams_.erase(*id);
-    algorithm_names_.erase(*id);
+    ForgetClientSession(*id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      streams_.erase(*id);
+      algorithm_names_.erase(*id);
+    }
+    if (setup.code() == StatusCode::kUnavailable) {
+      // The service-wide admission cap: same retry semantics as the
+      // per-client quota.
+      return SendRetryLater(writer, setup, 429,
+                            options_.retry_after_seconds);
+    }
     return SendError(writer, setup);
   }
   Result<DiscoveryService::PollInfo> info = service_.Poll(*id);
@@ -680,6 +810,7 @@ void DiscoveryServer::HandleCancel(SessionId id, bool purge,
     if (Status s = service_.Destroy(id); !s.ok()) {
       return SendError(writer, s);
     }
+    ForgetClientSession(id);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       streams_.erase(id);
@@ -781,16 +912,17 @@ void DiscoveryServer::HandleStream(SessionId id,
         }
         ++streamed;
       }
+      Status final_status = session->status();
       JsonWriter w;
       w.BeginObject()
           .Key("type")
           .String("end")
           .Key("state")
-          .String(SessionStateName(state))
+          .String(WireStateName(state, final_status.code()))
           .Key("streamed")
           .Int(streamed);
       if (state == SessionState::kFailed) {
-        w.Key("error").String(session->status().ToString());
+        w.Key("error").String(final_status.ToString());
       }
       w.EndObject();
       writer.WriteChunk(w.str() + "\n");

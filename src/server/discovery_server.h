@@ -77,6 +77,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "api/od_sink.h"
@@ -103,6 +104,19 @@ struct DiscoveryServerOptions {
   /// Memory budget for resident datasets (see data/dataset_store.h);
   /// 0 = unlimited.
   int64_t dataset_budget_bytes = 256LL << 20;
+  /// Admission cap on queued+running sessions across all clients
+  /// (0 = unlimited). The session past the cap is refused with 429.
+  int64_t max_sessions = 0;
+  /// Per-client cap on live (non-terminal) sessions, keyed by the
+  /// X-Client-Id header when present, else the peer IP (0 = unlimited).
+  /// Exceeding it is a 429; terminal sessions stop counting immediately
+  /// but are only purged explicitly.
+  int64_t max_sessions_per_client = 0;
+  /// Request-body cap; over-limit uploads get 413 before any parsing.
+  /// 0 = the HTTP layer's default (64 MiB).
+  size_t max_body_bytes = 0;
+  /// Retry-After hint (seconds) attached to 429/503 rejections.
+  int retry_after_seconds = 1;
 };
 
 class DiscoveryServer {
@@ -119,6 +133,22 @@ class DiscoveryServer {
   /// The bound port (valid after Start; differs from options.port when
   /// that was 0).
   int port() const { return http_.port(); }
+
+  // ---- Graceful drain -----------------------------------------------
+  /// Phase one: flips the server into draining mode — every new
+  /// POST /v1/sessions is refused with 503 + Retry-After. Established
+  /// work keeps being served: running sessions finish, open streams keep
+  /// flowing, and (because the protocol is one request per connection)
+  /// the listen socket stays open so clients can still poll and fetch
+  /// results of in-flight sessions; Stop() closes it.
+  void BeginDrain();
+  bool draining() const { return draining_.load(); }
+  /// Phase two: blocks until no session is queued or running, up to
+  /// `timeout_seconds`; on timeout cancels the stragglers (closing their
+  /// stream channels so backpressure cannot wedge the cancel) and waits
+  /// for them to stop. Returns true when every session finished without
+  /// being cancelled.
+  bool Drain(double timeout_seconds);
 
   /// The backing service, for in-process inspection in tests.
   DiscoveryService& service() { return service_; }
@@ -152,13 +182,22 @@ class DiscoveryServer {
   std::shared_ptr<StreamState> FindStream(SessionId id) const;
   std::string SessionInfoJson(SessionId id,
                               const DiscoveryService::PollInfo& info) const;
+  /// Counts the client's live sessions (pruning terminal ones) and
+  /// claims a slot, or refuses with kUnavailable when at quota.
+  Status AdmitClient(const std::string& client_key, SessionId id);
+  void ForgetClientSession(SessionId id);
 
   const AlgorithmRegistry& registry_;
   DiscoveryServerOptions options_;
+  std::atomic<bool> draining_{false};
 
   mutable std::mutex mutex_;
   std::map<SessionId, std::shared_ptr<StreamState>> streams_;
   std::map<SessionId, std::string> algorithm_names_;
+  // Per-client quota bookkeeping (both guarded by mutex_): who owns each
+  // session, and each client's live set.
+  std::map<SessionId, std::string> session_clients_;
+  std::map<std::string, std::set<SessionId>> client_sessions_;
   std::atomic<int64_t> next_dataset_id_{1};  // for autogenerated ids
 
   // Destruction order is load-bearing: ~HttpServer first (no new

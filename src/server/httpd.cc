@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/json.h"
 
 namespace fastod {
@@ -76,7 +77,7 @@ std::string ToLower(std::string s) {
 
 /// Reads one request off `fd`. Returns 0 on success, else the HTTP
 /// status to reject with (408 timeout, 400 malformed, 413 too large).
-int ReadRequest(int fd, HttpRequest* request) {
+int ReadRequest(int fd, size_t max_body_bytes, HttpRequest* request) {
   std::string buffer;
   size_t header_end = std::string::npos;
   char chunk[4096];
@@ -136,7 +137,7 @@ int ReadRequest(int fd, HttpRequest* request) {
   char* end = nullptr;
   unsigned long long length = std::strtoull(it->second.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return 400;
-  if (length > kMaxBodyBytes) return 413;
+  if (length > max_body_bytes) return 413;
   request->body = std::move(rest);
   while (request->body.size() < length) {
     ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
@@ -171,6 +172,8 @@ const char* HttpReason(int status) {
       return "Gone";
     case 413:
       return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:
@@ -187,6 +190,7 @@ const char* HttpReason(int status) {
 // ---------------------------------------------------------------- writer
 
 bool HttpResponseWriter::WriteAll(const char* data, size_t size) {
+  if (FASTOD_FAULT_POINT("httpd.write")) return false;
   while (size > 0) {
     // MSG_NOSIGNAL: a vanished client surfaces as EPIPE, not SIGPIPE.
     ssize_t n = send(fd_, data, size, MSG_NOSIGNAL);
@@ -199,12 +203,21 @@ bool HttpResponseWriter::WriteAll(const char* data, size_t size) {
 
 bool HttpResponseWriter::Send(int status, const std::string& content_type,
                               const std::string& body) {
+  return Send(status, content_type, body, HttpHeaders());
+}
+
+bool HttpResponseWriter::Send(int status, const std::string& content_type,
+                              const std::string& body,
+                              const HttpHeaders& extra_headers) {
   started_ = true;
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                      HttpReason(status) +
                      "\r\nContent-Type: " + content_type +
-                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     "\r\nContent-Length: " + std::to_string(body.size());
+  for (const auto& [name, value] : extra_headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
   return WriteAll(head.data(), head.size()) &&
          WriteAll(body.data(), body.size());
 }
@@ -238,7 +251,13 @@ bool HttpResponseWriter::EndChunked() {
 // ---------------------------------------------------------------- server
 
 HttpServer::HttpServer(HttpHandler handler, int num_threads)
-    : handler_(std::move(handler)), num_threads_(num_threads) {}
+    : handler_(std::move(handler)),
+      num_threads_(num_threads),
+      max_body_bytes_(kMaxBodyBytes) {}
+
+void HttpServer::set_max_body_bytes(size_t max_body_bytes) {
+  max_body_bytes_ = max_body_bytes == 0 ? kMaxBodyBytes : max_body_bytes;
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -289,11 +308,23 @@ Status HttpServer::Start(const std::string& host, int port) {
 
 void HttpServer::AcceptLoop() {
   while (!stopping_.load()) {
-    int fd = accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    int fd = accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer_addr),
+                    &peer_len);
     if (fd < 0) {
       if (stopping_.load()) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listening socket is gone; Stop() owns the cleanup
+      break;  // listening socket is gone; StopAccepting/Stop own cleanup
+    }
+    // IP only, never the port: per-connection ephemeral ports would give
+    // every request from one client a distinct quota key.
+    char peer_buf[INET_ADDRSTRLEN] = "";
+    std::string peer;
+    if (peer_addr.sin_family == AF_INET &&
+        inet_ntop(AF_INET, &peer_addr.sin_addr, peer_buf,
+                  sizeof(peer_buf)) != nullptr) {
+      peer = peer_buf;
     }
     timeval timeout{};
     timeout.tv_sec = kIoTimeoutSeconds;
@@ -305,14 +336,22 @@ void HttpServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(connections_mutex_);
       connections_.insert(fd);
     }
-    pool_->Submit([this, fd] { HandleConnection(fd); });
+    if (!pool_->Submit([this, fd, peer = std::move(peer)]() mutable {
+          HandleConnection(fd, std::move(peer));
+        })) {
+      // Pool already stopped (teardown race): drop the connection.
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.erase(fd);
+      close(fd);
+    }
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
+void HttpServer::HandleConnection(int fd, std::string peer) {
   HttpRequest request;
+  request.peer = std::move(peer);
   HttpResponseWriter writer(fd);
-  int reject = ReadRequest(fd, &request);
+  int reject = ReadRequest(fd, max_body_bytes_, &request);
   if (reject != 0) {
     if (reject != 408) {  // a dead peer gets no farewell
       writer.Send(reject, "text/plain", std::string(HttpReason(reject)) +
@@ -343,15 +382,22 @@ void HttpServer::HandleConnection(int fd) {
   close(fd);
 }
 
-void HttpServer::Stop() {
+void HttpServer::CloseListener() {
   if (listen_fd_ < 0) return;
-  stopping_.store(true);
   // shutdown() makes a blocked accept() return immediately; close()
   // alone is not guaranteed to on all kernels.
   shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   close(listen_fd_);
   listen_fd_ = -1;
+}
+
+void HttpServer::StopAccepting() { CloseListener(); }
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0 && pool_ == nullptr) return;
+  stopping_.store(true);
+  CloseListener();
   {
     // Kick handlers out of blocked recv()/send() now rather than after
     // the 30s socket timeout; the fds are closed by their handlers.

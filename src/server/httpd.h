@@ -28,6 +28,8 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -39,10 +41,14 @@ namespace fastod {
 struct HttpRequest {
   std::string method;  // uppercase: "GET", "POST", "DELETE", ...
   std::string path;    // e.g. "/v1/sessions/7/stream"
+  std::string peer;    // client IPv4 literal (no port), for quota keying
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;
   std::string body;
 };
+
+/// Extra response headers, e.g. {{"Retry-After", "2"}}.
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
 
 /// Standard reason phrase for the status codes the server emits.
 const char* HttpReason(int status);
@@ -62,6 +68,9 @@ class HttpResponseWriter {
   /// Complete response with Content-Length.
   bool Send(int status, const std::string& content_type,
             const std::string& body);
+  /// Same, with extra headers appended (e.g. Retry-After on 429/503).
+  bool Send(int status, const std::string& content_type,
+            const std::string& body, const HttpHeaders& extra_headers);
 
   /// Starts a chunked response; stream with WriteChunk, finish with
   /// EndChunked (which sends the terminating 0-length chunk).
@@ -105,16 +114,28 @@ class HttpServer {
   /// True once Stop() has begun; long-lived handlers poll this.
   bool stopping() const { return stopping_.load(); }
 
+  /// Caps request bodies; over-limit uploads are rejected with 413.
+  /// Call before Start(). 0 restores the built-in default (64 MiB).
+  void set_max_body_bytes(size_t max_body_bytes);
+
+  /// Drain phase one: closes the listening socket and joins the acceptor
+  /// so no new connections arrive, but leaves in-flight handlers (and
+  /// their streams) running — stopping() stays false. Idempotent; Stop()
+  /// still completes the shutdown afterwards.
+  void StopAccepting();
+
   /// Stops accepting, waits for in-flight handlers, releases the socket.
   /// Idempotent; also run by the destructor.
   void Stop();
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int fd, std::string peer);
+  void CloseListener();
 
   HttpHandler handler_;
   int num_threads_;
+  size_t max_body_bytes_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

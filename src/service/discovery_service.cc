@@ -109,12 +109,63 @@ Status DiscoveryService::SetSink(SessionId id, OdSink* sink) {
   return Status::Ok();
 }
 
+void DiscoveryService::SetMaxActiveSessions(int64_t max_active) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_active_ = max_active < 0 ? 0 : max_active;
+}
+
+int64_t DiscoveryService::max_active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_active_;
+}
+
+int64_t DiscoveryService::num_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+Status DiscoveryService::Admit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_active_ > 0 && active_ >= max_active_) {
+    return Status::Unavailable(
+        "service at capacity (" + std::to_string(active_) + "/" +
+        std::to_string(max_active_) + " active sessions); retry later");
+  }
+  ++active_;
+  return Status::Ok();
+}
+
+void DiscoveryService::Unadmit() {
+  { std::lock_guard<std::mutex> lock(mutex_); --active_; }
+  // A submitter blocked on capacity has no cv of its own; waiters on
+  // terminal_cv_ may also be polling num_active() (drain), so wake them.
+  terminal_cv_.notify_all();
+}
+
+Status DiscoveryService::Schedule(
+    const std::shared_ptr<DiscoverySession>& session) {
+  if (pool_.Submit([this, session] { RunSession(session); })) {
+    return Status::Ok();
+  }
+  // The pool began shutting down between our admission and the hand-off
+  // (service teardown racing a submit). Surface it instead of leaving the
+  // session kQueued forever with no worker coming.
+  Status refused = Status::Unavailable(
+      "service is shutting down; session not scheduled");
+  session->FailQueued(refused);
+  Unadmit();
+  return refused;
+}
+
 Status DiscoveryService::Submit(SessionId id) {
   auto session = FindMutable(id);
   if (session == nullptr) return StaleHandle(id);
-  if (Status s = session->MarkQueued(); !s.ok()) return s;
-  pool_.Submit([this, session] { RunSession(session); });
-  return Status::Ok();
+  if (Status s = Admit(); !s.ok()) return s;
+  if (Status s = session->MarkQueued(); !s.ok()) {
+    Unadmit();
+    return s;
+  }
+  return Schedule(session);
 }
 
 Status DiscoveryService::SubmitCsv(SessionId id, const std::string& path,
@@ -122,9 +173,12 @@ Status DiscoveryService::SubmitCsv(SessionId id, const std::string& path,
   auto session = FindMutable(id);
   if (session == nullptr) return StaleHandle(id);
   if (Status s = session->SetDeferredCsv(path, options); !s.ok()) return s;
-  if (Status s = session->MarkQueued(); !s.ok()) return s;
-  pool_.Submit([this, session] { RunSession(session); });
-  return Status::Ok();
+  if (Status s = Admit(); !s.ok()) return s;
+  if (Status s = session->MarkQueued(); !s.ok()) {
+    Unadmit();
+    return s;
+  }
+  return Schedule(session);
 }
 
 Status DiscoveryService::SubmitDataset(SessionId id,
@@ -137,8 +191,12 @@ void DiscoveryService::RunSession(
     const std::shared_ptr<DiscoverySession>& session) {
   session->Run();
   // Waiters re-check under the lock; taking it here orders the terminal
-  // store before their wake-up.
-  { std::lock_guard<std::mutex> lock(mutex_); }
+  // store before their wake-up. The admission slot frees with the same
+  // lock hold, so a rejected submitter retrying after Wait() gets in.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
   terminal_cv_.notify_all();
 }
 
@@ -150,7 +208,9 @@ Result<DiscoveryService::PollInfo> DiscoveryService::Poll(
   info.state = session->state();
   info.progress = session->progress();
   if (info.state == SessionState::kFailed) {
-    info.error = session->status().ToString();
+    Status status = session->status();
+    info.error = status.ToString();
+    info.error_code = status.code();
   }
   return info;
 }
@@ -163,6 +223,14 @@ Status DiscoveryService::Cancel(SessionId id) {
   { std::lock_guard<std::mutex> lock(mutex_); }
   terminal_cv_.notify_all();
   return Status::Ok();
+}
+
+void DiscoveryService::CancelAll() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, session] : sessions_) session->RequestCancel();
+  }
+  terminal_cv_.notify_all();
 }
 
 Result<SessionState> DiscoveryService::Wait(SessionId id) {

@@ -65,6 +65,14 @@ class DiscoveryService {
   /// The dataset registry this service resolves dataset ids against.
   DatasetStore& store() { return store_; }
 
+  // ---- Admission control --------------------------------------------
+  /// Caps queued + running sessions; a Submit beyond the cap is refused
+  /// with kUnavailable (retry once capacity frees). 0 = unlimited.
+  void SetMaxActiveSessions(int64_t max_active);
+  int64_t max_active_sessions() const;
+  /// Sessions currently queued or running (admitted, not yet terminal).
+  int64_t num_active() const;
+
   // ---- Session lifecycle --------------------------------------------
   /// Instantiates `algorithm` from the registry behind a fresh session
   /// handle. NotFound lists the registered names.
@@ -104,6 +112,9 @@ class DiscoveryService {
     SessionState state = SessionState::kCreated;
     double progress = 0.0;   // engine-reported fraction in [0, 1]
     std::string error;       // non-empty exactly for kFailed
+    // The failure's StatusCode (kOk otherwise); lets frontends
+    // distinguish e.g. kDeadlineExceeded without parsing the message.
+    StatusCode error_code = StatusCode::kOk;
   };
   /// One consistent snapshot of the session's observable state.
   Result<PollInfo> Poll(SessionId id) const;
@@ -111,6 +122,8 @@ class DiscoveryService {
   /// Requests cooperative cancellation (running) or skips the run
   /// entirely (queued). Idempotent; terminal sessions are unaffected.
   Status Cancel(SessionId id);
+  /// Cancels every live session (the drain-deadline straggler sweep).
+  void CancelAll();
 
   /// Blocks until the session is terminal; returns its final state.
   Result<SessionState> Wait(SessionId id);
@@ -141,6 +154,14 @@ class DiscoveryService {
  private:
   std::shared_ptr<DiscoverySession> FindMutable(SessionId id) const;
   void RunSession(const std::shared_ptr<DiscoverySession>& session);
+  /// Claims one admission slot or refuses with kUnavailable.
+  Status Admit();
+  /// Returns an admission slot (MarkQueued failed, pool refused, or the
+  /// run finished).
+  void Unadmit();
+  /// Hands an admitted, queued session to the pool; on refusal (pool
+  /// stopping) fails the session with kUnavailable and returns it.
+  Status Schedule(const std::shared_ptr<DiscoverySession>& session);
 
   const AlgorithmRegistry& registry_;
   DatasetStore& store_;
@@ -149,6 +170,8 @@ class DiscoveryService {
   std::condition_variable terminal_cv_;  // notified on any terminal move
   std::map<SessionId, std::shared_ptr<DiscoverySession>> sessions_;
   SessionId next_id_ = 1;
+  int64_t max_active_ = 0;  // guarded by mutex_; 0 = unlimited
+  int64_t active_ = 0;      // guarded by mutex_; admitted, not terminal
   // Every shared-sink decorator ever attached stays alive for the
   // service's lifetime, so replacing the shared sink never dangles
   // sessions still pointing at the previous wrapper.

@@ -100,6 +100,13 @@ Status DiscoverySession::MarkQueued() {
   return Status::Ok();
 }
 
+void DiscoverySession::FailQueued(Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != SessionState::kQueued) return;
+  state_ = SessionState::kFailed;
+  status_ = std::move(status);
+}
+
 void DiscoverySession::Run() {
   bool load_csv = false;
   std::string path;

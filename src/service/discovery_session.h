@@ -82,6 +82,10 @@ class DiscoverySession {
   // ---- Execution ----------------------------------------------------
   /// Marks the session queued; fails if it already left kCreated.
   Status MarkQueued();
+  /// Moves a *queued* session straight to kFailed with `status` — the
+  /// recovery path when Submit accepted the session but could not hand
+  /// it to a worker (pool shut down). No-op in any other state.
+  void FailQueued(Status status);
   /// Runs load (if deferred) + Execute on the calling thread and moves
   /// the session to a terminal state. Called once, by the worker.
   void Run();

@@ -84,13 +84,13 @@ TEST(OptionRegistryTest, GetNeededOptions) {
   FastodAlgorithm fastod;
   std::vector<std::string> names = fastod.GetNeededOptions();
   for (const char* expected :
-       {"threads", "timeout", "max-level", "max-error", "bidirectional",
-        "emit-ods", "minimality-pruning", "level-pruning", "key-pruning",
-        "level-stats", "swap-method"}) {
+       {"timeout-ms", "threads", "timeout", "max-level", "max-error",
+        "bidirectional", "emit-ods", "minimality-pruning", "level-pruning",
+        "key-pruning", "level-stats", "swap-method"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
 }
 
 TEST(OptionRegistryTest, FindOptionMetadata) {
@@ -107,6 +107,9 @@ TEST(OptionRegistryTest, DescribeOptionsSnapshot) {
   // The generated help is load-bearing for the CLI; pin its shape.
   TaneAlgorithm algo;
   EXPECT_EQ(algo.DescribeOptions(),
+            "  --timeout-ms=<int>               hard deadline in "
+            "milliseconds; exceeding it fails the run with DeadlineExceeded "
+            "(0 = none) (default: 0)\n"
             "  --timeout=<double>               abort after this many "
             "seconds (0 = none) (default: 0)\n"
             "  --max-level=<int>                stop after lattice level L "

@@ -73,7 +73,7 @@ TEST(CApiTest, OptionIntrospectionThroughC) {
   fastod_session_t* session = fastod_create("fastod");
   ASSERT_NE(session, nullptr);
   int count = fastod_option_count(session);
-  EXPECT_EQ(count, 11);
+  EXPECT_EQ(count, 12);
   bool saw_threads = false;
   bool saw_swap = false;
   for (int i = 0; i < count; ++i) {
@@ -243,6 +243,57 @@ TEST(CApiTest, DatasetErrorsAreReported) {
   EXPECT_EQ(fastod_use_dataset(nullptr, nullptr),
             FASTOD_ERR_NULL_HANDLE);
   fastod_destroy(session);
+}
+
+TEST(CApiTest, ErrorCodeMacrosAreStable) {
+  // ABI freeze: these values are load-bearing for every binding ever
+  // compiled against the header.
+  EXPECT_EQ(FASTOD_ERR_INTERNAL, 8);
+  EXPECT_EQ(FASTOD_ERR_DEADLINE, 9);
+  EXPECT_EQ(FASTOD_ERR_UNAVAILABLE, 10);
+}
+
+TEST(CApiTest, DeadlineExceededRoundTripsThroughTheAbi) {
+  // A 50 ms budget on a table FASTOD cannot finish in 50 ms: the run
+  // must end FAILED with the dedicated deadline code, not a generic
+  // failure. (The kUnavailable refusal paths — admission caps, pool
+  // shutdown — live in the service/server layers and are covered by
+  // robustness_test.cc; here we pin their C codes above and prove the
+  // deadline one end to end.)
+  std::string path = ::testing::TempDir() + "/capi_deadline.csv";
+  ASSERT_TRUE(WriteCsvFile(GenFlightLike(4000, 14), path).ok());
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(fastod_set_option(session, "timeout-ms", "50"), FASTOD_OK);
+  ASSERT_EQ(fastod_load_csv(session, path.c_str()), FASTOD_OK);
+  EXPECT_EQ(fastod_execute(session), FASTOD_ERR_DEADLINE);
+  std::string error = fastod_last_error(session);
+  EXPECT_NE(error.find("timeout-ms"), std::string::npos) << error;
+  // Poll is repeat-stable on the terminal session.
+  for (int i = 0; i < 3; ++i) {
+    double progress = -1.0;
+    EXPECT_EQ(fastod_poll(session, &progress), FASTOD_STATE_FAILED);
+    EXPECT_GE(progress, 0.0);
+  }
+  // No result for a failed run, and the error message survives polls.
+  EXPECT_EQ(fastod_result_json(session), nullptr);
+  EXPECT_NE(std::string(fastod_last_error(session)).find("timeout-ms"),
+            std::string::npos);
+  fastod_destroy(session);
+
+  // The async flavor reports the same failure through wait + poll.
+  fastod_session_t* async_session = fastod_create("fastod");
+  ASSERT_NE(async_session, nullptr);
+  ASSERT_EQ(fastod_set_option(async_session, "timeout-ms", "50"),
+            FASTOD_OK);
+  ASSERT_EQ(fastod_load_csv(async_session, path.c_str()), FASTOD_OK);
+  ASSERT_EQ(fastod_execute_async(async_session), FASTOD_OK);
+  EXPECT_EQ(fastod_wait(async_session), FASTOD_STATE_FAILED);
+  EXPECT_NE(std::string(fastod_last_error(async_session))
+                .find("timeout-ms"),
+            std::string::npos);
+  fastod_destroy(async_session);
+  std::remove(path.c_str());
 }
 
 TEST(CApiTest, CancelBeforeRunYieldsCancelledState) {

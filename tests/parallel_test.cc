@@ -67,10 +67,10 @@ TEST(ThreadPoolTest, ThrowingSubmitTaskDoesNotKillWorker) {
   std::atomic<int> ran{0};
   {
     ThreadPool pool(1);  // one worker: it must survive to run the rest
-    pool.Submit([] { throw std::runtime_error("boom"); });
-    pool.Submit([&] { ran.fetch_add(1); });
-    pool.Submit([] { throw 42; });  // non-std exceptions too
-    pool.Submit([&] { ran.fetch_add(1); });
+    EXPECT_TRUE(pool.Submit([] { throw std::runtime_error("boom"); }));
+    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    EXPECT_TRUE(pool.Submit([] { throw 42; }));  // non-std exceptions too
+    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
   }  // ~ThreadPool drains the queue without terminate()
   EXPECT_EQ(ran.load(), 2);
 }
@@ -80,8 +80,8 @@ TEST(ThreadPoolTest, QueueDrainsAfterThrowingTasks) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 8; ++i) {
-      pool.Submit([] { throw std::runtime_error("boom"); });
-      pool.Submit([&] { ran.fetch_add(1); });
+      EXPECT_TRUE(pool.Submit([] { throw std::runtime_error("boom"); }));
+      EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
     }
   }  // destructor runs every queued task
   EXPECT_EQ(ran.load(), 8);
