@@ -116,6 +116,7 @@ _wait = _sig("fastod_wait", ctypes.c_int, [_p])
 _cancel = _sig("fastod_cancel", ctypes.c_int, [_p])
 _result_json = _sig("fastod_result_json", _c, [_p])
 _result_text = _sig("fastod_result_text", _c, [_p])
+_trace_json = _sig("fastod_session_trace_json", _c, [_p])
 _last_error = _sig("fastod_last_error", _c, [_p])
 _dataset_load_csv_opts = _sig(
     "fastod_dataset_load_csv_opts", _p,
@@ -317,6 +318,19 @@ class Session:
     def result_text(self) -> str | None:
         return _decode(_result_text(self._handle))
 
+    def trace(self) -> dict:
+        """The session's observability trace, parsed from JSON.
+
+        Readable in any state: ``{"spans": [...], "engine": {...}}``
+        with phase timings (csv.parse, encode, execute, level[k]) and
+        the engine's lattice-search counters once the run finished.
+        Empty spans and a null engine when FASTOD_METRICS=off.
+        """
+        raw = _decode(_trace_json(self._handle))
+        if raw is None:
+            raise FastodError(ERR_NULL_HANDLE, "session is closed")
+        return json.loads(raw)
+
     def last_error(self) -> str:
         return _decode(_last_error(self._handle))
 
@@ -388,7 +402,14 @@ def _smoke(csv_path: str) -> int:
         with Session(algorithm) as session:
             session.load_csv(csv_path)
             reference[algorithm] = _mask_seconds(session.execute())
-        print(f"  {algorithm}: csv-bound session done")
+            trace = session.trace()
+            assert set(trace) == {"spans", "engine"}, trace
+            if trace["engine"] is not None:  # FASTOD_METRICS may be off
+                assert trace["engine"]["nodes_visited"] > 0, trace
+                names = [span["name"] for span in trace["spans"]]
+                assert "execute" in names, names
+        print(f"  {algorithm}: csv-bound session done (trace: "
+              f"{len(trace['spans'])} spans)")
 
     # Load once, discover many: the dataset path must reproduce the
     # csv path exactly, and survives closing the handle early.

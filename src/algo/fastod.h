@@ -149,6 +149,11 @@ struct FastodResult {
   bool cancelled = false;
   int levels_processed = 0;
   int64_t total_nodes = 0;
+  /// PartitionCache traffic of the run: lookups served (gets) vs
+  /// partitions built or copied in (puts) — the reuse ratio the
+  /// observability layer reports per session.
+  int64_t partition_cache_gets = 0;
+  int64_t partition_cache_puts = 0;
   double seconds = 0.0;
   std::vector<FastodLevelStats> level_stats;
 

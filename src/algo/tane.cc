@@ -75,6 +75,8 @@ class Run {
         !result_.cancelled) {
       options_.control->ReportProgress(1.0);
     }
+    result_.partition_cache_gets = cache_.gets();
+    result_.partition_cache_puts = cache_.puts();
     result_.seconds = timer.ElapsedSeconds();
     return std::move(result_);
   }

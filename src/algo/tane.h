@@ -58,6 +58,9 @@ struct TaneResult {
   bool cancelled = false;
   int levels_processed = 0;
   int64_t total_nodes = 0;
+  /// PartitionCache traffic (see FastodResult).
+  int64_t partition_cache_gets = 0;
+  int64_t partition_cache_puts = 0;
   double seconds = 0.0;
 };
 

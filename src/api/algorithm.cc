@@ -69,6 +69,7 @@ Status Algorithm::Execute() {
                        ? Deadline::After(timeout_ms_ / 1000.0)
                        : Deadline::Infinite();
   if (control_ != nullptr) control_->SetDeadlineAfterMillis(timeout_ms_);
+  stats_ = obs::EngineStats();
   WallTimer timer;
   Status status = ExecuteInternal();
   execute_seconds_ = timer.ElapsedSeconds();

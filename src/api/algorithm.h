@@ -32,6 +32,7 @@
 #include "data/dataset_store.h"
 #include "data/encode.h"
 #include "data/table.h"
+#include "obs/trace.h"
 
 namespace fastod {
 
@@ -112,6 +113,14 @@ class Algorithm {
   /// Machine-readable result in the stable JSON shape of report/report.h.
   virtual std::string ResultJson() const = 0;
 
+  /// Engine search telemetry of the last Execute() (obs/trace.h): lattice
+  /// nodes visited/pruned (per level for the level-wise engines),
+  /// swap/split validation calls, partition-cache traffic, ODs emitted.
+  /// The engines accumulate these internally anyway; adapters copy them
+  /// out once per run, so reading this costs the hot path nothing.
+  /// Zeroed until the first Execute() completes.
+  const obs::EngineStats& stats() const { return stats_; }
+
  protected:
   Algorithm(std::string name, std::string description);
 
@@ -137,6 +146,10 @@ class Algorithm {
   OdSink* sink() const { return sink_; }
   ExecutionControl* control() const { return control_; }
 
+  /// Where ExecuteInternal() deposits the run's search telemetry
+  /// (Execute() clears it before each run).
+  obs::EngineStats& mutable_stats() { return stats_; }
+
  private:
   std::string name_;
   std::string description_;
@@ -151,6 +164,7 @@ class Algorithm {
   // the engines' own soft "timeout" option, which ends a run cleanly with
   // timed_out=true in the report. 0 = none.
   int64_t timeout_ms_ = 0;
+  obs::EngineStats stats_;
   bool executed_ = false;
   double load_seconds_ = 0.0;
   double execute_seconds_ = 0.0;

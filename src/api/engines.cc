@@ -25,6 +25,36 @@ FastodOptions ApproximateDefaults() {
   return defaults;
 }
 
+// Copies the counters a finished FASTOD-family run accumulated into the
+// generic telemetry shape (fastod and approximate share FastodResult).
+obs::EngineStats StatsOf(const FastodResult& result) {
+  obs::EngineStats stats;
+  stats.levels_processed = result.levels_processed;
+  stats.nodes_visited = result.total_nodes;
+  stats.ods_emitted = result.NumOds();
+  stats.partition_cache_gets = result.partition_cache_gets;
+  stats.partition_cache_puts = result.partition_cache_puts;
+  stats.levels.reserve(result.level_stats.size());
+  for (const FastodLevelStats& level : result.level_stats) {
+    obs::LevelStats l;
+    l.level = level.level;
+    l.nodes = level.nodes;
+    l.nodes_pruned = level.nodes_pruned;
+    l.constancy_checks = level.constancy_checks;
+    l.swap_checks = level.swap_checks;
+    l.key_prune_hits = level.key_prune_hits;
+    l.ods_found = level.constancy_found + level.compatibility_found +
+                  level.bidirectional_found;
+    l.seconds = level.seconds;
+    stats.nodes_pruned += level.nodes_pruned;
+    stats.constancy_checks += level.constancy_checks;
+    stats.swap_checks += level.swap_checks;
+    stats.key_prune_hits += level.key_prune_hits;
+    stats.levels.push_back(l);
+  }
+  return stats;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- fastod
@@ -79,6 +109,7 @@ Status FastodAlgorithm::ExecuteInternal() {
     run.singleton_partitions = &dataset()->singleton_partitions();
   }
   result_ = Fastod(run).Discover(relation());
+  mutable_stats() = StatsOf(result_);
   return Status::Ok();
 }
 
@@ -129,6 +160,12 @@ Status TaneAlgorithm::ExecuteInternal() {
     run.singleton_partitions = &dataset()->singleton_partitions();
   }
   result_ = Tane(run).Discover(relation());
+  obs::EngineStats& stats = mutable_stats();
+  stats.levels_processed = result_.levels_processed;
+  stats.nodes_visited = result_.total_nodes;
+  stats.ods_emitted = result_.num_fds;
+  stats.partition_cache_gets = result_.partition_cache_gets;
+  stats.partition_cache_puts = result_.partition_cache_puts;
   return Status::Ok();
 }
 
@@ -160,6 +197,12 @@ Status OrderAlgorithm::ExecuteInternal() {
   run.sink = sink();
   run.control = control();
   result_ = OrderBaseline(run).Discover(relation());
+  obs::EngineStats& stats = mutable_stats();
+  stats.levels_processed = result_.levels_processed;
+  stats.nodes_visited = result_.total_nodes;
+  stats.candidates_checked = result_.candidates_checked;
+  stats.candidates_pruned = result_.candidates_pruned;
+  stats.ods_emitted = static_cast<int64_t>(result_.ods.size());
   return Status::Ok();
 }
 
@@ -192,6 +235,10 @@ Status BruteForceAlgorithm::ExecuteInternal() {
   WallTimer timer;
   result_ = BruteForceDiscoverOds(relation(), max_error_, bidirectional_);
   seconds_ = timer.ElapsedSeconds();
+  mutable_stats().ods_emitted =
+      static_cast<int64_t>(result_.constancy_ods.size() +
+                           result_.compatibility_ods.size() +
+                           result_.bidirectional_ods.size());
   if (sink() != nullptr) {
     // The oracle materializes regardless, so streaming tees.
     for (const ConstancyOd& od : result_.constancy_ods) {
@@ -258,6 +305,7 @@ Status ConditionalAlgorithm::ExecuteInternal() {
   ConditionalOdFinder finder(&relation());
   result_ = finder.DiscoverConditional(run);
   seconds_ = timer.ElapsedSeconds();
+  mutable_stats().ods_emitted = static_cast<int64_t>(result_.size());
   if (sink() != nullptr) {
     for (const ConditionalOd& od : result_) sink()->OnConditional(od);
   }

@@ -81,6 +81,7 @@ struct fastod_session {
   mutable std::mutex mutex;
   std::string last_error;   // guarded by mutex
   std::string result_copy;  // guarded by mutex
+  std::string trace_copy;   // guarded by mutex
 };
 
 // A shared-dataset handle is one strong reference to an immutable
@@ -372,6 +373,18 @@ const char* fastod_result_json(fastod_session_t* session) {
 
 const char* fastod_result_text(fastod_session_t* session) {
   return ResultString(session, /*json=*/false);
+}
+
+const char* fastod_session_trace_json(fastod_session_t* session) {
+  if (session == nullptr) return nullptr;
+  fastod::Result<std::string> trace =
+      GlobalService().TraceJson(session->id);
+  if (!trace.ok()) return nullptr;
+  // Separate buffer from result_copy so interleaving trace and result
+  // reads never invalidates the other's pointer mid-use.
+  std::lock_guard<std::mutex> lock(session->mutex);
+  session->trace_copy = std::move(trace).value();
+  return session->trace_copy.c_str();
 }
 
 const char* fastod_last_error(const fastod_session_t* session) {

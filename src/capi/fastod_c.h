@@ -32,7 +32,7 @@
 #define FASTOD_CAPI_FASTOD_C_H_
 
 #define FASTOD_VERSION_MAJOR 0
-#define FASTOD_VERSION_MINOR 5
+#define FASTOD_VERSION_MINOR 6
 #define FASTOD_VERSION_PATCH 0
 
 /* Error codes. 1..6 and 8..10 mirror fastod::StatusCode; 7 flags misuse
@@ -195,6 +195,16 @@ const char* fastod_result_json(fastod_session_t* session);
 
 /* Human-readable result summary under the same rules. */
 const char* fastod_result_text(fastod_session_t* session);
+
+/* The session's observability trace as JSON: the phase spans recorded
+ * while it ran (csv.parse, encode, execute, level[k]) plus the engine's
+ * search counters once terminal — {"spans":[...],"engine":...}. Unlike
+ * fastod_result_json this is readable in ANY state (a running session
+ * shows the spans completed so far) and is empty-but-valid JSON when
+ * metrics are disabled via FASTOD_METRICS=off. NULL only on a NULL or
+ * destroyed handle. Owned by the session — valid until the next call on
+ * it. */
+const char* fastod_session_trace_json(fastod_session_t* session);
 
 /* The message of the most recent failure on this session; "" when none.
  * fastod_last_error(NULL) reads the calling thread's session-less error

@@ -20,6 +20,8 @@
 #include "data/encode.h"
 #include "gen/date_dim.h"
 #include "gen/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/report.h"
 #include "server/discovery_server.h"
 #include "service/discovery_service.h"
@@ -39,7 +41,7 @@ std::string Usage() {
          "  fastod discover <file.csv> [--algorithm=NAME] [--output=text|"
          "json]\n"
          "                             [--delimiter=,] [--no-header] "
-         "[--max-rows=N]\n"
+         "[--max-rows=N] [--stats]\n"
          "                             [algorithm options — see `fastod "
          "discover --help`]\n"
          "      NAME: " +
@@ -53,6 +55,7 @@ std::string Usage() {
          "  fastod serve [--port=N] [--host=ADDR] [--threads=N]\n"
          "                             [--http-threads=N] [--no-csv-path]\n"
          "                             [--dataset-budget-mb=N]\n"
+         "                             [--metrics|--no-metrics]\n"
          "  fastod algorithms [NAME...]\n"
          "  fastod validate <file.csv> --lhs=colA,colB --rhs=colC[:desc]\n"
          "  fastod violations <file.csv> --lhs=... --rhs=... [--limit=N]\n"
@@ -74,6 +77,10 @@ std::string DiscoverUsage() {
          ",)\n"
          "  --no-header                    first CSV record is data\n"
          "  --max-rows=<n>                 read at most N data rows\n"
+         "  --stats                        append search telemetry (phase\n"
+         "                                 timings, lattice counters); with\n"
+         "                                 --output=json the report gains a\n"
+         "                                 \"trace\" field\n"
          "\n"
          "algorithms and their options:\n" +
          AlgorithmRegistry::Default().DescribeAlgorithms();
@@ -156,6 +163,41 @@ CliResult Fail(const Status& status) {
   return result;
 }
 
+// Human rendering of the engine's search counters for `discover --stats`
+// text output (the JSON output embeds the trace instead).
+std::string RenderStatsText(const obs::EngineStats& stats) {
+  std::string out = "\nsearch stats:\n";
+  out += "  levels processed: " + std::to_string(stats.levels_processed) +
+         "\n";
+  out += "  nodes visited:    " + std::to_string(stats.nodes_visited) +
+         " (" + std::to_string(stats.nodes_pruned) + " pruned)\n";
+  out += "  validations:      " + std::to_string(stats.constancy_checks) +
+         " constancy, " + std::to_string(stats.swap_checks) + " swap, " +
+         std::to_string(stats.key_prune_hits) + " skipped by key pruning\n";
+  if (stats.candidates_checked > 0 || stats.candidates_pruned > 0) {
+    out += "  candidates:       " +
+           std::to_string(stats.candidates_checked) + " checked, " +
+           std::to_string(stats.candidates_pruned) + " pruned\n";
+  }
+  out += "  partition cache:  " +
+         std::to_string(stats.partition_cache_gets) + " gets, " +
+         std::to_string(stats.partition_cache_puts) + " puts\n";
+  out += "  ods emitted:      " + std::to_string(stats.ods_emitted) + "\n";
+  for (const obs::LevelStats& level : stats.levels) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  level %d: nodes=%lld pruned=%lld checks=%lld/%lld "
+                  "ods=%lld (%.4fs)\n",
+                  level.level, static_cast<long long>(level.nodes),
+                  static_cast<long long>(level.nodes_pruned),
+                  static_cast<long long>(level.constancy_checks),
+                  static_cast<long long>(level.swap_checks),
+                  static_cast<long long>(level.ods_found), level.seconds);
+    out += line;
+  }
+  return out;
+}
+
 // Dispatches through the algorithm registry: CLI-owned flags (CSV
 // loading, output format, the algorithm name itself) are interpreted
 // here; every other --name=value is forwarded to the created algorithm's
@@ -164,6 +206,7 @@ CliResult Fail(const Status& status) {
 CliResult Discover(const std::vector<std::string>& args) {
   std::string algorithm = "fastod";
   std::string output = "text";
+  bool stats = false;
   CsvFlags csv;
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> engine_options;
@@ -188,6 +231,15 @@ CliResult Discover(const std::vector<std::string>& args) {
       algorithm = value;
     } else if (name == "output") {
       output = value;
+    } else if (name == "stats") {
+      if (value.empty() || value == "true" || value == "1") {
+        stats = true;
+      } else if (value == "false" || value == "0") {
+        stats = false;
+      } else {
+        return Fail(Status::InvalidArgument(
+            "--stats expects true or false, got '" + value + "'"));
+      }
     } else if (name == "delimiter") {
       csv.delimiter = value;
     } else if (name == "no-header") {
@@ -224,15 +276,41 @@ CliResult Discover(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument(
         "discover expects exactly one CSV path"));
   }
+  // The same spans a DiscoverySession records, rebuilt locally because
+  // `discover` drives the algorithm directly, without a session.
+  obs::TraceRecorder trace;
+  double start = trace.Now();
   Result<Table> table = csv.Load(positional[0]);
   if (!table.ok()) return Fail(table.status());
+  if (stats) trace.RecordSpan("csv.parse", start, trace.Now() - start);
+  start = trace.Now();
   if (Status s = (*algo)->LoadData(std::move(table).value()); !s.ok()) {
     return Fail(s);
   }
+  if (stats) trace.RecordSpan("encode", start, trace.Now() - start);
+  start = trace.Now();
   if (Status s = (*algo)->Execute(); !s.ok()) return Fail(s);
   CliResult result;
   result.output =
       output == "json" ? (*algo)->ResultJson() : (*algo)->ResultText();
+  if (stats) {
+    trace.RecordSpan("execute", start, trace.Now() - start);
+    double cursor = start;
+    for (const obs::LevelStats& level : (*algo)->stats().levels) {
+      trace.RecordSpan("level[" + std::to_string(level.level) + "]",
+                       cursor, level.seconds);
+      cursor += level.seconds;
+    }
+    trace.SetEngineStats((*algo)->stats());
+    if (output == "json") {
+      size_t brace = result.output.rfind('}');
+      if (brace != std::string::npos) {
+        result.output.insert(brace, ",\"trace\":" + trace.ToJson());
+      }
+    } else {
+      result.output += RenderStatsText((*algo)->stats());
+    }
+  }
   return result;
 }
 
@@ -611,6 +689,8 @@ CliResult Serve(const std::vector<std::string>& args) {
   int64_t drain_timeout_s = 30;
   std::string host = "127.0.0.1";
   bool no_csv_path = false;
+  bool metrics = false;
+  bool no_metrics = false;
   FlagSet flags;
   flags.AddInt("port", &port, "TCP port to listen on (0 = ephemeral)");
   flags.AddString("host", &host, "IPv4 address to bind");
@@ -634,7 +714,19 @@ CliResult Serve(const std::vector<std::string>& args) {
   flags.AddInt("drain-timeout-s", &drain_timeout_s,
                "on SIGTERM/SIGINT, seconds to wait for in-flight "
                "sessions before cancelling stragglers");
+  flags.AddBool("metrics", &metrics,
+                "force metrics and trace collection on, overriding the "
+                "FASTOD_METRICS environment default");
+  flags.AddBool("no-metrics", &no_metrics,
+                "disable metrics and trace collection (GET /metrics "
+                "stays routable but exposes nothing)");
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (metrics && no_metrics) {
+    return Fail(Status::InvalidArgument(
+        "--metrics and --no-metrics are mutually exclusive"));
+  }
+  if (metrics) obs::SetEnabled(true);
+  if (no_metrics) obs::SetEnabled(false);
   if (!flags.positional().empty()) {
     return Fail(Status::InvalidArgument("serve takes no positional "
                                         "arguments"));

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace fastod {
 namespace fault {
 
@@ -74,6 +76,14 @@ bool CheckSlow(const char* point) {
     }
     schedule.tripped = true;
     action = schedule.action;
+  }
+  // Outside the registry lock: the metrics registry takes its own.
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .GetCounter("fastod_fault_observed_total",
+                    "Scheduled faults that tripped at their fault point",
+                    {{"point", point}})
+        ->Inc();
   }
   if (action == Action::kThrow) throw FaultInjected(point);
   return true;

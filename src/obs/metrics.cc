@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace fastod {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = not yet read from environment
+
+bool ReadEnabledFromEnv() {
+  const char* value = std::getenv("FASTOD_METRICS");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Escapes a HELP line: backslash and newline (Prometheus text format).
+void AppendHelpEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+// Escapes a label value: backslash, double quote, newline.
+void AppendLabelEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void AppendDouble(double value, std::string* out) {
+  if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+// Renders `{k="v",...}` (or nothing for an empty label set), with
+// `extra` appended last when non-null (the histogram `le` label).
+void AppendLabels(const Labels& labels, const char* extra_name,
+                  const std::string* extra_value, std::string* out) {
+  if (labels.empty() && extra_value == nullptr) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += kv.first;
+    *out += "=\"";
+    AppendLabelEscaped(kv.second, out);
+    *out += '"';
+  }
+  if (extra_value != nullptr) {
+    if (!first) *out += ',';
+    *out += extra_name;
+    *out += "=\"";
+    AppendLabelEscaped(*extra_value, out);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+bool Enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ReadEnabledFromEnv() ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    FASTOD_CHECK(bounds_[i] < bounds_[i + 1]);
+  }
+  for (double b : bounds_) FASTOD_CHECK(std::isfinite(b));
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound contains the value (`le` is
+  // inclusive); past the last finite bound falls into the implicit
+  // +Inf bucket.
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  FASTOD_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  return {0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03,
+          0.1,    0.3,    1.0,   3.0,   10.0, 60.0};
+}
+
+std::vector<double> SizeBucketsBytes() {
+  return {1024.0,      8192.0,      65536.0,      524288.0,
+          4194304.0,   33554432.0,  268435456.0,  1073741824.0};
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Registry::Family* Registry::GetFamily(const std::string& name,
+                                      const std::string& help, Type type) {
+  FASTOD_CHECK(ValidMetricName(name));
+  for (auto& family : families_) {
+    if (family->name == name) {
+      FASTOD_CHECK(family->type == type);  // one type per family name
+      return family.get();
+    }
+  }
+  families_.push_back(std::unique_ptr<Family>(new Family()));
+  Family* family = families_.back().get();
+  family->name = name;
+  family->help = help;
+  family->type = type;
+  return family;
+}
+
+Registry::Series* Registry::GetSeries(Family* family, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& kv : labels) FASTOD_CHECK(ValidLabelName(kv.first));
+  for (auto& series : family->series) {
+    if (series.labels == labels) return &series;
+  }
+  family->series.emplace_back();
+  Series* series = &family->series.back();
+  series->labels = std::move(labels);
+  return series;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, help, Type::kCounter);
+  Series* series = GetSeries(family, std::move(labels));
+  if (!series->counter) series->counter.reset(new Counter());
+  return series->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, help, Type::kGauge);
+  Series* series = GetSeries(family, std::move(labels));
+  if (!series->gauge) series->gauge.reset(new Gauge());
+  return series->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds,
+                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = GetFamily(name, help, Type::kHistogram);
+  if (family->series.empty() && family->bounds.empty()) {
+    family->bounds = std::move(bounds);
+  }
+  Series* series = GetSeries(family, std::move(labels));
+  if (!series->histogram) {
+    series->histogram.reset(new Histogram(family->bounds));
+  }
+  return series->histogram.get();
+}
+
+std::string Registry::WriteText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& family : families_) {
+    out += "# HELP ";
+    out += family->name;
+    out += ' ';
+    AppendHelpEscaped(family->help, &out);
+    out += "\n# TYPE ";
+    out += family->name;
+    out += ' ';
+    out += family->type == Type::kCounter
+               ? "counter"
+               : family->type == Type::kGauge ? "gauge" : "histogram";
+    out += '\n';
+    for (const auto& series : family->series) {
+      if (family->type == Type::kCounter) {
+        out += family->name;
+        AppendLabels(series.labels, nullptr, nullptr, &out);
+        out += ' ';
+        out += std::to_string(series.counter->Value());
+        out += '\n';
+      } else if (family->type == Type::kGauge) {
+        out += family->name;
+        AppendLabels(series.labels, nullptr, nullptr, &out);
+        out += ' ';
+        out += std::to_string(series.gauge->Value());
+        out += '\n';
+      } else {
+        const Histogram& h = *series.histogram;
+        int64_t cumulative = 0;
+        for (size_t i = 0; i <= h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          std::string le;
+          if (i < h.bounds().size()) {
+            AppendDouble(h.bounds()[i], &le);
+          } else {
+            le = "+Inf";
+          }
+          out += family->name;
+          out += "_bucket";
+          AppendLabels(series.labels, "le", &le, &out);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += family->name;
+        out += "_sum";
+        AppendLabels(series.labels, nullptr, nullptr, &out);
+        out += ' ';
+        AppendDouble(h.Sum(), &out);
+        out += '\n';
+        out += family->name;
+        out += "_count";
+        AppendLabels(series.labels, nullptr, nullptr, &out);
+        out += ' ';
+        out += std::to_string(h.Count());
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fastod

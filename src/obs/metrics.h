@@ -1,0 +1,155 @@
+// Lock-light metrics registry with Prometheus text exposition.
+//
+// The observability layer's contract with the hot paths is simple:
+// updating an existing metric is one relaxed atomic RMW (Counter::Inc,
+// Gauge::Set/Add, Histogram::Observe), with no locks, allocations, or
+// string work. The registry mutex is taken only when a metric is first
+// created (call sites cache the returned pointer) and when the whole
+// registry is rendered for a scrape.
+//
+//   auto* sessions = obs::Registry::Global().GetCounter(
+//       "fastod_sessions_total", "Discovery sessions finished",
+//       {{"algorithm", "fastod"}, {"state", "done"}});
+//   sessions->Inc();
+//
+// Metric handles are owned by their Registry and stay valid for its
+// lifetime (for Registry::Global(), the process lifetime); the same
+// (name, labels) pair always returns the same handle, so re-resolving is
+// cheap but still best hoisted out of loops.
+//
+// `FASTOD_METRICS=off` (or "0", "false") in the environment flips the
+// process-wide Enabled() switch that instrumentation sites consult
+// before doing per-event recording work; bench_api_overhead uses
+// SetEnabled() to pin the overhead of leaving it on.
+#ifndef FASTOD_OBS_METRICS_H_
+#define FASTOD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fastod {
+namespace obs {
+
+/// False when FASTOD_METRICS=off|0|false was set in the environment (read
+/// once, at first use) or SetEnabled(false) was called. Instrumentation
+/// sites with per-event cost check this; metric objects themselves always
+/// accept updates.
+bool Enabled();
+/// Overrides the environment switch (benchmarks, tests).
+void SetEnabled(bool enabled);
+
+/// Label set attached to one time series, e.g. {{"algorithm","fastod"}}.
+/// Order-insensitive: the registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at creation and
+/// immutable; Observe() is two relaxed RMWs plus a CAS loop for the sum.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Non-cumulative count of observations in bucket `i`
+  /// (i == bounds().size() is the overflow/+Inf bucket).
+  int64_t BucketCount(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // strictly increasing, finite
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bucket sets.
+std::vector<double> LatencyBucketsSeconds();  // 100us .. 60s, roughly 3x
+std::vector<double> SizeBucketsBytes();       // 1KiB .. 1GiB, powers of 8
+
+/// Named metric families with label support. Thread-safe. Instantiable
+/// for tests; production code uses the process-wide Global() instance.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  /// Finds or creates the series. `name` must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* and label names [a-zA-Z_][a-zA-Z0-9_]*;
+  /// violations and type conflicts on an existing name are programming
+  /// errors (FASTOD_CHECK). `help` is taken from the first registration
+  /// of a family.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  /// `bounds` must be strictly increasing and finite; taken from the
+  /// first registration of the family (later calls may pass {}).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// Renders the whole registry in Prometheus text exposition format
+  /// (families in registration order; HELP/TYPE once per family;
+  /// histogram series expand to _bucket/_sum/_count with cumulative
+  /// le-buckets ending at +Inf).
+  std::string WriteText() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<double> bounds;  // histograms only
+    std::vector<Series> series;
+  };
+
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    Type type);
+  Series* GetSeries(Family* family, Labels labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;  // registration order
+};
+
+}  // namespace obs
+}  // namespace fastod
+
+#endif  // FASTOD_OBS_METRICS_H_

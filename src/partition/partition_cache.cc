@@ -6,10 +6,12 @@ namespace fastod {
 
 void PartitionCache::Put(int level, AttributeSet set,
                          StrippedPartition partition) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
   partitions_[set] = Entry{level, std::move(partition)};
 }
 
 const StrippedPartition& PartitionCache::Get(AttributeSet set) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
   auto it = partitions_.find(set);
   FASTOD_CHECK(it != partitions_.end());
   return it->second.partition;

@@ -9,6 +9,7 @@
 #ifndef FASTOD_PARTITION_PARTITION_CACHE_H_
 #define FASTOD_PARTITION_PARTITION_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -20,6 +21,8 @@ namespace fastod {
 class PartitionCache {
  public:
   PartitionCache() = default;
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
 
   /// Registers Π*_X at lattice level `level` (= |X|).
   void Put(int level, AttributeSet set, StrippedPartition partition);
@@ -43,12 +46,21 @@ class PartitionCache {
   /// Total tuples held across cached partitions (memory telemetry).
   int64_t TotalElements() const;
 
+  /// Lifetime lookup/insert traffic (search telemetry: a Get is a
+  /// partition reuse, a Put is a partition the run had to build or copy).
+  /// Counted with relaxed atomics so concurrent validation scans can
+  /// read partitions without synchronizing on the counters.
+  int64_t gets() const { return gets_.load(std::memory_order_relaxed); }
+  int64_t puts() const { return puts_.load(std::memory_order_relaxed); }
+
  private:
   struct Entry {
     int level;
     StrippedPartition partition;
   };
   std::unordered_map<AttributeSet, Entry, AttributeSetHash> partitions_;
+  mutable std::atomic<int64_t> gets_{0};
+  std::atomic<int64_t> puts_{0};
 };
 
 }  // namespace fastod

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/schema.h"
+#include "obs/metrics.h"
 #include "od/attribute_set.h"
 
 namespace fastod {
@@ -271,6 +273,48 @@ void AppendDatasetInfo(JsonWriter* w, const DatasetInfo& info) {
       .EndObject();
 }
 
+/// Collapses a request path onto its route template so the per-route
+/// metric labels stay bounded no matter what ids clients send.
+std::string RouteFamily(const std::string& path) {
+  if (path == "/metrics" || path == "/v1/algorithms" ||
+      path == "/v1/sessions" || path == "/v1/datasets") {
+    return path;
+  }
+  if (path.rfind("/v1/datasets/", 0) == 0) return "/v1/datasets/{id}";
+  if (path.rfind("/v1/sessions/", 0) == 0) {
+    for (const char* suffix : {"/result", "/stream", "/trace"}) {
+      if (path.size() >= std::strlen(suffix) &&
+          path.compare(path.size() - std::strlen(suffix),
+                       std::string::npos, suffix) == 0) {
+        return std::string("/v1/sessions/{id}") + suffix;
+      }
+    }
+    return "/v1/sessions/{id}";
+  }
+  return "other";
+}
+
+obs::Counter* StreamOdsCounter() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "fastod_http_stream_ods_total",
+      "OD events delivered over /stream responses");
+  return counter;
+}
+
+obs::Counter* StreamBytesCounter() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "fastod_http_stream_bytes_total",
+      "Bytes written to /stream response bodies");
+  return counter;
+}
+
+obs::Counter* RejectionCounter(const char* reason) {
+  return obs::Registry::Global().GetCounter(
+      "fastod_service_admission_rejections_total",
+      "Session submissions refused by admission control",
+      {{"reason", reason}});
+}
+
 /// "/v1/sessions/<id>..." → id + remaining suffix, or nullopt.
 std::optional<std::pair<SessionId, std::string>> ParseSessionPath(
     const std::string& path) {
@@ -418,6 +462,26 @@ std::string DiscoveryServer::SessionInfoJson(
 
 void DiscoveryServer::Handle(const HttpRequest& request,
                              HttpResponseWriter& writer) {
+  if (!obs::Enabled()) return Route(request, writer);
+  WallTimer timer;
+  Route(request, writer);
+  // For /stream this measures the whole stream lifetime, which is the
+  // honest number: the request held an HTTP worker that long.
+  const std::string route = RouteFamily(request.path);
+  obs::Registry& registry = obs::Registry::Global();
+  registry
+      .GetCounter("fastod_http_requests_total", "HTTP requests handled",
+                  {{"method", request.method}, {"route", route}})
+      ->Inc();
+  registry
+      .GetHistogram("fastod_http_request_seconds",
+                    "Wall-clock from dispatch to response completion",
+                    obs::LatencyBucketsSeconds(), {{"route", route}})
+      ->Observe(timer.ElapsedSeconds());
+}
+
+void DiscoveryServer::Route(const HttpRequest& request,
+                            HttpResponseWriter& writer) {
   // Routes match on path first, method second: a wrong method on an
   // existing route is 405 (so clients don't mistake a live session for
   // a missing one), only an unknown path is 404.
@@ -432,6 +496,11 @@ void DiscoveryServer::Handle(const HttpRequest& request,
         .EndObject();
     writer.Send(405, "application/json", w.str() + "\n");
   };
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    HandleMetrics(writer);
+    return;
+  }
   if (request.path == "/v1/algorithms") {
     if (request.method != "GET") return method_not_allowed("GET");
     HandleAlgorithms(writer);
@@ -473,8 +542,9 @@ void DiscoveryServer::Handle(const HttpRequest& request,
       }
       return method_not_allowed("GET or DELETE");
     }
-    if (suffix == "/result" || suffix == "/stream") {
+    if (suffix == "/result" || suffix == "/stream" || suffix == "/trace") {
       if (request.method != "GET") return method_not_allowed("GET");
+      if (suffix == "/trace") return HandleTrace(id, writer);
       return suffix == "/result" ? HandleResult(id, writer)
                                  : HandleStream(id, writer);
     }
@@ -522,9 +592,51 @@ void DiscoveryServer::HandleAlgorithms(HttpResponseWriter& writer) {
   SendJson(writer, 200, w.str() + "\n");
 }
 
+void DiscoveryServer::HandleMetrics(HttpResponseWriter& writer) {
+  obs::Registry& registry = obs::Registry::Global();
+  if (obs::Enabled()) {
+    // Dataset-store state is a snapshot, not a stream of events, so its
+    // gauges refresh at scrape time instead of on every store mutation.
+    int64_t pinned = 0;
+    int64_t hits = 0;
+    for (const DatasetInfo& info : store_.List()) {
+      pinned += info.pinned ? 1 : 0;
+      hits += info.hits;
+    }
+    registry
+        .GetGauge("fastod_dataset_store_resident_bytes",
+                  "Approximate bytes held by resident datasets")
+        ->Set(store_.TotalBytes());
+    registry
+        .GetGauge("fastod_dataset_store_budget_bytes",
+                  "Configured dataset residency budget (0 = unlimited)")
+        ->Set(store_.budget_bytes());
+    registry
+        .GetGauge("fastod_dataset_store_entries", "Resident datasets")
+        ->Set(store_.size());
+    registry
+        .GetGauge("fastod_dataset_store_pinned",
+                  "Resident datasets pinned by live sessions")
+        ->Set(pinned);
+    // Hits drop when a dataset is evicted or erased (its row leaves the
+    // snapshot), so these are gauges, not counters.
+    registry
+        .GetGauge("fastod_dataset_store_hits",
+                  "Get() calls served by currently resident datasets")
+        ->Set(hits);
+    registry
+        .GetGauge("fastod_dataset_store_evictions",
+                  "Datasets evicted by the residency budget since start")
+        ->Set(store_.evictions());
+  }
+  writer.Send(200, "text/plain; version=0.0.4; charset=utf-8",
+              registry.WriteText());
+}
+
 void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
                                           HttpResponseWriter& writer) {
   if (draining_.load()) {
+    if (obs::Enabled()) RejectionCounter("draining")->Inc();
     return SendRetryLater(
         writer,
         Status::Unavailable(
@@ -606,6 +718,7 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
       std::lock_guard<std::mutex> lock(mutex_);
       algorithm_names_.erase(*id);
     }
+    if (obs::Enabled()) RejectionCounter("client_quota")->Inc();
     return SendRetryLater(writer, quota, 429,
                           options_.retry_after_seconds);
   }
@@ -741,8 +854,12 @@ void DiscoveryServer::HandleCreateDataset(const HttpRequest& request,
 void DiscoveryServer::HandleListDatasets(HttpResponseWriter& writer) {
   JsonWriter w;
   w.BeginObject().Key("datasets").BeginArray();
+  int64_t hits_total = 0;
+  int64_t pinned_count = 0;
   for (const DatasetInfo& info : store_.List()) {
     AppendDatasetInfo(&w, info);
+    hits_total += info.hits;
+    pinned_count += info.pinned ? 1 : 0;
   }
   w.EndArray()
       .Key("total_bytes")
@@ -751,6 +868,10 @@ void DiscoveryServer::HandleListDatasets(HttpResponseWriter& writer) {
       .Int(store_.budget_bytes())
       .Key("evictions")
       .Int(store_.evictions())
+      .Key("hits_total")
+      .Int(hits_total)
+      .Key("pinned_count")
+      .Int(pinned_count)
       .EndObject();
   SendJson(writer, 200, w.str() + "\n");
 }
@@ -852,7 +973,25 @@ void DiscoveryServer::HandleResult(SessionId id,
     int status = info->state == SessionState::kFailed ? 500 : 200;
     return SendJson(writer, status, w.str() + "\n");
   }
-  SendJson(writer, 200, *json);
+  std::string body = *std::move(json);
+  if (obs::Enabled()) {
+    // The trace is spliced here rather than baked into the session's
+    // cached report: timings differ per run, and the cached report must
+    // stay byte-identical across sessions over the same data.
+    Result<std::string> trace = service_.TraceJson(id);
+    size_t brace = body.rfind('}');
+    if (trace.ok() && brace != std::string::npos) {
+      body.insert(brace, ",\"trace\":" + *trace);
+    }
+  }
+  SendJson(writer, 200, body);
+}
+
+void DiscoveryServer::HandleTrace(SessionId id,
+                                  HttpResponseWriter& writer) {
+  Result<std::string> json = service_.TraceJson(id);
+  if (!json.ok()) return SendError(writer, json.status());
+  SendJson(writer, 200, *json + "\n");
 }
 
 void DiscoveryServer::HandleStream(SessionId id,
@@ -887,14 +1026,23 @@ void DiscoveryServer::HandleStream(SessionId id,
   OdEvent event;
   int64_t streamed = 0;
   const Schema* schema = nullptr;
+  obs::Counter* ods_counter =
+      obs::Enabled() ? StreamOdsCounter() : nullptr;
+  obs::Counter* bytes_counter =
+      obs::Enabled() ? StreamBytesCounter() : nullptr;
   for (;;) {
     if (channel.Pop(&event, std::chrono::milliseconds(50))) {
       // The engine emitted this after binding data, so the schema is
       // set; it is immutable for the rest of the session.
       if (schema == nullptr) schema = session->algorithm().schema();
-      if (!writer.WriteChunk(EventJsonLine(event, *schema))) {
+      std::string line = EventJsonLine(event, *schema);
+      if (!writer.WriteChunk(line)) {
         channel.Close();
         return;
+      }
+      if (ods_counter != nullptr) {
+        ods_counter->Inc();
+        bytes_counter->Inc(static_cast<int64_t>(line.size()));
       }
       ++streamed;
       continue;
@@ -906,9 +1054,14 @@ void DiscoveryServer::HandleStream(SessionId id,
       // the stream.
       while (channel.Pop(&event, std::chrono::milliseconds(0))) {
         if (schema == nullptr) schema = session->algorithm().schema();
-        if (!writer.WriteChunk(EventJsonLine(event, *schema))) {
+        std::string line = EventJsonLine(event, *schema);
+        if (!writer.WriteChunk(line)) {
           channel.Close();
           return;
+        }
+        if (ods_counter != nullptr) {
+          ods_counter->Inc();
+          bytes_counter->Inc(static_cast<int64_t>(line.size()));
         }
         ++streamed;
       }
@@ -925,7 +1078,11 @@ void DiscoveryServer::HandleStream(SessionId id,
         w.Key("error").String(final_status.ToString());
       }
       w.EndObject();
-      writer.WriteChunk(w.str() + "\n");
+      std::string end_line = w.str() + "\n";
+      writer.WriteChunk(end_line);
+      if (bytes_counter != nullptr) {
+        bytes_counter->Inc(static_cast<int64_t>(end_line.size()));
+      }
       writer.EndChunked();
       return;
     }

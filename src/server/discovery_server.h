@@ -29,7 +29,8 @@
 //           "csv_options": {...}}
 //   GET    /v1/datasets              {"datasets":[{id,source,rows,
 //                                    columns,bytes,hits,pinned}...],
-//                                    total_bytes,budget_bytes,evictions}
+//                                    total_bytes,budget_bytes,evictions,
+//                                    hits_total,pinned_count}
 //   GET    /v1/datasets/{id}         one dataset's info row
 //   DELETE /v1/datasets/{id}         drop the store's reference; running
 //                                    sessions keep the data alive, new
@@ -55,6 +56,16 @@
 //   GET    /v1/sessions/{id}/stream  chunked transfer; one JSON line per
 //                                    OD *while the session runs*, closed
 //                                    by an {"type":"end",...} line
+//   GET    /v1/sessions/{id}/trace   the session's observability trace
+//                                    (phase spans + engine search
+//                                    counters, see obs/trace.h) as JSON;
+//                                    readable in any state — a running
+//                                    session shows the spans so far
+//   GET    /metrics                  Prometheus text exposition of the
+//                                    process-wide obs::Registry, with
+//                                    dataset-store gauges refreshed at
+//                                    scrape time; empty families when
+//                                    FASTOD_METRICS=off
 //
 // Streaming rides a bounded ChannelOdSink: the engine blocks when the
 // client cannot keep up (backpressure, not unbounded buffering), and a
@@ -164,7 +175,11 @@ class DiscoveryServer {
   };
 
   void Handle(const HttpRequest& request, HttpResponseWriter& writer);
+  /// The route dispatch behind Handle(), which wraps it with the HTTP
+  /// request counter and latency histogram.
+  void Route(const HttpRequest& request, HttpResponseWriter& writer);
   void HandleAlgorithms(HttpResponseWriter& writer);
+  void HandleMetrics(HttpResponseWriter& writer);
   void HandleCreateSession(const HttpRequest& request,
                            HttpResponseWriter& writer);
   void HandleCreateDataset(const HttpRequest& request,
@@ -177,6 +192,7 @@ class DiscoveryServer {
   void HandleSessionInfo(SessionId id, HttpResponseWriter& writer);
   void HandleCancel(SessionId id, bool purge, HttpResponseWriter& writer);
   void HandleResult(SessionId id, HttpResponseWriter& writer);
+  void HandleTrace(SessionId id, HttpResponseWriter& writer);
   void HandleStream(SessionId id, HttpResponseWriter& writer);
 
   std::shared_ptr<StreamState> FindStream(SessionId id) const;

@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fastod {
 
 namespace {
@@ -124,19 +126,46 @@ int64_t DiscoveryService::num_active() const {
   return active_;
 }
 
+namespace {
+
+// Resolved once; updated on every admission transition (not per node,
+// so the lookup-by-name cost would also be fine).
+obs::Gauge* ActiveSessionsGauge() {
+  static obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "fastod_service_active_sessions",
+      "Sessions admitted and not yet terminal (queued + running)");
+  return gauge;
+}
+
+obs::Counter* AdmissionRejectionsCounter() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "fastod_service_admission_rejections_total",
+      "Session submissions refused by admission control",
+      {{"reason", "capacity"}});
+  return counter;
+}
+
+}  // namespace
+
 Status DiscoveryService::Admit() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (max_active_ > 0 && active_ >= max_active_) {
+    AdmissionRejectionsCounter()->Inc();
     return Status::Unavailable(
         "service at capacity (" + std::to_string(active_) + "/" +
         std::to_string(max_active_) + " active sessions); retry later");
   }
   ++active_;
+  ActiveSessionsGauge()->Set(active_);
   return Status::Ok();
 }
 
 void DiscoveryService::Unadmit() {
-  { std::lock_guard<std::mutex> lock(mutex_); --active_; }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    ActiveSessionsGauge()->Set(active_);
+  }
   // A submitter blocked on capacity has no cv of its own; waiters on
   // terminal_cv_ may also be polling num_active() (drain), so wake them.
   terminal_cv_.notify_all();
@@ -271,6 +300,12 @@ Result<std::string> DiscoveryService::ResultJson(SessionId id) const {
         "terminal session (poll or wait first)");
   }
   return session->result_json();
+}
+
+Result<std::string> DiscoveryService::TraceJson(SessionId id) const {
+  auto session = FindMutable(id);
+  if (session == nullptr) return StaleHandle(id);
+  return session->trace_json();
 }
 
 Result<std::string> DiscoveryService::ResultText(SessionId id) const {

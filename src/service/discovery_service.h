@@ -134,6 +134,11 @@ class DiscoveryService {
   Result<std::string> ResultJson(SessionId id) const;
   Result<std::string> ResultText(SessionId id) const;
 
+  /// The session's trace (spans + engine counters) as JSON. Unlike the
+  /// results this is readable in any state — a running session shows the
+  /// spans completed so far; engine counters appear once it finishes.
+  Result<std::string> TraceJson(SessionId id) const;
+
   /// Read access for result inspection beyond the rendered strings.
   /// The pointer stays valid until Destroy(); treat it as const while the
   /// session is non-terminal.

@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fastod {
 
 const char* SessionStateName(SessionState state) {
@@ -101,10 +103,13 @@ Status DiscoverySession::MarkQueued() {
 }
 
 void DiscoverySession::FailQueued(Status status) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != SessionState::kQueued) return;
-  state_ = SessionState::kFailed;
-  status_ = std::move(status);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != SessionState::kQueued) return;
+    state_ = SessionState::kFailed;
+    status_ = std::move(status);
+  }
+  RecordObservability(SessionState::kFailed);
 }
 
 void DiscoverySession::Run() {
@@ -129,21 +134,40 @@ void DiscoverySession::Run() {
   // Exceptions from the load or the engine (bad_alloc, a third-party
   // backend throwing) become a kFailed session, never an unwinding worker
   // thread: the library's no-throw contract holds at this boundary.
+  const bool observe = obs::Enabled();
   Status executed;
   try {
     if (load_csv) {
+      double start = trace_.Now();
       Result<Table> table = ReadCsvFile(path, csv_options);
+      if (observe) {
+        trace_.RecordSpan("csv.parse", start, trace_.Now() - start);
+      }
       if (!table.ok()) {
         Finish(SessionState::kFailed, table.status());
         return;
       }
-      if (Status s = algorithm_->LoadData(std::move(table).value());
-          !s.ok()) {
+      start = trace_.Now();
+      Status s = algorithm_->LoadData(std::move(table).value());
+      if (observe) trace_.RecordSpan("encode", start, trace_.Now() - start);
+      if (!s.ok()) {
         Finish(SessionState::kFailed, s);
         return;
       }
     }
+    double start = trace_.Now();
     executed = algorithm_->Execute();
+    if (observe) {
+      trace_.RecordSpan("execute", start, trace_.Now() - start);
+      // The level-wise engines time each lattice level; replay those
+      // clocks as back-to-back child spans of the execute phase.
+      double cursor = start;
+      for (const obs::LevelStats& level : algorithm_->stats().levels) {
+        trace_.RecordSpan("level[" + std::to_string(level.level) + "]",
+                          cursor, level.seconds);
+        cursor += level.seconds;
+      }
+    }
   } catch (const std::exception& e) {
     Finish(SessionState::kFailed,
            Status::Internal(std::string("engine threw: ") + e.what()));
@@ -171,11 +195,69 @@ void DiscoverySession::Finish(SessionState terminal, Status status) {
     json = algorithm_->ResultJson();
     text = algorithm_->ResultText();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  state_ = terminal;
-  status_ = std::move(status);
-  result_json_ = std::move(json);
-  result_text_ = std::move(text);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = terminal;
+    status_ = std::move(status);
+    result_json_ = std::move(json);
+    result_text_ = std::move(text);
+  }
+  RecordObservability(terminal);
+}
+
+void DiscoverySession::RecordObservability(SessionState terminal) {
+  if (!obs::Enabled()) return;
+  const obs::EngineStats& stats = algorithm_->stats();
+  trace_.SetEngineStats(stats);
+
+  obs::Registry& registry = obs::Registry::Global();
+  const std::string& algorithm = algorithm_->name();
+  registry
+      .GetCounter("fastod_sessions_total",
+                  "Discovery sessions reaching a terminal state",
+                  {{"algorithm", algorithm},
+                   {"state", SessionStateName(terminal)}})
+      ->Inc();
+  if (terminal == SessionState::kFailed) return;  // nothing ran to report
+
+  registry
+      .GetHistogram("fastod_session_execute_seconds",
+                    "Engine wall-clock per completed session",
+                    obs::LatencyBucketsSeconds(), {{"algorithm", algorithm}})
+      ->Observe(algorithm_->execute_seconds());
+  const obs::Labels by_algorithm = {{"algorithm", algorithm}};
+  registry
+      .GetCounter("fastod_lattice_nodes_total",
+                  "Lattice nodes visited by the search", by_algorithm)
+      ->Inc(stats.nodes_visited);
+  registry
+      .GetCounter("fastod_lattice_nodes_pruned_total",
+                  "Lattice nodes removed by pruning rules", by_algorithm)
+      ->Inc(stats.nodes_pruned);
+  registry
+      .GetCounter("fastod_validation_checks_total",
+                  "Partition validation scans performed",
+                  {{"algorithm", algorithm}, {"kind", "constancy"}})
+      ->Inc(stats.constancy_checks);
+  registry
+      .GetCounter("fastod_validation_checks_total",
+                  "Partition validation scans performed",
+                  {{"algorithm", algorithm}, {"kind", "swap"}})
+      ->Inc(stats.swap_checks);
+  registry
+      .GetCounter("fastod_ods_emitted_total",
+                  "Dependencies reported by finished sessions",
+                  by_algorithm)
+      ->Inc(stats.ods_emitted);
+  registry
+      .GetCounter("fastod_partition_cache_gets_total",
+                  "PartitionCache lookups served", by_algorithm)
+      ->Inc(stats.partition_cache_gets);
+  registry
+      .GetCounter("fastod_partition_cache_puts_total",
+                  "Partitions built or copied into the PartitionCache",
+                  by_algorithm)
+      ->Inc(stats.partition_cache_puts);
 }
 
 SessionState DiscoverySession::state() const {

@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "data/csv.h"
 #include "data/dataset_store.h"
+#include "obs/trace.h"
 
 namespace fastod {
 
@@ -110,11 +111,24 @@ class DiscoverySession {
 
   const Algorithm& algorithm() const { return *algorithm_; }
 
+  // ---- Observability ------------------------------------------------
+  /// The session's trace (obs/trace.h): phase spans recorded by Run()
+  /// (csv.parse, encode, execute, level[k]) plus the engine's search
+  /// counters, captured when the run finishes. Safe to render from any
+  /// thread at any time; spans appear as the run passes through them.
+  /// Empty when metrics are disabled (FASTOD_METRICS=off).
+  const obs::TraceRecorder& trace() const { return trace_; }
+  std::string trace_json() const { return trace_.ToJson(); }
+
  private:
   void Finish(SessionState terminal, Status status);
+  /// Publishes the terminal transition to the global metrics registry
+  /// and copies the engine's counters into the trace.
+  void RecordObservability(SessionState terminal);
 
   std::unique_ptr<Algorithm> algorithm_;
   ExecutionControl control_;
+  obs::TraceRecorder trace_;  // internally synchronized
 
   mutable std::mutex mutex_;
   SessionState state_ = SessionState::kCreated;  // guarded by mutex_

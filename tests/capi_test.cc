@@ -12,6 +12,7 @@
 #include "capi/fastod_c.h"
 #include "data/csv.h"
 #include "gen/generators.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace fastod {
@@ -309,6 +310,33 @@ TEST(CApiTest, CancelBeforeRunYieldsCancelledState) {
   EXPECT_EQ(fastod_result_json(session), nullptr);
   fastod_destroy(session);
   std::remove(path.c_str());
+}
+
+TEST(CApiTest, TraceJsonSurfacesSpansAndEngineCounters) {
+  const bool saved = obs::Enabled();
+  obs::SetEnabled(true);
+  std::string path = WriteEmployeeCsv("capi_trace.csv");
+  fastod_session_t* session = fastod_create("fastod");
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(fastod_load_csv(session, path.c_str()), FASTOD_OK);
+  ASSERT_EQ(fastod_execute(session), FASTOD_OK);
+  const char* trace = fastod_session_trace_json(session);
+  ASSERT_NE(trace, nullptr);
+  std::string json(trace);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"execute\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nodes_visited\""), std::string::npos) << json;
+  // The trace buffer is independent of the result buffer: fetching one
+  // after the other leaves both pointers valid.
+  const char* result = fastod_result_json(session);
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(std::string(fastod_session_trace_json(session))
+                .find("\"spans\""),
+            std::string::npos);
+  fastod_destroy(session);
+  EXPECT_EQ(fastod_session_trace_json(nullptr), nullptr);
+  std::remove(path.c_str());
+  obs::SetEnabled(saved);
 }
 
 }  // namespace

@@ -392,5 +392,31 @@ TEST_F(CliTest, ServeRejectsBadFlags) {
   EXPECT_EQ(unknown.exit_code, 1);
 }
 
+TEST_F(CliTest, DiscoverStatsAppendsSearchCounters) {
+  CliResult r = RunCli({"discover", path_, "--stats"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  // The discovery report stays first; the stats block follows it.
+  EXPECT_NE(r.output.find("FASTOD:"), std::string::npos);
+  EXPECT_NE(r.output.find("search stats:"), std::string::npos);
+  EXPECT_NE(r.output.find("nodes visited"), std::string::npos);
+  EXPECT_NE(r.output.find("level 1:"), std::string::npos);
+
+  // Without the flag, no stats block.
+  CliResult plain = RunCli({"discover", path_});
+  EXPECT_EQ(plain.output.find("search stats:"), std::string::npos);
+}
+
+TEST_F(CliTest, DiscoverStatsJsonEmbedsTrace) {
+  CliResult r = RunCli({"discover", path_, "--stats", "--output=json"});
+  EXPECT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("\"trace\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"csv.parse\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"nodes_visited\""), std::string::npos);
+
+  CliResult bad = RunCli({"discover", path_, "--stats=maybe"});
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.error.find("--stats"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fastod

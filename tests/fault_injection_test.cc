@@ -28,6 +28,7 @@
 #include "data/csv.h"
 #include "data/dataset_store.h"
 #include "gen/generators.h"
+#include "obs/metrics.h"
 #include "od/attribute_set.h"
 #include "server/discovery_server.h"
 #include "service/discovery_service.h"
@@ -115,6 +116,25 @@ TEST(FaultScheduleTest, HitsCountEveryPassageWhileScheduled) {
   EXPECT_EQ(fault::Hits("csv.read"), 4);
   fault::Clear();
   EXPECT_EQ(fault::Hits("csv.read"), 0);  // counters reset with schedule
+}
+
+TEST(FaultScheduleTest, TrippedFaultIncrementsObservedCounter) {
+  ScheduleGuard guard;
+  const bool saved = obs::Enabled();
+  obs::SetEnabled(true);
+  // The counter counts *trips*, not passages: one fail on the second
+  // hit means exactly one increment across three reads.
+  obs::Counter* observed = obs::Registry::Global().GetCounter(
+      "fastod_fault_observed_total",
+      "Scheduled faults that tripped at their fault point",
+      {{"point", "csv.read"}});
+  const int64_t before = observed->Value();
+  ASSERT_TRUE(fault::SetSchedule("csv.read:fail:2"));
+  EXPECT_TRUE(ReadCsvString(EmployeeCsv()).ok());
+  EXPECT_FALSE(ReadCsvString(EmployeeCsv()).ok());
+  EXPECT_TRUE(ReadCsvString(EmployeeCsv()).ok());
+  EXPECT_EQ(observed->Value(), before + 1);
+  obs::SetEnabled(saved);
 }
 
 // ----------------------------------------------------- point: csv.read

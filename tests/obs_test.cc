@@ -1,0 +1,200 @@
+// Unit tests for the metrics registry (src/obs/metrics.{h,cc}): handle
+// identity, label canonicalization, Prometheus text exposition (HELP
+// escaping, label value escaping, cumulative histogram invariants), and
+// exact counts under concurrent increments (the TSan bar for the
+// lock-light hot path).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fastod {
+namespace obs {
+namespace {
+
+/// Restores the process-wide Enabled() switch on scope exit so tests
+/// that toggle it cannot leak state into later suites.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(Enabled()) {}
+  ~EnabledGuard() { SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(ObsMetrics, CounterAndGaugeBasics) {
+  Registry registry;
+  Counter* c = registry.GetCounter("t_counter", "help");
+  EXPECT_EQ(c->Value(), 0);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->Value(), 42);
+
+  Gauge* g = registry.GetGauge("t_gauge", "help");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+}
+
+TEST(ObsMetrics, SameNameAndLabelsReturnsSameHandle) {
+  Registry registry;
+  Counter* a = registry.GetCounter("t_total", "h", {{"k", "v"}});
+  Counter* b = registry.GetCounter("t_total", "h", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* other = registry.GetCounter("t_total", "h", {{"k", "w"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(ObsMetrics, LabelOrderIsCanonicalized) {
+  Registry registry;
+  Counter* ab = registry.GetCounter("t_total", "h",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("t_total", "h",
+                                    {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(ObsMetrics, WriteTextEmitsHelpTypeAndSeries) {
+  Registry registry;
+  registry.GetCounter("requests_total", "Requests served",
+                      {{"route", "/x"}})->Inc(3);
+  registry.GetGauge("depth", "Queue depth")->Set(5);
+  std::string text = registry.WriteText();
+  EXPECT_NE(text.find("# HELP requests_total Requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{route=\"/x\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 5\n"), std::string::npos);
+}
+
+TEST(ObsMetrics, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("esc_total", "h",
+                      {{"v", "a\\b\"c\nd"}})->Inc();
+  std::string text = registry.WriteText();
+  EXPECT_NE(text.find("esc_total{v=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ObsMetrics, HelpTextIsEscaped) {
+  Registry registry;
+  registry.GetCounter("h_total", "line1\nline2 \\ tail")->Inc();
+  std::string text = registry.WriteText();
+  EXPECT_NE(text.find("# HELP h_total line1\\nline2 \\\\ tail\n"),
+            std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramBucketsAreLeInclusive) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("lat", "h", {0.1, 1.0, 10.0});
+  h->Observe(0.1);   // exactly on a bound: le="0.1" bucket
+  h->Observe(0.05);  // below the first bound
+  h->Observe(5.0);   // (1, 10]
+  h->Observe(100.0); // overflow (+Inf only)
+  EXPECT_EQ(h->BucketCount(0), 2);
+  EXPECT_EQ(h->BucketCount(1), 0);
+  EXPECT_EQ(h->BucketCount(2), 1);
+  EXPECT_EQ(h->BucketCount(3), 1);  // the +Inf bucket
+  EXPECT_EQ(h->Count(), 4);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.1 + 0.05 + 5.0 + 100.0);
+}
+
+TEST(ObsMetrics, HistogramTextIsCumulativeAndEndsAtInf) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("lat_seconds", "h", {0.5, 2.0},
+                                       {{"op", "x"}});
+  // Binary-exact observations so the %.17g sum renders compactly.
+  h->Observe(0.25);
+  h->Observe(1.0);
+  h->Observe(9.0);
+  std::string text = registry.WriteText();
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative per-le counts: 1 at 0.5, 2 at 2.0, 3 at +Inf == _count.
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"x\",le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"x\",le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"x\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count{op=\"x\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum{op=\"x\"} 10.25\n"),
+            std::string::npos);
+}
+
+TEST(ObsMetrics, DefaultBucketSetsAreStrictlyIncreasing) {
+  for (const std::vector<double>& bounds :
+       {LatencyBucketsSeconds(), SizeBucketsBytes()}) {
+    ASSERT_GE(bounds.size(), 2u);
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(ObsMetrics, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("racy_total", "h");
+  Histogram* histogram =
+      registry.GetHistogram("racy_seconds", "h", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        histogram->Observe(t % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->Count(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->BucketCount(0) + histogram->BucketCount(1),
+            kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, ConcurrentRegistrationReturnsOneSeries) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      handles[t] = registry.GetCounter("shared_total", "h",
+                                       {{"k", "v"}});
+      handles[t]->Inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(handles[0]->Value(), kThreads);
+}
+
+TEST(ObsMetrics, SetEnabledOverridesEnvironment) {
+  EnabledGuard guard;
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+TEST(ObsMetrics, GlobalRegistryIsOneInstance) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fastod

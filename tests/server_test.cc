@@ -35,6 +35,7 @@
 #include "common/json.h"
 #include "data/csv.h"
 #include "gen/generators.h"
+#include "obs/metrics.h"
 #include "server/discovery_server.h"
 #include "test_util.h"
 
@@ -375,8 +376,9 @@ TEST(DiscoveryServerTest, InlineCsvSessionRoundTrip) {
   ASSERT_TRUE((*algo)->LoadData(EmployeeTaxTable()).ok());
   ASSERT_TRUE((*algo)->Execute().ok());
   std::string expected = (*algo)->ResultJson();
-  ASSERT_NE(result.body.find("\"constancy_ods\""), std::string::npos);
-  EXPECT_EQ(result.body.substr(result.body.find("\"constancy_ods\"")),
+  std::string body = StripTrace(result.body);
+  ASSERT_NE(body.find("\"constancy_ods\""), std::string::npos);
+  EXPECT_EQ(body.substr(body.find("\"constancy_ods\"")),
             expected.substr(expected.find("\"constancy_ods\"")));
 }
 
@@ -883,7 +885,10 @@ std::string RunSessionToResult(int port, const std::string& algorithm,
   ClientResponse result =
       Fetch(port, "GET", "/v1/sessions/" + std::to_string(id) + "/result");
   EXPECT_EQ(result.status, 200);
-  return result.body;
+  // These helpers feed bit-for-bit discovery-output comparisons across
+  // source modes; the embedded trace legitimately differs (see
+  // StripTrace) and has its own endpoint tests.
+  return StripTrace(result.body);
 }
 
 // The acceptance bar: upload one CSV, run two sessions (one streamed)
@@ -1043,6 +1048,159 @@ TEST(DiscoveryServerTest, DatasetValidationAndErrorCodes) {
       "\"csv_options\": {\"delimiter\": \";\"}}");
   EXPECT_EQ(opts.status, 400);
   EXPECT_NE(opts.body.find("csv_options"), std::string::npos);
+}
+
+// --------------------------------------------------- observability
+
+/// Restores the process-wide metrics switch on scope exit: the whole
+/// binary shares one obs state, so tests must not leak theirs.
+class MetricsGuard {
+ public:
+  MetricsGuard() : saved_(obs::Enabled()) {}
+  ~MetricsGuard() { obs::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+int64_t RunDoneSession(ServerFixture& fixture) {
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm").String("fastod")
+      .Key("csv").String(EmployeeCsv())
+      .EndObject();
+  ClientResponse created =
+      Fetch(fixture.port(), "POST", "/v1/sessions", post.str());
+  EXPECT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(fixture.port(), id);
+  EXPECT_EQ(StateOf(fixture.port(), id), "done");
+  return id;
+}
+
+TEST(DiscoveryServerTest, MetricsEndpointExposesPrometheusFamilies) {
+  MetricsGuard guard;
+  obs::SetEnabled(true);
+  ServerFixture fixture;
+  RunDoneSession(fixture);
+
+  ClientResponse scrape = Fetch(fixture.port(), "GET", "/metrics");
+  ASSERT_EQ(scrape.status, 200);
+  EXPECT_EQ(scrape.headers["content-type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& body = scrape.body;
+  EXPECT_NE(body.find("# TYPE fastod_sessions_total counter"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("fastod_sessions_total{algorithm=\"fastod\","
+                      "state=\"done\"}"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("# TYPE fastod_session_execute_seconds histogram"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("# TYPE fastod_lattice_nodes_total counter"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("# TYPE fastod_dataset_store_resident_bytes gauge"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("fastod_service_active_sessions"),
+            std::string::npos) << body;
+
+  // The first scrape itself was counted: a second scrape reports the
+  // /metrics route in the HTTP request family.
+  ClientResponse again = Fetch(fixture.port(), "GET", "/metrics");
+  EXPECT_NE(again.body.find("fastod_http_requests_total{method=\"GET\","
+                            "route=\"/metrics\"}"),
+            std::string::npos) << again.body;
+  // Polling hit the session-info route; the id collapsed to a template
+  // so label cardinality stays bounded.
+  EXPECT_NE(again.body.find("route=\"/v1/sessions/{id}\""),
+            std::string::npos) << again.body;
+  EXPECT_EQ(again.body.find("route=\"/v1/sessions/" ),
+            again.body.find("route=\"/v1/sessions/{id}"))
+      << again.body;
+}
+
+TEST(DiscoveryServerTest, TraceEndpointReturnsSpansAndEngine) {
+  MetricsGuard guard;
+  obs::SetEnabled(true);
+  ServerFixture fixture;
+  int64_t id = RunDoneSession(fixture);
+
+  ClientResponse trace = Fetch(
+      fixture.port(), "GET",
+      "/v1/sessions/" + std::to_string(id) + "/trace");
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  auto parsed = ParseJson(trace.body);
+  ASSERT_TRUE(parsed.ok()) << trace.body;
+  const JsonValue* engine = parsed->Find("engine");
+  ASSERT_TRUE(engine != nullptr && engine->is_object()) << trace.body;
+  EXPECT_GT(engine->Find("nodes_visited")->int_value(), 0);
+  EXPECT_NE(trace.body.find("\"execute\""), std::string::npos);
+
+  ClientResponse missing =
+      Fetch(fixture.port(), "GET", "/v1/sessions/999999/trace");
+  EXPECT_EQ(missing.status, 404);
+
+  // The result report of the same session embeds the trace.
+  ClientResponse result = Fetch(
+      fixture.port(), "GET",
+      "/v1/sessions/" + std::to_string(id) + "/result");
+  ASSERT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"trace\":"), std::string::npos)
+      << result.body;
+}
+
+TEST(DiscoveryServerTest, DatasetListingCarriesStoreTelemetry) {
+  MetricsGuard guard;
+  obs::SetEnabled(true);
+  ServerFixture fixture;
+  ClientResponse upload = Fetch(
+      fixture.port(), "POST", "/v1/datasets",
+      "{\"id\": \"emp\", \"csv\": \"" + JsonEscape(EmployeeCsv()) +
+          "\"}");
+  ASSERT_EQ(upload.status, 201) << upload.body;
+  ClientResponse created = Fetch(
+      fixture.port(), "POST", "/v1/sessions",
+      "{\"algorithm\": \"fastod\", \"dataset_id\": \"emp\"}");
+  ASSERT_EQ(created.status, 201) << created.body;
+  WaitTerminal(fixture.port(), SessionIdOf(created.body));
+
+  ClientResponse list = Fetch(fixture.port(), "GET", "/v1/datasets");
+  ASSERT_EQ(list.status, 200);
+  auto parsed = ParseJson(list.body);
+  ASSERT_TRUE(parsed.ok()) << list.body;
+  EXPECT_GE(parsed->Find("hits_total")->int_value(), 1);
+  EXPECT_NE(parsed->Find("pinned_count"), nullptr);
+  EXPECT_NE(parsed->Find("evictions"), nullptr);
+
+  // /metrics mirrors the store state through the scrape-time gauges.
+  ClientResponse scrape = Fetch(fixture.port(), "GET", "/metrics");
+  EXPECT_NE(scrape.body.find("fastod_dataset_store_hits"),
+            std::string::npos) << scrape.body;
+  EXPECT_NE(scrape.body.find("fastod_dataset_store_entries 1"),
+            std::string::npos) << scrape.body;
+}
+
+TEST(DiscoveryServerTest, MetricsDisabledKeepsEndpointsServable) {
+  MetricsGuard guard;
+  obs::SetEnabled(false);
+  ServerFixture fixture;
+  int64_t id = RunDoneSession(fixture);
+
+  // /metrics stays routable (empty-ish exposition), /trace reports the
+  // empty trace, and /result carries no trace key.
+  ClientResponse scrape = Fetch(fixture.port(), "GET", "/metrics");
+  EXPECT_EQ(scrape.status, 200);
+  ClientResponse trace = Fetch(
+      fixture.port(), "GET",
+      "/v1/sessions/" + std::to_string(id) + "/trace");
+  ASSERT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"engine\": null"), std::string::npos)
+      << trace.body;
+  ClientResponse result = Fetch(
+      fixture.port(), "GET",
+      "/v1/sessions/" + std::to_string(id) + "/result");
+  ASSERT_EQ(result.status, 200);
+  EXPECT_EQ(result.body.find("\"trace\":"), std::string::npos)
+      << result.body;
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-format scrape of the fastod server.
+
+Reads the exposition from stdin (or a file argument) and checks the
+invariants the /metrics endpoint promises:
+
+  * every sample belongs to a family introduced by # HELP and # TYPE;
+  * counter and gauge values are finite numbers;
+  * histograms are cumulative: bucket counts are non-decreasing in le,
+    the series ends with le="+Inf", and that bucket equals _count;
+  * the expected fastod families are present (pass --require NAME to
+    add more).
+
+Exit code 0 on a valid scrape, 1 with a message otherwise. Used by the
+CI serve smoke test; handy against a live server too:
+
+    curl -sf http://127.0.0.1:8080/metrics | tools/check_metrics.py
+"""
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})? (?P<value>\S+)$')
+
+DEFAULT_REQUIRED = [
+    "fastod_sessions_total",
+    "fastod_session_execute_seconds",
+    "fastod_http_requests_total",
+    "fastod_http_request_seconds",
+    "fastod_dataset_store_resident_bytes",
+    "fastod_service_active_sessions",
+]
+
+
+def base_family(name):
+    """The family a sample line belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    value = float(text)  # raises on malformed numbers
+    if math.isnan(value):
+        raise ValueError("NaN sample value")
+    return value
+
+
+def le_of(labels):
+    match = re.search(r'le="([^"]*)"', labels or "")
+    return match.group(1) if match else None
+
+
+def series_key(labels):
+    """Label set minus le: one histogram series per remaining labels."""
+    return re.sub(r'(^|,)le="[^"]*"', "", labels or "")
+
+
+def check(text, required):
+    helps, types = {}, {}
+    # family -> series_key -> list of (le, count); plus _sum/_count.
+    buckets, sums, counts = {}, {}, {}
+    families_seen = set()
+    totals = {}  # family -> summed sample values (counters/gauges)
+
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helps[line.split(" ", 3)[2]] = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: unparseable: {line!r}")
+        name = match.group("name")
+        family = base_family(name)
+        # A histogram's base family carries the HELP/TYPE; a plain
+        # metric that merely *ends* in _sum etc. would have its own.
+        if family not in types and name in types:
+            family = name
+        if family not in types:
+            raise ValueError(f"line {line_number}: {name}: no # TYPE")
+        if family not in helps:
+            raise ValueError(f"line {line_number}: {name}: no # HELP")
+        families_seen.add(family)
+        value = parse_value(match.group("value"))
+        kind = types[family]
+        if kind == "histogram":
+            key = series_key(match.group("labels"))
+            if name.endswith("_bucket"):
+                le = le_of(match.group("labels"))
+                if le is None:
+                    raise ValueError(
+                        f"line {line_number}: bucket without le")
+                buckets.setdefault(family, {}).setdefault(key, []).append(
+                    (le, value))
+            elif name.endswith("_sum"):
+                sums.setdefault(family, {})[key] = value
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[key] = value
+            else:
+                raise ValueError(
+                    f"line {line_number}: stray histogram sample {name}")
+        else:
+            if value < 0 and kind == "counter":
+                raise ValueError(f"line {line_number}: negative counter")
+            totals[family] = totals.get(family, 0) + value
+
+    for family, series in buckets.items():
+        for key, rows in series.items():
+            label = f"{family}{{{key}}}"
+            if rows[-1][0] != "+Inf":
+                raise ValueError(f"{label}: buckets do not end at +Inf")
+            values = [count for _, count in rows]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise ValueError(f"{label}: bucket counts not cumulative")
+            if key not in counts.get(family, {}):
+                raise ValueError(f"{label}: missing _count")
+            if key not in sums.get(family, {}):
+                raise ValueError(f"{label}: missing _sum")
+            if counts[family][key] != values[-1]:
+                raise ValueError(f"{label}: +Inf bucket != _count")
+
+    missing = [name for name in required if name not in families_seen]
+    if missing:
+        raise ValueError(f"missing families: {', '.join(missing)}")
+    if totals.get("fastod_sessions_total", 0) <= 0:
+        raise ValueError("fastod_sessions_total is zero: no session was "
+                         "recorded before the scrape")
+    return len(families_seen)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", help="scrape file (default stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="additional family that must be present")
+    args = parser.parse_args()
+    text = (open(args.path).read() if args.path else sys.stdin.read())
+    try:
+        families = check(text, DEFAULT_REQUIRED + args.require)
+    except ValueError as error:
+        print(f"check_metrics: INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"check_metrics: ok ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
