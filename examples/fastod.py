@@ -123,6 +123,9 @@ _dataset_load_csv_opts = _sig(
     [_c, ctypes.c_char, ctypes.c_int, ctypes.c_long])
 _dataset_rows = _sig("fastod_dataset_rows", ctypes.c_long, [_p])
 _dataset_columns = _sig("fastod_dataset_columns", ctypes.c_int, [_p])
+_dataset_append_rows = _sig("fastod_dataset_append_rows", _p, [_p, _c])
+_dataset_version = _sig("fastod_dataset_version", ctypes.c_long, [_p])
+_dataset_base_rows = _sig("fastod_dataset_base_rows", ctypes.c_long, [_p])
 _use_dataset = _sig("fastod_use_dataset", ctypes.c_int, [_p, _p])
 _dataset_destroy = _sig("fastod_dataset_destroy", None, [_p])
 
@@ -209,6 +212,31 @@ class Dataset:
     def columns(self) -> int:
         self._check_open()
         return _dataset_columns(self._handle)
+
+    @property
+    def version(self) -> int:
+        """1 for a fresh load; parent version + 1 after append_rows."""
+        self._check_open()
+        return _dataset_version(self._handle)
+
+    @property
+    def base_rows(self) -> int:
+        """Rows inherited from the parent version (== rows for v1)."""
+        self._check_open()
+        return _dataset_base_rows(self._handle)
+
+    def append_rows(self, csv_text: str) -> "Dataset":
+        """Appends headerless delta rows (same column count, no header
+        line) and returns the grown relation as a NEW independent
+        Dataset; this version is immutable and stays usable."""
+        self._check_open()
+        handle = _dataset_append_rows(self._handle, csv_text.encode())
+        if not handle:
+            raise FastodError(ERR_INVALID_ARGUMENT,
+                              _decode(_last_error(None)) or "append failed")
+        grown = Dataset.__new__(Dataset)
+        grown._handle = handle
+        return grown
 
     def close(self) -> None:
         if self._handle:
@@ -314,6 +342,21 @@ class Session:
 
     def result_json(self) -> str | None:
         return _decode(_result_json(self._handle))
+
+    def stream(self):
+        """Yields the finished session's report as typed events, the
+        way the server's NDJSON /stream frames them: revocations first
+        (``{"type": "revoked", "od_type": ..., ...}`` — emitted by the
+        incremental engine for prior ODs the grown data broke), then
+        each discovered OD as ``{"type": "constancy" | "compatibility"
+        | "bidirectional", ...}``."""
+        report = self.result()
+        for od_type in ("constancy", "compatibility"):
+            for od in report.get(f"revoked_{od_type}_ods") or []:
+                yield {"type": "revoked", "od_type": od_type, **od}
+        for od_type in ("constancy", "compatibility", "bidirectional"):
+            for od in report.get(f"{od_type}_ods") or []:
+                yield {"type": od_type, **od}
 
     def result_text(self) -> str | None:
         return _decode(_result_text(self._handle))
@@ -431,6 +474,47 @@ def _smoke(csv_path: str) -> int:
             f"{session.algorithm}: dataset-bound result diverged")
         print(f"  {session.algorithm}: dataset-bound session matches")
         session.close()
+
+    # Versioned datasets: appending mints a new immutable version, and
+    # the incremental engine re-validates the prior report against it —
+    # revoking broken ODs and matching a fresh full run exactly.
+    with Dataset(csv_path) as v1:
+        assert v1.version == 1 and v1.base_rows == v1.rows, \
+            (v1.version, v1.base_rows)
+        with Session("fastod") as session:
+            session.use_dataset(v1)
+            prior = session.execute()
+        # month 9 lands in quarter 1: the month ~ quarter order breaks.
+        v2 = v1.append_rows("9,1,700,3\n")
+        assert v1.rows == 6, "append must not grow the parent version"
+    with v2:
+        assert (v2.version, v2.rows, v2.base_rows) == (2, 7, 6), \
+            (v2.version, v2.rows, v2.base_rows)
+        with Session("incremental") as session:
+            session.set_option("prior", json.dumps(prior))
+            session.use_dataset(v2)
+            incremental = session.execute()
+            events = list(session.stream())
+        with Session("fastod") as session:
+            session.use_dataset(v2)
+            fresh = session.execute()
+    revoked = [e for e in events if e["type"] == "revoked"]
+    assert revoked, "the appended row must revoke at least one prior OD"
+    assert all(e["od_type"] in ("constancy", "compatibility")
+               for e in revoked), revoked
+    assert len(events) - len(revoked) == (
+        len(incremental["constancy_ods"])
+        + len(incremental["compatibility_ods"])), events
+
+    def od_set(report: dict, key: str) -> list[str]:
+        return sorted(json.dumps(od, sort_keys=True)
+                      for od in report.get(key, []))
+
+    for key in ("constancy_ods", "compatibility_ods"):
+        assert od_set(incremental, key) == od_set(fresh, key), \
+            f"incremental diverged from the full re-run on {key}"
+    print(f"  incremental: {len(revoked)} revocation(s) streamed, "
+          "surviving + new ODs match the full re-run")
 
     # Retry helper: passthrough on success, capped backoff on
     # FastodUnavailable, typed give-up after N attempts (no real sleeps).

@@ -6,6 +6,7 @@
 
 #include "api/od_sink.h"
 #include "api/registry.h"
+#include "incremental/incremental_engine.h"
 #include "common/timer.h"
 #include "report/report.h"
 
@@ -400,6 +401,9 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry* registry) {
   });
   registry->Register("conditional", [] {
     return std::unique_ptr<Algorithm>(new ConditionalAlgorithm());
+  });
+  registry->Register("incremental", [] {
+    return std::unique_ptr<Algorithm>(new IncrementalAlgorithm());
   });
 }
 

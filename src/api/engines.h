@@ -15,6 +15,8 @@
 //   brute-force  exhaustive oracle (<= 16 attributes)
 //   approximate  FASTOD under g3 threshold validity (max-error > 0)
 //   conditional  conditional ODs over attribute bindings (Section 7)
+//   incremental  delta re-validation + targeted re-search over a grown
+//                dataset version (incremental/incremental_engine.h)
 #ifndef FASTOD_API_ENGINES_H_
 #define FASTOD_API_ENGINES_H_
 

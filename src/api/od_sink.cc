@@ -22,6 +22,10 @@ void CollectingOdSink::OnConditional(const ConditionalOd& od) {
   conditional_.push_back(od);
 }
 
+void CollectingOdSink::OnRevoked(const RevokedOd& od) {
+  revoked_.push_back(od);
+}
+
 int64_t CollectingOdSink::TotalOds() const {
   return static_cast<int64_t>(constancy_.size() + compatibility_.size() +
                               bidirectional_.size() + list_.size() +
@@ -34,6 +38,7 @@ void CollectingOdSink::Clear() {
   bidirectional_.clear();
   list_.clear();
   conditional_.clear();
+  revoked_.clear();
 }
 
 ChannelOdSink::ChannelOdSink(size_t capacity)
@@ -66,6 +71,7 @@ void ChannelOdSink::OnBidirectional(const BidiCompatibilityOd& od) {
 }
 void ChannelOdSink::OnListOd(const ListOd& od) { Push(od); }
 void ChannelOdSink::OnConditional(const ConditionalOd& od) { Push(od); }
+void ChannelOdSink::OnRevoked(const RevokedOd& od) { Push(od); }
 
 bool ChannelOdSink::Pop(OdEvent* out, std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -126,6 +132,11 @@ void MutexOdSink::OnListOd(const ListOd& od) {
 void MutexOdSink::OnConditional(const ConditionalOd& od) {
   std::lock_guard<std::mutex> lock(mutex_);
   wrapped_->OnConditional(od);
+}
+
+void MutexOdSink::OnRevoked(const RevokedOd& od) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wrapped_->OnRevoked(od);
 }
 
 }  // namespace fastod

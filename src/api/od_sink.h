@@ -43,6 +43,14 @@
 
 namespace fastod {
 
+/// A retraction: a dependency reported by a prior run that no longer
+/// holds after the dataset grew — the incremental engine's second event
+/// kind. Streams deliver these interleaved with (new) discoveries, so a
+/// consumer tracking "the current OD set of this dataset" applies both.
+struct RevokedOd {
+  CanonicalOd od;
+};
+
 class OdSink {
  public:
   virtual ~OdSink() = default;
@@ -52,6 +60,7 @@ class OdSink {
   virtual void OnBidirectional(const BidiCompatibilityOd& od) { (void)od; }
   virtual void OnListOd(const ListOd& od) { (void)od; }
   virtual void OnConditional(const ConditionalOd& od) { (void)od; }
+  virtual void OnRevoked(const RevokedOd& od) { (void)od; }
 };
 
 /// The materializing default: stores everything it receives, in emission
@@ -63,6 +72,7 @@ class CollectingOdSink : public OdSink {
   void OnBidirectional(const BidiCompatibilityOd& od) override;
   void OnListOd(const ListOd& od) override;
   void OnConditional(const ConditionalOd& od) override;
+  void OnRevoked(const RevokedOd& od) override;
 
   const std::vector<ConstancyOd>& constancy_ods() const { return constancy_; }
   const std::vector<CompatibilityOd>& compatibility_ods() const {
@@ -75,7 +85,9 @@ class CollectingOdSink : public OdSink {
   const std::vector<ConditionalOd>& conditional_ods() const {
     return conditional_;
   }
+  const std::vector<RevokedOd>& revoked_ods() const { return revoked_; }
 
+  /// Discoveries only; revocations are counted by revoked_ods().size().
   int64_t TotalOds() const;
   void Clear();
 
@@ -85,6 +97,7 @@ class CollectingOdSink : public OdSink {
   std::vector<BidiCompatibilityOd> bidirectional_;
   std::vector<ListOd> list_;
   std::vector<ConditionalOd> conditional_;
+  std::vector<RevokedOd> revoked_;
 };
 
 /// Counts emissions without retaining them — constant memory regardless of
@@ -100,12 +113,15 @@ class CountingOdSink : public OdSink {
   }
   void OnListOd(const ListOd&) override { ++num_list_; }
   void OnConditional(const ConditionalOd&) override { ++num_conditional_; }
+  void OnRevoked(const RevokedOd&) override { ++num_revoked_; }
 
   int64_t num_constancy() const { return num_constancy_; }
   int64_t num_compatibility() const { return num_compatibility_; }
   int64_t num_bidirectional() const { return num_bidirectional_; }
   int64_t num_list() const { return num_list_; }
   int64_t num_conditional() const { return num_conditional_; }
+  int64_t num_revoked() const { return num_revoked_; }
+  /// Discoveries only; revocations are counted by num_revoked().
   int64_t Total() const {
     return num_constancy_ + num_compatibility_ + num_bidirectional_ +
            num_list_ + num_conditional_;
@@ -117,11 +133,14 @@ class CountingOdSink : public OdSink {
   int64_t num_bidirectional_ = 0;
   int64_t num_list_ = 0;
   int64_t num_conditional_ = 0;
+  int64_t num_revoked_ = 0;
 };
 
-/// Any one emitted dependency, shape-erased for queueing and transport.
+/// Any one emitted dependency or retraction, shape-erased for queueing
+/// and transport.
 using OdEvent = std::variant<ConstancyOd, CompatibilityOd,
-                             BidiCompatibilityOd, ListOd, ConditionalOd>;
+                             BidiCompatibilityOd, ListOd, ConditionalOd,
+                             RevokedOd>;
 
 /// Bounded producer/consumer channel between a running engine and a
 /// concurrent reader — the incremental-delivery primitive the HTTP
@@ -148,6 +167,7 @@ class ChannelOdSink : public OdSink {
   void OnBidirectional(const BidiCompatibilityOd& od) override;
   void OnListOd(const ListOd& od) override;
   void OnConditional(const ConditionalOd& od) override;
+  void OnRevoked(const RevokedOd& od) override;
 
   // Consumer side.
   /// Dequeues the oldest event. Returns false on timeout with the queue
@@ -189,6 +209,7 @@ class MutexOdSink : public OdSink {
   void OnBidirectional(const BidiCompatibilityOd& od) override;
   void OnListOd(const ListOd& od) override;
   void OnConditional(const ConditionalOd& od) override;
+  void OnRevoked(const RevokedOd& od) override;
 
  private:
   std::mutex mutex_;

@@ -290,6 +290,44 @@ int fastod_dataset_columns(const fastod_dataset_t* dataset) {
   return dataset->dataset->NumAttributes();
 }
 
+fastod_dataset_t* fastod_dataset_append_rows(const fastod_dataset_t* dataset,
+                                             const char* csv_text) {
+  if (dataset == nullptr) {
+    ThreadError() = "dataset must be non-NULL";
+    return nullptr;
+  }
+  if (csv_text == nullptr) {
+    ThreadError() = "csv_text must be non-NULL";
+    return nullptr;
+  }
+  CsvOptions options;
+  options.has_header = false;  // deltas are data-only
+  fastod::Result<Table> delta = fastod::ReadCsvString(csv_text, options);
+  if (!delta.ok()) {
+    ThreadError() = delta.status().message();
+    return nullptr;
+  }
+  fastod::Result<std::shared_ptr<const LoadedDataset>> grown =
+      LoadedDataset::Append(dataset->dataset, *std::move(delta));
+  if (!grown.ok()) {
+    ThreadError() = grown.status().message();
+    return nullptr;
+  }
+  auto* handle = new fastod_dataset();
+  handle->dataset = *std::move(grown);
+  return handle;
+}
+
+long fastod_dataset_version(const fastod_dataset_t* dataset) {
+  if (dataset == nullptr) return -1;
+  return static_cast<long>(dataset->dataset->version());
+}
+
+long fastod_dataset_base_rows(const fastod_dataset_t* dataset) {
+  if (dataset == nullptr) return -1;
+  return static_cast<long>(dataset->dataset->base_rows());
+}
+
 int fastod_use_dataset(fastod_session_t* session,
                        const fastod_dataset_t* dataset) {
   if (session == nullptr) return FASTOD_ERR_NULL_HANDLE;

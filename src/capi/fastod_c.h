@@ -32,7 +32,7 @@
 #define FASTOD_CAPI_FASTOD_C_H_
 
 #define FASTOD_VERSION_MAJOR 0
-#define FASTOD_VERSION_MINOR 6
+#define FASTOD_VERSION_MINOR 7
 #define FASTOD_VERSION_PATCH 0
 
 /* Error codes. 1..6 and 8..10 mirror fastod::StatusCode; 7 flags misuse
@@ -152,6 +152,24 @@ fastod_dataset_t* fastod_dataset_load_csv_opts(const char* path,
 /* Row / attribute counts of a loaded dataset (-1 on NULL). */
 long fastod_dataset_rows(const fastod_dataset_t* dataset);
 int fastod_dataset_columns(const fastod_dataset_t* dataset);
+
+/* Appends rows (headerless CSV text, comma delimiter, one row per line)
+ * to a dataset, returning a NEW handle for the grown version; the input
+ * handle and every session bound to it are untouched — versions are
+ * immutable. Delta rows are re-encoded into the existing dictionaries
+ * and the level-1 partitions extended, so the grown version costs work
+ * proportional to the delta, not the whole relation. Returns NULL on
+ * failure (column-count mismatch, parse error); the message is then
+ * available via fastod_last_error(NULL). */
+fastod_dataset_t* fastod_dataset_append_rows(const fastod_dataset_t* dataset,
+                                             const char* csv_text);
+
+/* Version number of the handle's dataset (1 for a freshly loaded one,
+ * +1 per append) and the rows it inherited from the version it grew
+ * from (0 for version 1). rows - base_rows is the last delta's size.
+ * Both return -1 on NULL. */
+long fastod_dataset_version(const fastod_dataset_t* dataset);
+long fastod_dataset_base_rows(const fastod_dataset_t* dataset);
 
 /* Binds the dataset to a session — no copy, no re-parse; the session
  * keeps the data alive for its own lifetime, so destroying the dataset

@@ -51,7 +51,9 @@ std::string Usage() {
          "                             (job lines: <file.csv|@dataset> "
          "<algorithm> [--opt=val ...];\n"
          "                              `dataset <name> <file.csv>` loads "
-         "once for many @name jobs)\n"
+         "once for many @name jobs;\n"
+         "                              `append <name> <delta.csv>` grows "
+         "it by a headerless delta)\n"
          "  fastod serve [--port=N] [--host=ADDR] [--threads=N]\n"
          "                             [--http-threads=N] [--no-csv-path]\n"
          "                             [--dataset-budget-mb=N]\n"
@@ -454,6 +456,10 @@ struct BatchManifest {
   /// `dataset <name> <file.csv>` directives, in file order: each CSV is
   /// loaded once into a DatasetStore and shared by every @name job.
   std::vector<std::pair<std::string, std::string>> datasets;
+  /// `append <name> <delta.csv>` directives, in file order: each grows
+  /// the named dataset by one version before any job runs (deltas are
+  /// headerless, data-only CSVs). Jobs bind the final version.
+  std::vector<std::pair<std::string, std::string>> appends;
   std::vector<BatchJob> jobs;
 };
 
@@ -491,6 +497,33 @@ Result<BatchManifest> ParseManifest(const std::string& path) {
         }
       }
       manifest.datasets.emplace_back(std::move(name), std::move(csv));
+      continue;
+    }
+    if (token == "append") {
+      std::string name;
+      std::string csv;
+      std::string extra;
+      tokens >> name >> csv;
+      if (name.empty() || csv.empty() || (tokens >> extra)) {
+        return Status::InvalidArgument(
+            "manifest line " + std::to_string(line_number) +
+            ": expected `append <name> <delta.csv>`");
+      }
+      bool defined = false;
+      for (const auto& [existing, existing_csv] : manifest.datasets) {
+        (void)existing_csv;
+        if (existing == name) {
+          defined = true;
+          break;
+        }
+      }
+      if (!defined) {
+        return Status::InvalidArgument(
+            "manifest line " + std::to_string(line_number) + ": append to "
+            "undefined dataset '" + name +
+            "' (a `dataset` directive must come first)");
+      }
+      manifest.appends.emplace_back(std::move(name), std::move(csv));
       continue;
     }
     BatchJob job;
@@ -579,6 +612,20 @@ CliResult Batch(const std::vector<std::string>& args) {
       return Fail(Status(loaded.status().code(),
                          "dataset '" + name + "': " +
                              loaded.status().message()));
+    }
+  }
+  // Appends run after the loads, in manifest order; jobs then bind the
+  // fully grown version. Deltas carry no header line — the schema was
+  // fixed by the `dataset` directive.
+  for (const auto& [name, delta_csv] : manifest->appends) {
+    CsvOptions delta_options = csv_options;
+    delta_options.has_header = false;
+    Result<std::shared_ptr<const LoadedDataset>> grown =
+        store.AppendCsvFile(name, delta_csv, delta_options);
+    if (!grown.ok()) {
+      return Fail(Status(grown.status().code(),
+                         "append to '" + name + "': " +
+                             grown.status().message()));
     }
   }
 

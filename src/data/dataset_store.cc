@@ -2,6 +2,8 @@
 
 #include "common/fault.h"
 
+#include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "common/timer.h"
@@ -43,6 +45,8 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Build(
   dataset->source_ = std::move(source);
   dataset->table_ = std::move(table);
   dataset->relation_ = *std::move(encoded);
+  // Version 1 has no append block: the whole relation is "base".
+  dataset->base_rows_ = dataset->relation_.NumRows();
 
   const EncodedRelation& relation = dataset->relation_;
   dataset->singletons_.reserve(relation.NumAttributes());
@@ -57,6 +61,126 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Build(
   dataset->approx_bytes_ = bytes;
   dataset->load_seconds_ = timer.ElapsedSeconds();
   return std::shared_ptr<const LoadedDataset>(std::move(dataset));
+}
+
+Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Append(
+    const std::shared_ptr<const LoadedDataset>& base, Table delta) {
+  FASTOD_CHECK(base != nullptr);
+  if (delta.NumColumns() != base->NumAttributes()) {
+    return Status::InvalidArgument(
+        "append block has " + std::to_string(delta.NumColumns()) +
+        " columns; dataset '" + base->id() + "' has " +
+        std::to_string(base->NumAttributes()));
+  }
+  WallTimer timer;
+  const int64_t n = base->NumRows();
+  const int64_t d = delta.NumRows();
+  const int cols = base->NumAttributes();
+
+  std::shared_ptr<LoadedDataset> grown(new LoadedDataset());
+  grown->id_ = base->id_;
+  grown->source_ = base->source_;
+  grown->version_ = base->version_ + 1;
+  grown->base_rows_ = n;
+
+  // Raw cells are concatenated; the base schema wins (delta column names,
+  // if the block came with a header, are positional).
+  std::vector<std::vector<Value>> columns(cols);
+  std::vector<std::vector<int32_t>> ranks(cols);
+  std::vector<int32_t> num_distinct(cols, 0);
+  for (int c = 0; c < cols; ++c) {
+    const std::vector<Value>& old_col = base->table_.column(c);
+    const std::vector<Value>& delta_col = delta.column(c);
+    columns[c].reserve(static_cast<size_t>(n + d));
+    columns[c].insert(columns[c].end(), old_col.begin(), old_col.end());
+    columns[c].insert(columns[c].end(), delta_col.begin(), delta_col.end());
+
+    const std::vector<int32_t>& old_ranks = base->relation_.ranks(c);
+    const int32_t old_distinct = base->relation_.NumDistinct(c);
+
+    // The parent's sorted dictionary, reconstructed as one representative
+    // cell per existing rank — O(n), no comparisons.
+    std::vector<const Value*> dict(old_distinct, nullptr);
+    for (int64_t i = 0; i < n; ++i) {
+      const Value*& slot = dict[old_ranks[i]];
+      if (slot == nullptr) slot = &old_col[i];
+    }
+
+    // Delta rows in value order, stable tiebreak like FromTable.
+    std::vector<int32_t> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&delta_col](int32_t x, int32_t y) {
+                int cmp = Value::Compare(delta_col[x], delta_col[y]);
+                if (cmp != 0) return cmp < 0;
+                return x < y;
+              });
+
+    // Merge the two sorted dictionaries: every old rank shifts up by the
+    // count of unseen delta values ordered before it, and each delta row
+    // reads its merged rank straight off the walk. The result is dense
+    // and order-preserving — bit-for-bit what FromTable assigns on the
+    // concatenated column.
+    std::vector<int32_t> shift(old_distinct, 0);
+    std::vector<int32_t> delta_rank(d, 0);
+    int32_t next_rank = 0;
+    int32_t oi = 0;
+    int64_t di = 0;
+    while (oi < old_distinct || di < d) {
+      int cmp;
+      if (oi >= old_distinct) {
+        cmp = 1;
+      } else if (di >= d) {
+        cmp = -1;
+      } else {
+        cmp = Value::Compare(*dict[oi], delta_col[order[di]]);
+      }
+      if (cmp <= 0) {
+        shift[oi] = next_rank - oi;
+        if (cmp == 0) {
+          while (di < d &&
+                 Value::Compare(*dict[oi], delta_col[order[di]]) == 0) {
+            delta_rank[order[di]] = next_rank;
+            ++di;
+          }
+        }
+        ++oi;
+      } else {
+        const Value& value = delta_col[order[di]];
+        while (di < d && Value::Compare(value, delta_col[order[di]]) == 0) {
+          delta_rank[order[di]] = next_rank;
+          ++di;
+        }
+      }
+      ++next_rank;
+    }
+    num_distinct[c] = next_rank;
+
+    std::vector<int32_t>& merged = ranks[c];
+    merged.resize(static_cast<size_t>(n + d));
+    for (int64_t i = 0; i < n; ++i) {
+      merged[i] = old_ranks[i] + shift[old_ranks[i]];
+    }
+    for (int64_t j = 0; j < d; ++j) merged[n + j] = delta_rank[j];
+  }
+
+  grown->table_ = Table(base->table_.schema(), std::move(columns));
+  grown->relation_ = EncodedRelation::FromRanks(
+      base->table_.schema(), std::move(ranks), std::move(num_distinct));
+
+  const EncodedRelation& relation = grown->relation_;
+  grown->singletons_.reserve(cols);
+  int64_t bytes = 0;
+  for (int a = 0; a < cols; ++a) {
+    grown->singletons_.push_back(StrippedPartition::ForAttribute(
+        relation.ranks(a), relation.NumDistinct(a)));
+    bytes += static_cast<int64_t>(relation.ranks(a).size() * sizeof(int32_t));
+    bytes += PartitionBytes(grown->singletons_.back());
+    bytes += ColumnBytes(grown->table_.column(a));
+  }
+  grown->approx_bytes_ = bytes;
+  grown->load_seconds_ = timer.ElapsedSeconds();
+  return std::shared_ptr<const LoadedDataset>(std::move(grown));
 }
 
 DatasetStore::DatasetStore(int64_t budget_bytes)
@@ -133,6 +257,101 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Insert(
   return dataset;
 }
 
+namespace {
+
+void PruneHistory(
+    std::vector<std::weak_ptr<const LoadedDataset>>& history) {
+  history.erase(
+      std::remove_if(history.begin(), history.end(),
+                     [](const std::weak_ptr<const LoadedDataset>& slot) {
+                       return slot.expired();
+                     }),
+      history.end());
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::AppendRows(
+    const std::string& id, Table delta) {
+  if (FASTOD_FAULT_POINT("dataset_store.append")) {
+    return Status::ResourceExhausted("injected fault: dataset_store.append");
+  }
+  std::shared_ptr<const LoadedDataset> base;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = datasets_.find(id);
+    if (it == datasets_.end()) {
+      return Status::NotFound("no dataset with id '" + id + "'");
+    }
+    base = it->second.dataset;
+  }
+  // Merge-encode outside the lock; concurrent sessions keep reading
+  // `base` undisturbed, including while we splice the new version in.
+  Result<std::shared_ptr<const LoadedDataset>> grown =
+      LoadedDataset::Append(base, std::move(delta));
+  if (!grown.ok()) return grown.status();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + id +
+                            "' was erased during the append");
+  }
+  Entry& entry = it->second;
+  if (entry.dataset != base) {
+    return Status::FailedPrecondition(
+        "dataset '" + id +
+        "' changed during the append; retry against the current version");
+  }
+  if (budget_bytes_ > 0) {
+    int64_t pinned_bytes = 0;
+    for (const auto& [other_id, other] : datasets_) {
+      if (other_id == id) continue;
+      if (other.dataset.use_count() != 1) {
+        pinned_bytes += other.dataset->ApproxBytes();
+      }
+    }
+    if (pinned_bytes + (*grown)->ApproxBytes() > budget_bytes_) {
+      return Status::ResourceExhausted(
+          "appending to dataset '" + id + "' would grow it to " +
+          std::to_string((*grown)->ApproxBytes()) +
+          " bytes, over the store budget (" + std::to_string(budget_bytes_) +
+          " bytes, " + std::to_string(pinned_bytes) +
+          " pinned elsewhere); erase or unpin datasets first");
+    }
+    // The superseded version leaves the accounting now (it survives only
+    // under session pins, outside the budget); evict idle entries if the
+    // grown version still does not fit. This entry cannot be victimized:
+    // the local `base` reference keeps its use_count above 1.
+    total_bytes_ -= base->ApproxBytes();
+    EvictFor((*grown)->ApproxBytes());
+    total_bytes_ += (*grown)->ApproxBytes();
+  } else {
+    total_bytes_ += (*grown)->ApproxBytes() - base->ApproxBytes();
+  }
+  PruneHistory(entry.history);
+  entry.history.push_back(base);
+  entry.dataset = *grown;
+  entry.last_used = ++clock_;
+  return *std::move(grown);
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::AppendCsvString(
+    const std::string& id, const std::string& text,
+    const CsvOptions& options) {
+  Result<Table> table = ReadCsvString(text, options);
+  if (!table.ok()) return table.status();
+  return AppendRows(id, *std::move(table));
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::AppendCsvFile(
+    const std::string& id, const std::string& path,
+    const CsvOptions& options) {
+  Result<Table> table = ReadCsvFile(path, options);
+  if (!table.ok()) return table.status();
+  return AppendRows(id, *std::move(table));
+}
+
 void DatasetStore::EvictFor(int64_t needed) {
   while (total_bytes_ + needed > budget_bytes_) {
     // LRU among unpinned entries. use_count()==1 means the store holds
@@ -166,6 +385,37 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Get(
   return it->second.dataset;
 }
 
+Result<std::shared_ptr<const LoadedDataset>> DatasetStore::Get(
+    const std::string& id, int64_t version) {
+  if (version <= 0) return Get(id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset with id '" + id + "'");
+  }
+  Entry& entry = it->second;
+  if (entry.dataset->version() == version) {
+    entry.last_used = ++clock_;
+    ++entry.hits;
+    return entry.dataset;
+  }
+  // Superseded versions: alive exactly while some session pins them. No
+  // LRU bump — they are outside the budget, the store holds no reference.
+  for (auto rit = entry.history.rbegin(); rit != entry.history.rend();
+       ++rit) {
+    std::shared_ptr<const LoadedDataset> held = rit->lock();
+    if (held != nullptr && held->version() == version) {
+      ++entry.hits;
+      return held;
+    }
+  }
+  return Status::NotFound(
+      "version " + std::to_string(version) + " of dataset '" + id +
+      "' is not resident (current is version " +
+      std::to_string(entry.dataset->version()) +
+      "; superseded versions live only while a session pins them)");
+}
+
 Status DatasetStore::Erase(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = datasets_.find(id);
@@ -179,9 +429,10 @@ Status DatasetStore::Erase(const std::string& id) {
 
 namespace {
 
-DatasetInfo InfoOf(const std::string& id,
-                   const std::shared_ptr<const LoadedDataset>& dataset,
-                   int64_t hits) {
+DatasetInfo InfoOf(
+    const std::string& id,
+    const std::shared_ptr<const LoadedDataset>& dataset, int64_t hits,
+    const std::vector<std::weak_ptr<const LoadedDataset>>& history) {
   DatasetInfo info;
   info.id = id;
   info.source = dataset->source();
@@ -190,6 +441,28 @@ DatasetInfo InfoOf(const std::string& id,
   info.bytes = dataset->ApproxBytes();
   info.hits = hits;
   info.pinned = dataset.use_count() > 1;
+  info.version = dataset->version();
+
+  DatasetVersionInfo current;
+  current.version = dataset->version();
+  current.rows = dataset->NumRows();
+  current.bytes = dataset->ApproxBytes();
+  current.pinned = info.pinned;
+  current.current = true;
+  info.versions.push_back(current);
+  // Retained (superseded) versions, newest first. A lockable slot means
+  // some session still pins that version — it is alive but unbudgeted.
+  for (auto rit = history.rbegin(); rit != history.rend(); ++rit) {
+    std::shared_ptr<const LoadedDataset> held = rit->lock();
+    if (held == nullptr) continue;
+    DatasetVersionInfo old;
+    old.version = held->version();
+    old.rows = held->NumRows();
+    old.bytes = held->ApproxBytes();
+    old.pinned = true;
+    info.retained_bytes += old.bytes;
+    info.versions.push_back(old);
+  }
   return info;
 }
 
@@ -206,7 +479,8 @@ Result<DatasetInfo> DatasetStore::Info(const std::string& id) const {
   if (it == datasets_.end()) {
     return Status::NotFound("no dataset with id '" + id + "'");
   }
-  return InfoOf(id, it->second.dataset, it->second.hits);
+  return InfoOf(id, it->second.dataset, it->second.hits,
+                it->second.history);
 }
 
 std::vector<DatasetInfo> DatasetStore::List() const {
@@ -214,9 +488,21 @@ std::vector<DatasetInfo> DatasetStore::List() const {
   std::vector<DatasetInfo> out;
   out.reserve(datasets_.size());
   for (const auto& [id, entry] : datasets_) {
-    out.push_back(InfoOf(id, entry.dataset, entry.hits));
+    out.push_back(InfoOf(id, entry.dataset, entry.hits, entry.history));
   }
   return out;
+}
+
+int64_t DatasetStore::RetainedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t bytes = 0;
+  for (const auto& [id, entry] : datasets_) {
+    for (const auto& slot : entry.history) {
+      std::shared_ptr<const LoadedDataset> held = slot.lock();
+      if (held != nullptr) bytes += held->ApproxBytes();
+    }
+  }
+  return bytes;
 }
 
 void DatasetStore::SetBudgetBytes(int64_t budget_bytes) {

@@ -45,6 +45,14 @@ namespace fastod {
 
 /// One fully preprocessed relation: raw values, encoding, and the level-1
 /// partitions. Construction does all the work; the object never changes.
+///
+/// Datasets are *versioned*: Build() produces version 1, and Append()
+/// derives version k+1 from version k plus a block of delta rows. Each
+/// version is itself deeply immutable — an append never mutates its
+/// parent, it merge-encodes only the delta rows into the parent's rank
+/// dictionaries (shifting existing ranks where new values interleave) and
+/// rebuilds the level-1 partitions linearly, so sessions running over the
+/// parent are undisturbed and a new session sees the grown relation.
 class LoadedDataset {
  public:
   /// Encodes `table` and prebuilds Π*_{A} for every attribute A. Fails on
@@ -53,11 +61,30 @@ class LoadedDataset {
   static Result<std::shared_ptr<const LoadedDataset>> Build(
       std::string id, Table table, std::string source = "table");
 
+  /// Version base->version()+1: `base`'s rows followed by `delta`'s rows
+  /// (column count must match; `base`'s schema wins). Delta rows are
+  /// merge-encoded against the parent's dictionaries — O(rows) integer
+  /// work plus O(delta log delta) value comparisons — and the resulting
+  /// ranks are bit-for-bit what FromTable would assign the concatenated
+  /// table. An empty delta yields a new (identical but renumbered)
+  /// version.
+  static Result<std::shared_ptr<const LoadedDataset>> Append(
+      const std::shared_ptr<const LoadedDataset>& base, Table delta);
+
   const std::string& id() const { return id_; }
   const std::string& source() const { return source_; }
   const Table& table() const { return table_; }
   const EncodedRelation& relation() const { return relation_; }
   const Schema& schema() const { return relation_.schema(); }
+
+  /// 1 for Build()-loaded datasets; parent version + 1 after Append().
+  int64_t version() const { return version_; }
+  /// Rows inherited from the parent version — the first delta row index
+  /// of this version's append block. Equals NumRows() for version 1 (no
+  /// append happened, the delta is empty).
+  int64_t base_rows() const { return base_rows_; }
+  /// Rows this version appended over its parent.
+  int64_t delta_rows() const { return NumRows() - base_rows_; }
 
   /// Prebuilt Π*_{A} for attribute A (size NumAttributes()) — the exact
   /// partitions FASTOD/TANE would construct at lattice level 1, so
@@ -84,11 +111,29 @@ class LoadedDataset {
   Table table_;
   EncodedRelation relation_;
   std::vector<StrippedPartition> singletons_;
+  int64_t version_ = 1;
+  int64_t base_rows_ = 0;
   int64_t approx_bytes_ = 0;
   double load_seconds_ = 0.0;
 };
 
-/// Snapshot row of DatasetStore::List().
+/// One resident (or session-retained) version of a dataset.
+struct DatasetVersionInfo {
+  int64_t version = 0;
+  int64_t rows = 0;
+  int64_t bytes = 0;
+  /// True when a reference besides the store's is live (for retained
+  /// superseded versions, always — sessions are the only thing keeping
+  /// them alive).
+  bool pinned = false;
+  /// False for superseded versions the store no longer accounts for.
+  bool current = false;
+};
+
+/// Snapshot row of DatasetStore::List(). `rows`/`bytes` describe the
+/// current (latest) version; superseded versions still pinned by running
+/// sessions are accounted separately so eviction telemetry stays truthful
+/// after appends.
 struct DatasetInfo {
   std::string id;
   std::string source;
@@ -99,6 +144,13 @@ struct DatasetInfo {
   int64_t hits = 0;
   /// True when at least one reference besides the store's is live.
   bool pinned = false;
+  /// Version of the current entry (1 until the first append).
+  int64_t version = 1;
+  /// Summed bytes of superseded versions kept alive by sessions — memory
+  /// the process pays for beyond `bytes`, outside the store's budget.
+  int64_t retained_bytes = 0;
+  /// Every live version, current first, then retained ones descending.
+  std::vector<DatasetVersionInfo> versions;
 };
 
 class DatasetStore {
@@ -128,11 +180,36 @@ class DatasetStore {
       const std::string& id, const std::string& text,
       const CsvOptions& options = CsvOptions());
 
+  // ---- Appends ------------------------------------------------------
+  /// Appends `delta`'s rows to the dataset registered under `id`,
+  /// installing the new version as the entry's current dataset. The
+  /// superseded version leaves the store's budget accounting immediately
+  /// but stays alive while running sessions pin it (and remains
+  /// addressable through Get(id, version) until they let go). Returns
+  /// the new version, pinned. Fails with NotFound for unknown ids,
+  /// FailedPrecondition when another append raced this one, and
+  /// ResourceExhausted when the grown dataset cannot fit the budget.
+  Result<std::shared_ptr<const LoadedDataset>> AppendRows(
+      const std::string& id, Table delta);
+  Result<std::shared_ptr<const LoadedDataset>> AppendCsvString(
+      const std::string& id, const std::string& text,
+      const CsvOptions& options = CsvOptions());
+  Result<std::shared_ptr<const LoadedDataset>> AppendCsvFile(
+      const std::string& id, const std::string& path,
+      const CsvOptions& options = CsvOptions());
+
   // ---- Lookup -------------------------------------------------------
   /// The dataset registered under `id` (NotFound otherwise). Holding the
   /// returned pointer pins the entry against eviction; it stays valid
   /// even if the entry is evicted or erased afterwards.
   Result<std::shared_ptr<const LoadedDataset>> Get(const std::string& id);
+
+  /// A specific version: the current one, or a superseded version still
+  /// alive under a session's pin. `version` <= 0 means latest. NotFound
+  /// when the version never existed or is no longer resident (superseded
+  /// versions die with their last pinning session).
+  Result<std::shared_ptr<const LoadedDataset>> Get(const std::string& id,
+                                                   int64_t version);
 
   /// True iff `id` is resident. Unlike Get(), does not pin, bump the
   /// LRU clock, or count a hit — for existence probes (e.g. the
@@ -161,9 +238,17 @@ class DatasetStore {
   /// Total entries evicted by the budget (not Erase) since construction.
   int64_t evictions() const;
 
+  /// Summed ApproxBytes of superseded versions still alive under session
+  /// pins, across all entries (memory outside the budget).
+  int64_t RetainedBytes() const;
+
  private:
   struct Entry {
     std::shared_ptr<const LoadedDataset> dataset;
+    /// Superseded versions, oldest first. Weak: the store deliberately
+    /// does not keep old versions alive — they live exactly as long as
+    /// some session pins them, and expired slots are pruned lazily.
+    std::vector<std::weak_ptr<const LoadedDataset>> history;
     uint64_t last_used = 0;
     int64_t hits = 0;
   };

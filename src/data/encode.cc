@@ -44,4 +44,16 @@ Result<EncodedRelation> EncodedRelation::FromTable(const Table& table) {
   return rel;
 }
 
+EncodedRelation EncodedRelation::FromRanks(
+    Schema schema, std::vector<std::vector<int32_t>> ranks,
+    std::vector<int32_t> num_distinct) {
+  FASTOD_CHECK(ranks.size() == num_distinct.size());
+  EncodedRelation rel;
+  rel.num_rows_ = ranks.empty() ? 0 : static_cast<int64_t>(ranks[0].size());
+  rel.schema_ = std::move(schema);
+  rel.ranks_ = std::move(ranks);
+  rel.num_distinct_ = std::move(num_distinct);
+  return rel;
+}
+
 }  // namespace fastod

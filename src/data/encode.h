@@ -29,6 +29,15 @@ class EncodedRelation {
   /// AttributeSet::kMaxAttributes columns.
   static Result<EncodedRelation> FromTable(const Table& table);
 
+  /// Wraps precomputed rank columns. The append path in
+  /// data/dataset_store.cc merge-encodes delta rows into the parent
+  /// version's dictionaries instead of re-sorting the whole table; the
+  /// caller guarantees the ranks are dense and order-preserving, exactly
+  /// as FromTable would have assigned them.
+  static EncodedRelation FromRanks(Schema schema,
+                                   std::vector<std::vector<int32_t>> ranks,
+                                   std::vector<int32_t> num_distinct);
+
   int NumAttributes() const { return static_cast<int>(ranks_.size()); }
   int64_t NumRows() const { return num_rows_; }
   const Schema& schema() const { return schema_; }

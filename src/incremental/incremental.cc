@@ -1,0 +1,375 @@
+#include "incremental/incremental.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "api/od_sink.h"
+#include "validate/od_validator.h"
+#include "validate/violation_scanner.h"
+
+namespace fastod {
+
+IncrementalDiscovery::IncrementalDiscovery(const EncodedRelation* relation,
+                                           IncrementalOptions options)
+    : relation_(relation), options_(std::move(options)) {
+  FASTOD_CHECK(relation_ != nullptr);
+}
+
+namespace {
+
+/// Memoized exact validity over the grown relation. OdValidator already
+/// caches context partitions; this adds verdict caching on top, so the
+/// minimality probes of neighboring candidates (which share immediate
+/// subset contexts) re-ask for free. Phase 1 pre-seeds it: a delta-limited
+/// scan verdict *is* an exact validity verdict, given prefix validity.
+class ValidityOracle {
+ public:
+  explicit ValidityOracle(const EncodedRelation* relation)
+      : validator_(relation) {}
+
+  void Seed(const ConstancyOd& od, bool valid) {
+    constancy_.emplace(od, valid);
+  }
+  void Seed(const CompatibilityOd& od, bool valid) {
+    compatibility_.emplace(od, valid);
+  }
+
+  bool Constant(AttributeSet context, int attribute) {
+    ConstancyOd key{context, attribute};
+    auto it = constancy_.find(key);
+    if (it != constancy_.end()) return it->second;
+    bool valid = validator_.IsConstant(context, attribute);
+    constancy_.emplace(key, valid);
+    return valid;
+  }
+
+  bool Compatible(AttributeSet context, int a, int b) {
+    CompatibilityOd key(context, a, b);
+    auto it = compatibility_.find(key);
+    if (it != compatibility_.end()) return it->second;
+    bool valid = validator_.IsOrderCompatible(context, a, b);
+    compatibility_.emplace(key, valid);
+    return valid;
+  }
+
+ private:
+  OdValidator validator_;
+  std::unordered_map<ConstancyOd, bool, ConstancyOdHash> constancy_;
+  std::unordered_map<CompatibilityOd, bool, CompatibilityOdHash>
+      compatibility_;
+};
+
+/// One phase-2 lattice node: a candidate OD to test on the grown relation.
+struct Candidate {
+  enum class Kind { kConstancy, kCompatibility };
+  Kind kind = Kind::kConstancy;
+  AttributeSet context;
+  int a = -1;  // constancy attribute, or the smaller pair side
+  int b = -1;  // the larger pair side (compatibility only)
+};
+
+/// Delta-restricted context partitions for phase 1: only the classes of
+/// Π*_X containing an appended tuple matter to a delta-limited scan, and
+/// those classes can be built without touching the whole relation.
+///
+/// Every non-singleton class of Π*_X that contains a delta row is nested
+/// inside a delta-touching, non-singleton class of Π*_{a} for EVERY
+/// a ∈ X (the class shares its a-rank, has >= 2 members, and contains
+/// the delta row). So the rows of the delta-touching classes of any one
+/// attribute of X — we pick the attribute with the fewest such rows —
+/// are a complete domain: grouping just those rows by their X-ranks
+/// reproduces every delta-touching class of Π*_X exactly. Classes the
+/// restriction truncates are precisely the ones with no delta row, and
+/// the scanner's delta_start skip ignores them; pairs inside any emitted
+/// class are genuine Π*_X pairs, so verdicts are exact.
+class DeltaPartitions {
+ public:
+  DeltaPartitions(const EncodedRelation* relation, int64_t delta_start)
+      : relation_(relation),
+        delta_start_(delta_start),
+        domains_(relation->NumAttributes()) {}
+
+  const StrippedPartition& Restricted(AttributeSet context) {
+    auto it = cache_.find(context.bits());
+    if (it != cache_.end()) return it->second;
+    return cache_.emplace(context.bits(), Build(context)).first->second;
+  }
+
+ private:
+  /// Ascending row ids of Π*_{a}'s delta-touching classes (lazy).
+  const std::vector<int32_t>& Domain(int a) {
+    if (!domains_[a].computed) {
+      StrippedPartition singleton = StrippedPartition::ForAttribute(
+          relation_->ranks(a), relation_->NumDistinct(a));
+      std::vector<int32_t>& rows = domains_[a].rows;
+      for (int32_t c = 0; c < singleton.NumClasses(); ++c) {
+        auto cls = singleton.Class(c);
+        // Members ascend, so the last decides delta contact.
+        if (static_cast<int64_t>(cls[cls.size() - 1]) < delta_start_) {
+          continue;
+        }
+        rows.insert(rows.end(), cls.begin(), cls.end());
+      }
+      std::sort(rows.begin(), rows.end());
+      domains_[a].computed = true;
+    }
+    return domains_[a].rows;
+  }
+
+  StrippedPartition Build(AttributeSet context) {
+    if (context.IsEmpty()) {
+      return StrippedPartition::Universe(relation_->NumRows());
+    }
+    int best = context.First();
+    for (int a = context.Next(best); a >= 0; a = context.Next(a)) {
+      if (Domain(a).size() < Domain(best).size()) best = a;
+    }
+    std::vector<int32_t> rows = Domain(best);
+    std::vector<const std::vector<int32_t>*> ranks;
+    for (int a = context.First(); a >= 0; a = context.Next(a)) {
+      ranks.push_back(&relation_->ranks(a));
+    }
+    // Sort by the X-rank tuple (row id as tiebreak keeps class members
+    // ascending, which the scanner's delta skip relies on), then emit
+    // adjacent equal-key runs as classes.
+    std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
+      for (const std::vector<int32_t>* column : ranks) {
+        if ((*column)[s] != (*column)[t]) return (*column)[s] < (*column)[t];
+      }
+      return s < t;
+    });
+    auto same_class = [&](int32_t s, int32_t t) {
+      for (const std::vector<int32_t>* column : ranks) {
+        if ((*column)[s] != (*column)[t]) return false;
+      }
+      return true;
+    };
+    PartitionBuilder builder(relation_->NumRows());
+    size_t i = 0;
+    while (i < rows.size()) {
+      builder.BeginClass();
+      builder.AddTuple(rows[i]);
+      size_t j = i + 1;
+      while (j < rows.size() && same_class(rows[i], rows[j])) {
+        builder.AddTuple(rows[j]);
+        ++j;
+      }
+      builder.EndClass();
+      i = j;
+    }
+    return builder.Build();
+  }
+
+  struct AttrDomain {
+    bool computed = false;
+    std::vector<int32_t> rows;
+  };
+
+  const EncodedRelation* relation_;
+  int64_t delta_start_;
+  std::vector<AttrDomain> domains_;
+  std::unordered_map<uint64_t, StrippedPartition> cache_;
+};
+
+}  // namespace
+
+IncrementalResult IncrementalDiscovery::Run(const PriorOds& prior) {
+  IncrementalResult result;
+  const int attrs = relation_->NumAttributes();
+
+  ViolationScanner scanner(relation_);
+  ScanOptions scan;
+  scan.max_violations = 1;  // existence decides; pairs are not reported
+  scan.delta_start = options_.base_rows;
+
+  auto stop_requested = [&] {
+    return options_.control != nullptr && options_.control->StopRequested();
+  };
+
+  // ---- Phase 1: re-validate every prior OD against the delta ---------
+  // Prior ODs cluster on few distinct contexts, and a delta-limited scan
+  // only ever looks at classes containing appended tuples — so each
+  // context's partition is built once, restricted to the rows that can
+  // share such a class (see DeltaPartitions).
+  ValidityOracle oracle(relation_);
+  DeltaPartitions delta_partitions(relation_, options_.base_rows);
+  auto context_partition =
+      [&](AttributeSet context) -> const StrippedPartition& {
+    return delta_partitions.Restricted(context);
+  };
+  std::unordered_set<ConstancyOd, ConstancyOdHash> surviving_constancy;
+  std::unordered_set<CompatibilityOd, CompatibilityOdHash> surviving_compat;
+  std::vector<ConstancyOd> broken_constancy;
+  std::vector<CompatibilityOd> broken_compat;
+
+  for (const ConstancyOd& od : prior.constancy) {
+    if (stop_requested()) {
+      result.cancelled = true;
+      return result;
+    }
+    ++result.revalidated;
+    bool valid =
+        scanner.ScanConstancy(context_partition(od.context), od.attribute,
+                              scan)
+            .empty();
+    oracle.Seed(od, valid);
+    if (valid) {
+      result.constancy_ods.push_back(od);
+      surviving_constancy.insert(od);
+    } else {
+      broken_constancy.push_back(od);
+      result.revoked_constancy.push_back(od);
+      if (options_.sink != nullptr) options_.sink->OnRevoked(RevokedOd{od});
+    }
+  }
+  for (const CompatibilityOd& od : prior.compatibility) {
+    if (stop_requested()) {
+      result.cancelled = true;
+      return result;
+    }
+    ++result.revalidated;
+    bool valid = scanner
+                     .ScanCompatibility(context_partition(od.context),
+                                        od.a, od.b, scan)
+                     .empty();
+    oracle.Seed(od, valid);
+    if (valid) {
+      result.compatibility_ods.push_back(od);
+      surviving_compat.insert(od);
+    } else {
+      broken_compat.push_back(od);
+      result.revoked_compatibility.push_back(od);
+      if (options_.sink != nullptr) options_.sink->OnRevoked(RevokedOd{od});
+    }
+  }
+  result.escalations =
+      static_cast<int64_t>(broken_constancy.size() + broken_compat.size());
+
+  // ---- Phase 2: targeted re-search rooted at the broken nodes --------
+  // Every new minimal OD lies at a context (weakly) above a broken one:
+  // strictly above for the same shape, and for compatibility also at or
+  // above a broken constancy context of either side — a breaking
+  // constancy un-suppresses the pairs Propagate was hiding. The BFS
+  // expands only through invalid nodes (every proper subset context of a
+  // minimal OD is invalid, so the chain up from the seed is walkable) and
+  // stops at valid ones (validity is up-closed: anything above a valid
+  // node has a valid subset and cannot be minimal).
+  std::map<int, std::deque<Candidate>> frontier;  // keyed by |context|
+  std::unordered_set<ConstancyOd, ConstancyOdHash> seen_constancy;
+  std::unordered_set<CompatibilityOd, CompatibilityOdHash> seen_compat;
+
+  auto enqueue_constancy = [&](AttributeSet context, int attribute) {
+    ConstancyOd od{context, attribute};
+    if (od.IsTrivial()) return;
+    if (!seen_constancy.insert(od).second) return;
+    Candidate cand;
+    cand.kind = Candidate::Kind::kConstancy;
+    cand.context = context;
+    cand.a = attribute;
+    frontier[context.Count()].push_back(cand);
+  };
+  auto enqueue_compat = [&](AttributeSet context, int a, int b) {
+    CompatibilityOd od(context, a, b);
+    if (od.IsTrivial()) return;
+    if (!seen_compat.insert(od).second) return;
+    Candidate cand;
+    cand.kind = Candidate::Kind::kCompatibility;
+    cand.context = context;
+    cand.a = od.a;
+    cand.b = od.b;
+    frontier[context.Count()].push_back(cand);
+  };
+
+  for (const ConstancyOd& od : broken_constancy) {
+    for (int c = 0; c < attrs; ++c) {
+      if (od.context.Contains(c) || c == od.attribute) continue;
+      enqueue_constancy(od.context.With(c), od.attribute);
+    }
+    // The pairs this constancy was suppressing (Propagate): seed at the
+    // broken context itself — their minimal context may equal it.
+    for (int other = 0; other < attrs; ++other) {
+      if (other == od.attribute || od.context.Contains(other)) continue;
+      enqueue_compat(od.context, od.attribute, other);
+    }
+  }
+  for (const CompatibilityOd& od : broken_compat) {
+    for (int c = 0; c < attrs; ++c) {
+      if (od.context.Contains(c) || c == od.a || c == od.b) continue;
+      enqueue_compat(od.context.With(c), od.a, od.b);
+    }
+  }
+
+  while (!frontier.empty()) {
+    auto level = frontier.begin();
+    if (level->second.empty()) {
+      frontier.erase(level);
+      continue;
+    }
+    Candidate cand = level->second.front();
+    level->second.pop_front();
+    if (stop_requested()) {
+      result.cancelled = true;
+      return result;
+    }
+    ++result.nodes_searched;
+
+    if (cand.kind == Candidate::Kind::kConstancy) {
+      if (!oracle.Constant(cand.context, cand.a)) {
+        for (int c = 0; c < attrs; ++c) {
+          if (cand.context.Contains(c) || c == cand.a) continue;
+          enqueue_constancy(cand.context.With(c), cand.a);
+        }
+        continue;
+      }
+      bool minimal = true;
+      for (int c = cand.context.First(); c >= 0; c = cand.context.Next(c)) {
+        if (oracle.Constant(cand.context.Without(c), cand.a)) {
+          minimal = false;
+          break;
+        }
+      }
+      ConstancyOd od{cand.context, cand.a};
+      if (minimal && surviving_constancy.count(od) == 0) {
+        result.constancy_ods.push_back(od);
+        ++result.new_constancy;
+        if (options_.sink != nullptr) options_.sink->OnConstancy(od);
+      }
+    } else {
+      if (!oracle.Compatible(cand.context, cand.a, cand.b)) {
+        for (int c = 0; c < attrs; ++c) {
+          if (cand.context.Contains(c) || c == cand.a || c == cand.b) {
+            continue;
+          }
+          enqueue_compat(cand.context.With(c), cand.a, cand.b);
+        }
+        continue;
+      }
+      bool minimal = true;
+      for (int c = cand.context.First(); c >= 0; c = cand.context.Next(c)) {
+        if (oracle.Compatible(cand.context.Without(c), cand.a, cand.b)) {
+          minimal = false;
+          break;
+        }
+      }
+      // Propagate: a side constant in the context suppresses the pair
+      // (the constancy plus Identity/Propagate derive it).
+      if (minimal && (oracle.Constant(cand.context, cand.a) ||
+                      oracle.Constant(cand.context, cand.b))) {
+        minimal = false;
+      }
+      CompatibilityOd od(cand.context, cand.a, cand.b);
+      if (minimal && surviving_compat.count(od) == 0) {
+        result.compatibility_ods.push_back(od);
+        ++result.new_compatibility;
+        if (options_.sink != nullptr) options_.sink->OnCompatibility(od);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fastod

@@ -1,0 +1,115 @@
+// Incremental OD discovery over a grown relation (the ROADMAP's
+// "incremental discovery over versioned datasets" item).
+//
+// Setting: a complete minimal OD set was discovered on some prefix of the
+// relation (the prior dataset version), then rows were appended. Under
+// the set-based axiomatization validity is *antitone under row append* —
+// extra tuples can only add split/swap pairs, so an OD valid on the grown
+// relation was valid on the prefix, and the frontier of minimal ODs can
+// only move *up* the lattice. That structure makes re-discovery local:
+//
+//   Phase 1 (re-validate). Each prior OD is checked against the grown
+//   relation with validate/violation_scanner in delta-limited mode
+//   (ScanOptions::delta_start = prefix rows): since the prefix satisfied
+//   the OD, any violating pair involves an appended tuple, so context
+//   classes that end before the delta are skipped wholesale. Survivors
+//   stay minimal automatically — their proper subset contexts were
+//   invalid before and invalidity persists under appends. Broken ODs are
+//   *revoked* (OdSink::OnRevoked).
+//
+//   Phase 2 (targeted escalation). New minimal ODs can only appear at
+//   contexts strictly containing a broken OD's context (constancy), or —
+//   for compatibility — also at/above a broken *constancy* context of
+//   either side attribute: X: [] -> A valid suppresses reporting
+//   X: A ~ B (the Propagate rule), so when the constancy breaks, the
+//   compatibility pair it was suppressing surfaces. A level-ordered BFS
+//   rooted at exactly those nodes validates candidates with
+//   validate/od_validator (exact, full-relation checks), stops expanding
+//   at the first valid node (validity is up-closed in the context), and
+//   accepts a valid candidate as minimal iff every immediate subset
+//   context is invalid and — for compatibility — neither side is constant
+//   in the candidate context. No full level-wise sweep ever runs.
+//
+// The correctness contract is exact equivalence: survivors + newly found
+// ODs == a fresh full FASTOD run on the grown relation, bit for bit
+// (pinned in tests/incremental_test.cc). It requires the prior set to be
+// the *complete minimal* result for the prefix and prefix validity of
+// every prior OD; both hold when the prior came from a fastod run on the
+// previous dataset version.
+#ifndef FASTOD_INCREMENTAL_INCREMENTAL_H_
+#define FASTOD_INCREMENTAL_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "data/encode.h"
+#include "od/canonical_od.h"
+
+namespace fastod {
+
+class OdSink;
+
+/// The prior version's complete minimal OD set (a fastod result). The
+/// incremental engine covers the two canonical shapes; bidirectional and
+/// list-shaped priors are not supported.
+struct PriorOds {
+  std::vector<ConstancyOd> constancy;
+  std::vector<CompatibilityOd> compatibility;
+};
+
+struct IncrementalOptions {
+  /// Rows of the relation prefix the prior set was discovered on — the
+  /// first appended row index. Phase 1 scans only context classes
+  /// touching rows at or past this index. Must be the row count of the
+  /// dataset version the prior result came from.
+  int64_t base_rows = 0;
+
+  /// Streaming target: revocations (phase 1, prior order) then new
+  /// discoveries (phase 2, level order). Surviving ODs are *not*
+  /// re-emitted — a stream consumer already holds them from the prior
+  /// run. Must outlive Run().
+  OdSink* sink = nullptr;
+
+  /// Cooperative cancellation/deadline, polled per re-validation and per
+  /// escalation node. Must outlive Run().
+  ExecutionControl* control = nullptr;
+};
+
+struct IncrementalResult {
+  /// The grown relation's complete minimal OD set: survivors (prior
+  /// order) followed by phase-2 discoveries (level order).
+  std::vector<ConstancyOd> constancy_ods;
+  std::vector<CompatibilityOd> compatibility_ods;
+
+  /// Prior ODs the delta broke.
+  std::vector<ConstancyOd> revoked_constancy;
+  std::vector<CompatibilityOd> revoked_compatibility;
+
+  /// Phase-2 discoveries only (suffixes of the final vectors above).
+  int64_t new_constancy = 0;
+  int64_t new_compatibility = 0;
+
+  int64_t revalidated = 0;     // prior ODs checked in phase 1
+  int64_t escalations = 0;     // broken ODs that seeded phase 2
+  int64_t nodes_searched = 0;  // lattice nodes validated in phase 2
+  bool cancelled = false;      // stopped early; result is partial
+};
+
+/// One incremental run. The relation is the *grown* version (prefix +
+/// appended rows); it must outlive the object.
+class IncrementalDiscovery {
+ public:
+  IncrementalDiscovery(const EncodedRelation* relation,
+                       IncrementalOptions options);
+
+  IncrementalResult Run(const PriorOds& prior);
+
+ private:
+  const EncodedRelation* relation_;
+  IncrementalOptions options_;
+};
+
+}  // namespace fastod
+
+#endif  // FASTOD_INCREMENTAL_INCREMENTAL_H_

@@ -190,4 +190,101 @@ std::string OrderResultToText(const OrderResult& result,
   return out;
 }
 
+namespace {
+
+std::string ConstancyArrayJson(const RelationInfo& info,
+                               const std::vector<ConstancyOd>& ods) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < ods.size(); ++i) {
+    out += "    {\"context\": " + ContextJson(info, ods[i].context) +
+           ", \"attribute\": \"" +
+           JsonEscape(AttrName(info, ods[i].attribute)) + "\"}";
+    if (i + 1 < ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]";
+  return out;
+}
+
+std::string CompatibilityArrayJson(const RelationInfo& info,
+                                   const std::vector<CompatibilityOd>& ods) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < ods.size(); ++i) {
+    out += "    {\"context\": " + ContextJson(info, ods[i].context) +
+           ", \"a\": \"" + JsonEscape(AttrName(info, ods[i].a)) +
+           "\", \"b\": \"" + JsonEscape(AttrName(info, ods[i].b)) + "\"}";
+    if (i + 1 < ods.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]";
+  return out;
+}
+
+}  // namespace
+
+std::string IncrementalResultToJson(const IncrementalResult& result,
+                                    const RelationInfo& info, double seconds,
+                                    int64_t base_rows) {
+  std::string out = HeaderJson("incremental", info, seconds, false);
+  out += "  \"constancy_ods\": " +
+         ConstancyArrayJson(info, result.constancy_ods);
+  out += ",\n  \"compatibility_ods\": " +
+         CompatibilityArrayJson(info, result.compatibility_ods);
+  out += ",\n  \"bidirectional_ods\": [\n  ]";
+  out += ",\n  \"revoked_constancy_ods\": " +
+         ConstancyArrayJson(info, result.revoked_constancy);
+  out += ",\n  \"revoked_compatibility_ods\": " +
+         CompatibilityArrayJson(info, result.revoked_compatibility);
+  out += ",\n  \"incremental\": {\"base_rows\": " +
+         std::to_string(base_rows) +
+         ", \"delta_rows\": " + std::to_string(info.rows - base_rows) +
+         ", \"revalidated\": " + std::to_string(result.revalidated) +
+         ", \"revoked\": " +
+         std::to_string(result.revoked_constancy.size() +
+                        result.revoked_compatibility.size()) +
+         ", \"new_ods\": " +
+         std::to_string(result.new_constancy + result.new_compatibility) +
+         ", \"escalations\": " + std::to_string(result.escalations) +
+         ", \"nodes_searched\": " + std::to_string(result.nodes_searched) +
+         ", \"cancelled\": " + (result.cancelled ? "true" : "false") + "}";
+  out += "\n}\n";
+  return out;
+}
+
+std::string IncrementalResultToText(const IncrementalResult& result,
+                                    const RelationInfo& info,
+                                    double seconds) {
+  char buf[224];
+  std::snprintf(
+      buf, sizeof(buf),
+      "INCREMENTAL: %lld ODs (%lld surviving + %lld new), %lld revoked, "
+      "%lld lattice nodes re-searched in %.3fs%s\n",
+      static_cast<long long>(result.constancy_ods.size() +
+                             result.compatibility_ods.size()),
+      static_cast<long long>(result.constancy_ods.size() +
+                             result.compatibility_ods.size() -
+                             result.new_constancy -
+                             result.new_compatibility),
+      static_cast<long long>(result.new_constancy +
+                             result.new_compatibility),
+      static_cast<long long>(result.revoked_constancy.size() +
+                             result.revoked_compatibility.size()),
+      static_cast<long long>(result.nodes_searched), seconds,
+      result.cancelled ? " [CANCELLED]" : "");
+  std::string out = buf;
+  for (const ConstancyOd& od : result.revoked_constancy) {
+    out += "  revoked " + od.ToString(*info.schema) + "\n";
+  }
+  for (const CompatibilityOd& od : result.revoked_compatibility) {
+    out += "  revoked " + od.ToString(*info.schema) + "\n";
+  }
+  for (const ConstancyOd& od : result.constancy_ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  for (const CompatibilityOd& od : result.compatibility_ods) {
+    out += "  " + od.ToString(*info.schema) + "\n";
+  }
+  return out;
+}
+
 }  // namespace fastod

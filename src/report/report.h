@@ -21,6 +21,7 @@
 #include "algo/tane.h"
 #include "common/json.h"  // JsonEscape, used by every renderer below
 #include "data/schema.h"
+#include "incremental/incremental.h"
 
 namespace fastod {
 
@@ -57,6 +58,18 @@ std::string OrderResultToJson(const OrderResult& result,
                               const RelationInfo& info);
 std::string OrderResultToText(const OrderResult& result,
                               const RelationInfo& info);
+
+/// The incremental engine's report: the grown relation's full minimal OD
+/// set in the standard constancy/compatibility arrays (so any consumer of
+/// the fastod shape parses it unchanged), plus "revoked_*_ods" arrays and
+/// an "incremental" stats object (base_rows, delta_rows, revalidated,
+/// revoked, new_ods, escalations, nodes_searched, cancelled).
+std::string IncrementalResultToJson(const IncrementalResult& result,
+                                    const RelationInfo& info, double seconds,
+                                    int64_t base_rows);
+std::string IncrementalResultToText(const IncrementalResult& result,
+                                    const RelationInfo& info,
+                                    double seconds);
 
 }  // namespace fastod
 

@@ -172,6 +172,22 @@ std::string EventJsonLine(const OdEvent& event, const Schema& schema) {
           w.EndArray();
           w.Key("od").String(CanonicalOdToString(od.od, schema));
           w.Key("support").Double(od.support);
+        } else if constexpr (std::is_same_v<T, RevokedOd>) {
+          // A retraction of a previously streamed/reported OD; od_type +
+          // the shape's usual fields identify which one.
+          w.Key("type").String("revoked");
+          if (std::holds_alternative<ConstancyOd>(od.od)) {
+            const ConstancyOd& c = std::get<ConstancyOd>(od.od);
+            w.Key("od_type").String("constancy").Key("context");
+            AppendContext(&w, c.context, schema);
+            w.Key("attribute").String(schema.name(c.attribute));
+          } else {
+            const CompatibilityOd& c = std::get<CompatibilityOd>(od.od);
+            w.Key("od_type").String("compatibility").Key("context");
+            AppendContext(&w, c.context, schema);
+            w.Key("a").String(schema.name(c.a));
+            w.Key("b").String(schema.name(c.b));
+          }
         }
       },
       event);
@@ -260,17 +276,39 @@ void AppendDatasetInfo(JsonWriter* w, const DatasetInfo& info) {
       .String(info.id)
       .Key("source")
       .String(info.source)
+      .Key("version")
+      .Int(info.version)
       .Key("rows")
       .Int(info.rows)
       .Key("columns")
       .Int(info.columns)
       .Key("bytes")
       .Int(info.bytes)
+      .Key("retained_bytes")
+      .Int(info.retained_bytes)
       .Key("hits")
       .Int(info.hits)
       .Key("pinned")
-      .Bool(info.pinned)
-      .EndObject();
+      .Bool(info.pinned);
+  if (!info.versions.empty()) {
+    w->Key("versions").BeginArray();
+    for (const DatasetVersionInfo& v : info.versions) {
+      w->BeginObject()
+          .Key("version")
+          .Int(v.version)
+          .Key("rows")
+          .Int(v.rows)
+          .Key("bytes")
+          .Int(v.bytes)
+          .Key("pinned")
+          .Bool(v.pinned)
+          .Key("current")
+          .Bool(v.current)
+          .EndObject();
+    }
+    w->EndArray();
+  }
+  w->EndObject();
 }
 
 /// Collapses a request path onto its route template so the per-route
@@ -280,7 +318,15 @@ std::string RouteFamily(const std::string& path) {
       path == "/v1/sessions" || path == "/v1/datasets") {
     return path;
   }
-  if (path.rfind("/v1/datasets/", 0) == 0) return "/v1/datasets/{id}";
+  if (path.rfind("/v1/datasets/", 0) == 0) {
+    const char* rows = "/rows";
+    if (path.size() >= std::strlen(rows) &&
+        path.compare(path.size() - std::strlen(rows), std::string::npos,
+                     rows) == 0) {
+      return "/v1/datasets/{id}/rows";
+    }
+    return "/v1/datasets/{id}";
+  }
   if (path.rfind("/v1/sessions/", 0) == 0) {
     for (const char* suffix : {"/result", "/stream", "/trace"}) {
       if (path.size() >= std::strlen(suffix) &&
@@ -519,6 +565,17 @@ void DiscoveryServer::Route(const HttpRequest& request,
   const std::string dataset_prefix = "/v1/datasets/";
   if (request.path.rfind(dataset_prefix, 0) == 0) {
     std::string dataset_id = request.path.substr(dataset_prefix.size());
+    const std::string rows_suffix = "/rows";
+    if (dataset_id.size() > rows_suffix.size() &&
+        dataset_id.compare(dataset_id.size() - rows_suffix.size(),
+                           std::string::npos, rows_suffix) == 0) {
+      dataset_id.resize(dataset_id.size() - rows_suffix.size());
+      if (!dataset_id.empty() &&
+          dataset_id.find('/') == std::string::npos) {
+        if (request.method != "POST") return method_not_allowed("POST");
+        return HandleAppendRows(dataset_id, request, writer);
+      }
+    }
     if (!dataset_id.empty() &&
         dataset_id.find('/') == std::string::npos) {
       if (request.method == "GET") {
@@ -599,9 +656,11 @@ void DiscoveryServer::HandleMetrics(HttpResponseWriter& writer) {
     // gauges refresh at scrape time instead of on every store mutation.
     int64_t pinned = 0;
     int64_t hits = 0;
+    int64_t versions = 0;
     for (const DatasetInfo& info : store_.List()) {
       pinned += info.pinned ? 1 : 0;
       hits += info.hits;
+      versions += static_cast<int64_t>(info.versions.size());
     }
     registry
         .GetGauge("fastod_dataset_store_resident_bytes",
@@ -628,6 +687,15 @@ void DiscoveryServer::HandleMetrics(HttpResponseWriter& writer) {
         .GetGauge("fastod_dataset_store_evictions",
                   "Datasets evicted by the residency budget since start")
         ->Set(store_.evictions());
+    registry
+        .GetGauge("fastod_dataset_store_retained_bytes",
+                  "Bytes held by superseded dataset versions still "
+                  "pinned by sessions")
+        ->Set(store_.RetainedBytes());
+    registry
+        .GetGauge("fastod_dataset_store_versions",
+                  "Resident dataset versions (current + retained)")
+        ->Set(versions);
   }
   writer.Send(200, "text/plain; version=0.0.4; charset=utf-8",
               registry.WriteText());
@@ -655,7 +723,7 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
     (void)value;
     if (key != "algorithm" && key != "options" && key != "csv" &&
         key != "csv_path" && key != "dataset_id" && key != "csv_options" &&
-        key != "stream") {
+        key != "dataset_version" && key != "stream") {
       return SendError(writer, Status::InvalidArgument(
                                    "unknown request field '" + key + "'"));
     }
@@ -678,6 +746,23 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
   if (dataset_id != nullptr && !dataset_id->is_string()) {
     return SendError(writer, Status::InvalidArgument(
                                  "\"dataset_id\" must be a string"));
+  }
+  int64_t dataset_version = 0;  // 0 = current
+  if (const JsonValue* raw = body.Find("dataset_version"); raw != nullptr) {
+    if (dataset_id == nullptr) {
+      return SendError(writer,
+                       Status::InvalidArgument(
+                           "\"dataset_version\" applies only to "
+                           "\"dataset_id\" sessions"));
+    }
+    if (!raw->is_number() ||
+        raw->number_value() != static_cast<int64_t>(raw->number_value()) ||
+        raw->number_value() < 1) {
+      return SendError(writer, Status::InvalidArgument(
+                                   "\"dataset_version\" must be a "
+                                   "positive integer"));
+    }
+    dataset_version = static_cast<int64_t>(raw->number_value());
   }
   if (dataset_id != nullptr && body.Find("csv_options") != nullptr) {
     // Parse settings were fixed when the dataset was uploaded; silently
@@ -755,7 +840,8 @@ void DiscoveryServer::HandleCreateSession(const HttpRequest& request,
       return service_.Submit(*id);
     }
     if (dataset_id != nullptr) {
-      return service_.SubmitDataset(*id, dataset_id->string_value());
+      return service_.SubmitDataset(*id, dataset_id->string_value(),
+                                    dataset_version);
     }
     return service_.SubmitCsv(*id, csv_path->string_value(), csv_options);
   }();
@@ -849,6 +935,71 @@ void DiscoveryServer::HandleCreateDataset(const HttpRequest& request,
   JsonWriter w;
   AppendDatasetInfo(&w, info);
   SendJson(writer, 201, w.str() + "\n");
+}
+
+void DiscoveryServer::HandleAppendRows(const std::string& dataset_id,
+                                       const HttpRequest& request,
+                                       HttpResponseWriter& writer) {
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return SendError(writer, parsed.status());
+  const JsonValue& body = *parsed;
+  if (!body.is_object()) {
+    return SendError(writer,
+                     Status::InvalidArgument("request body must be a JSON "
+                                             "object"));
+  }
+  for (const auto& [key, value] : body.object_items()) {
+    (void)value;
+    if (key != "csv" && key != "csv_path" && key != "csv_options") {
+      return SendError(writer, Status::InvalidArgument(
+                                   "unknown request field '" + key + "'"));
+    }
+  }
+  const JsonValue* csv = body.Find("csv");
+  const JsonValue* csv_path = body.Find("csv_path");
+  if ((csv == nullptr) == (csv_path == nullptr)) {
+    return SendError(writer,
+                     Status::InvalidArgument("provide exactly one of "
+                                             "\"csv\" and \"csv_path\""));
+  }
+  if (Status s = ValidateCsvSource(csv, csv_path, options_.allow_csv_path);
+      !s.ok()) {
+    return SendError(writer, s);
+  }
+  // Appended rows are data-only by default: the dataset's schema was fixed
+  // at upload, so delta CSVs normally carry no header line.
+  CsvOptions csv_options;
+  csv_options.has_header = false;
+  if (const JsonValue* raw = body.Find("csv_options"); raw != nullptr) {
+    Result<CsvOptions> explicit_options = ParseCsvOptionsField(raw);
+    if (!explicit_options.ok()) {
+      return SendError(writer, explicit_options.status());
+    }
+    csv_options = *explicit_options;
+  }
+  Result<std::shared_ptr<const LoadedDataset>> grown =
+      csv != nullptr
+          ? store_.AppendCsvString(dataset_id, csv->string_value(),
+                                   csv_options)
+          : store_.AppendCsvFile(dataset_id, csv_path->string_value(),
+                                 csv_options);
+  if (!grown.ok()) return SendError(writer, grown.status());
+  JsonWriter w;
+  w.BeginObject()
+      .Key("id")
+      .String(dataset_id)
+      .Key("version")
+      .Int((*grown)->version())
+      .Key("rows")
+      .Int((*grown)->NumRows())
+      .Key("appended_rows")
+      .Int((*grown)->delta_rows())
+      .Key("columns")
+      .Int((*grown)->NumAttributes())
+      .Key("bytes")
+      .Int((*grown)->ApproxBytes())
+      .EndObject();
+  SendJson(writer, 200, w.str() + "\n");
 }
 
 void DiscoveryServer::HandleListDatasets(HttpResponseWriter& writer) {

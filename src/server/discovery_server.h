@@ -15,6 +15,9 @@
 //                                               on the worker — XOR —
 //           "dataset_id": "flight",             a resident dataset
 //                                               uploaded via /v1/datasets
+//           "dataset_version": 2,               pin a specific version
+//                                               (dataset_id only;
+//                                               default = current)
 //           "csv_options": {"delimiter": ",", "has_header": true,
 //                           "max_rows": 1000},
 //           "stream": true}                     enable /stream below
@@ -27,8 +30,22 @@
 //          {"id": "flight",                     optional (ds-N otherwise)
 //           "csv": "..." | "csv_path": "...",   exactly one
 //           "csv_options": {...}}
-//   GET    /v1/datasets              {"datasets":[{id,source,rows,
-//                                    columns,bytes,hits,pinned}...],
+//   POST   /v1/datasets/{id}/rows    append rows, minting a new dataset
+//                                    version: delta rows are re-encoded
+//                                    into the existing dictionaries and
+//                                    the level-1 partitions extended,
+//                                    without touching the prior version
+//                                    (which stays alive while sessions
+//                                    pin it). Responds {id,version,rows,
+//                                    appended_rows,columns,bytes}; 409
+//                                    when a concurrent append won the
+//                                    race. Delta CSVs default to
+//                                    has_header=false (data-only).
+//          {"csv": "..." | "csv_path": "...",   exactly one
+//           "csv_options": {...}}
+//   GET    /v1/datasets              {"datasets":[{id,source,version,
+//                                    rows,columns,bytes,retained_bytes,
+//                                    hits,pinned,versions:[...]}...],
 //                                    total_bytes,budget_bytes,evictions,
 //                                    hits_total,pinned_count}
 //   GET    /v1/datasets/{id}         one dataset's info row
@@ -55,7 +72,11 @@
 //                                    terminal session (409 before)
 //   GET    /v1/sessions/{id}/stream  chunked transfer; one JSON line per
 //                                    OD *while the session runs*, closed
-//                                    by an {"type":"end",...} line
+//                                    by an {"type":"end",...} line. The
+//                                    incremental algorithm additionally
+//                                    emits {"type":"revoked",...} lines
+//                                    for prior ODs the appended rows
+//                                    falsified
 //   GET    /v1/sessions/{id}/trace   the session's observability trace
 //                                    (phase spans + engine search
 //                                    counters, see obs/trace.h) as JSON;
@@ -184,6 +205,9 @@ class DiscoveryServer {
                            HttpResponseWriter& writer);
   void HandleCreateDataset(const HttpRequest& request,
                            HttpResponseWriter& writer);
+  void HandleAppendRows(const std::string& dataset_id,
+                        const HttpRequest& request,
+                        HttpResponseWriter& writer);
   void HandleListDatasets(HttpResponseWriter& writer);
   void HandleDatasetInfo(const std::string& dataset_id,
                          HttpResponseWriter& writer);

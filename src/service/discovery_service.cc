@@ -84,11 +84,12 @@ Status DiscoveryService::LoadTable(SessionId id, Table table) {
 }
 
 Status DiscoveryService::LoadDataset(SessionId id,
-                                     const std::string& dataset_id) {
+                                     const std::string& dataset_id,
+                                     int64_t version) {
   auto session = FindMutable(id);
   if (session == nullptr) return StaleHandle(id);
   Result<std::shared_ptr<const LoadedDataset>> dataset =
-      store_.Get(dataset_id);
+      store_.Get(dataset_id, version);
   if (!dataset.ok()) return dataset.status();
   return session->LoadDataset(*std::move(dataset));
 }
@@ -211,8 +212,9 @@ Status DiscoveryService::SubmitCsv(SessionId id, const std::string& path,
 }
 
 Status DiscoveryService::SubmitDataset(SessionId id,
-                                       const std::string& dataset_id) {
-  if (Status s = LoadDataset(id, dataset_id); !s.ok()) return s;
+                                       const std::string& dataset_id,
+                                       int64_t version) {
+  if (Status s = LoadDataset(id, dataset_id, version); !s.ok()) return s;
   return Submit(id);
 }
 

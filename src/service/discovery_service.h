@@ -87,8 +87,12 @@ class DiscoveryService {
   /// Binds the dataset registered in store() under `dataset_id` — by
   /// reference, so N sessions on one dataset share a single parse,
   /// encoding, and set of level-1 partitions. The session pins the
-  /// dataset until destroyed.
-  Status LoadDataset(SessionId id, const std::string& dataset_id);
+  /// dataset until destroyed. `version` <= 0 binds the current version;
+  /// a positive version binds that exact version, which succeeds only
+  /// while it is current or still pinned by another session (superseded
+  /// versions live exactly as long as someone holds them).
+  Status LoadDataset(SessionId id, const std::string& dataset_id,
+                     int64_t version = 0);
   /// Same, for a dataset the caller already holds (C ABI dataset
   /// handles bypass the store's id namespace).
   Status LoadDataset(SessionId id,
@@ -106,7 +110,8 @@ class DiscoveryService {
   /// submission path. Binding is in-memory and synchronous (unlike
   /// SubmitCsv there is no IO to defer), so stale dataset ids fail here,
   /// not as a kFailed session.
-  Status SubmitDataset(SessionId id, const std::string& dataset_id);
+  Status SubmitDataset(SessionId id, const std::string& dataset_id,
+                       int64_t version = 0);
 
   struct PollInfo {
     SessionState state = SessionState::kCreated;

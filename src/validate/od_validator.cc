@@ -50,12 +50,30 @@ const StrippedPartition& OdValidator::ContextPartition(AttributeSet context) {
   if (context.IsEmpty()) {
     partition = StrippedPartition::Universe(relation_->NumRows());
   } else {
-    // Build by repeated refinement from the cached largest proper subset we
-    // can find cheaply: just fold single-attribute partitions.
-    int first = context.First();
-    partition = StrippedPartition::ForAttribute(
-        relation_->ranks(first), relation_->NumDistinct(first));
-    for (int a = context.Next(first); a >= 0; a = context.Next(a)) {
+    // Refine from the largest cached proper subset — callers walking a
+    // lattice (minimality probes, the incremental engine's escalation
+    // BFS) ask for a context right after its parent, so this is usually
+    // one product instead of |X| - 1 — then fold in the missing
+    // singletons.
+    AttributeSet covered;
+    const StrippedPartition* seed = nullptr;
+    for (const auto& [cached_set, cached_partition] : context_cache_) {
+      if (cached_set.IsEmpty() || !context.ContainsAll(cached_set)) continue;
+      if (seed == nullptr || cached_set.Count() > covered.Count()) {
+        covered = cached_set;
+        seed = &cached_partition;
+      }
+    }
+    if (seed != nullptr) {
+      partition = *seed;
+    } else {
+      int first = context.First();
+      partition = StrippedPartition::ForAttribute(
+          relation_->ranks(first), relation_->NumDistinct(first));
+      covered = AttributeSet::Single(first);
+    }
+    for (int a = context.First(); a >= 0; a = context.Next(a)) {
+      if (covered.Contains(a)) continue;
       partition = partition.Product(StrippedPartition::ForAttribute(
           relation_->ranks(a), relation_->NumDistinct(a)));
     }

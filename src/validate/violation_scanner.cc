@@ -19,11 +19,14 @@ ViolationScanner::ViolationScanner(const EncodedRelation* relation)
   FASTOD_CHECK(relation_ != nullptr);
 }
 
-namespace {
-
-StrippedPartition BuildContextPartition(const EncodedRelation& rel,
-                                        AttributeSet context) {
+StrippedPartition ViolationScanner::BuildContextPartition(
+    AttributeSet context) const {
+  const EncodedRelation& rel = *relation_;
   if (context.IsEmpty()) return StrippedPartition::Universe(rel.NumRows());
+  if (context.Count() == 1) {
+    const int a = context.First();
+    return StrippedPartition::ForAttribute(rel.ranks(a), rel.NumDistinct(a));
+  }
   std::vector<const std::vector<int32_t>*> columns;
   for (int a = context.First(); a >= 0; a = context.Next(a)) {
     columns.push_back(&rel.ranks(a));
@@ -31,21 +34,37 @@ StrippedPartition BuildContextPartition(const EncodedRelation& rel,
   return StrippedPartition::FromRankColumns(columns, rel.NumRows());
 }
 
+namespace {
+
 bool Full(const std::vector<Violation>& v, const ScanOptions& options) {
   return options.max_violations > 0 &&
          static_cast<int64_t>(v.size()) >= options.max_violations;
+}
+
+/// Delta-limited scans skip classes with no tuple at or past delta_start.
+/// Tuple ids within a class are ascending, so the last element decides.
+template <typename ClassSpan>
+bool SkipForDelta(const ClassSpan& cls, const ScanOptions& options) {
+  return options.delta_start >= 0 && !cls.empty() &&
+         static_cast<int64_t>(cls[cls.size() - 1]) < options.delta_start;
 }
 
 }  // namespace
 
 std::vector<Violation> ViolationScanner::ScanConstancy(
     AttributeSet context, int attribute, const ScanOptions& options) {
+  return ScanConstancy(BuildContextPartition(context), attribute, options);
+}
+
+std::vector<Violation> ViolationScanner::ScanConstancy(
+    const StrippedPartition& partition, int attribute,
+    const ScanOptions& options) {
   std::vector<Violation> out;
-  StrippedPartition partition = BuildContextPartition(*relation_, context);
   const std::vector<int32_t>& ranks = relation_->ranks(attribute);
   for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
        ++c) {
     auto cls = partition.Class(c);
+    if (SkipForDelta(cls, options)) continue;
     // Group class members by the attribute's rank; any two members in
     // different groups form a split pair. Report pairs against the first
     // member of the first differing group to keep output size linear-ish.
@@ -60,14 +79,20 @@ std::vector<Violation> ViolationScanner::ScanConstancy(
 
 std::vector<Violation> ViolationScanner::ScanCompatibility(
     AttributeSet context, int a, int b, const ScanOptions& options) {
+  return ScanCompatibility(BuildContextPartition(context), a, b, options);
+}
+
+std::vector<Violation> ViolationScanner::ScanCompatibility(
+    const StrippedPartition& partition, int a, int b,
+    const ScanOptions& options) {
   std::vector<Violation> out;
-  StrippedPartition partition = BuildContextPartition(*relation_, context);
   const std::vector<int32_t>& ranks_a = relation_->ranks(a);
   const std::vector<int32_t>& ranks_b = relation_->ranks(b);
   std::vector<int32_t> buffer;
   for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
        ++c) {
     auto cls = partition.Class(c);
+    if (SkipForDelta(cls, options)) continue;
     buffer.assign(cls.begin(), cls.end());
     std::sort(buffer.begin(), buffer.end(),
               [&ranks_a](int32_t s, int32_t t) {

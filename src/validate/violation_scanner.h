@@ -16,6 +16,7 @@
 #include "data/encode.h"
 #include "od/canonical_od.h"
 #include "od/list_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -32,6 +33,16 @@ struct Violation {
 struct ScanOptions {
   /// Stop after this many violations (0 = unlimited).
   int64_t max_violations = 1000;
+  /// Delta-limited scanning for incremental re-validation (< 0 = off):
+  /// skip every context class whose tuples all lie before this row index.
+  /// Sound when rows [0, delta_start) satisfied the dependency — then any
+  /// violating pair involves at least one appended tuple, and a class
+  /// without appended tuples cannot contain one. Classes that do touch
+  /// the delta are scanned in full, so reported pairs may still be two
+  /// old tuples split/swapped relative to each other only via the class
+  /// structure; with an invalid prefix the scan is merely incomplete,
+  /// never wrong about the pairs it reports.
+  int64_t delta_start = -1;
 };
 
 class ViolationScanner {
@@ -45,6 +56,22 @@ class ViolationScanner {
   /// Swap pairs violating X: A ~ B.
   std::vector<Violation> ScanCompatibility(AttributeSet context, int a, int b,
                                            const ScanOptions& options = {});
+
+  /// Same scans against a caller-prebuilt partition of the context —
+  /// for callers (the incremental engine's re-validation pass) that
+  /// check many dependencies sharing a context and would otherwise pay
+  /// the partition build per dependency.
+  std::vector<Violation> ScanConstancy(const StrippedPartition& context,
+                                       int attribute,
+                                       const ScanOptions& options = {});
+  std::vector<Violation> ScanCompatibility(const StrippedPartition& context,
+                                           int a, int b,
+                                           const ScanOptions& options = {});
+
+  /// The partition the context-taking scans build internally: one class
+  /// per distinct context value (singleton classes stripped; the empty
+  /// context is the universe class).
+  StrippedPartition BuildContextPartition(AttributeSet context) const;
 
   std::vector<Violation> Scan(const CanonicalOd& od,
                               const ScanOptions& options = {});

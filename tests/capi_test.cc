@@ -4,12 +4,15 @@
 // errors, sync + async execution, cancellation, and the JSON result.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "capi/fastod_c.h"
+#include "common/json.h"
 #include "data/csv.h"
 #include "gen/generators.h"
 #include "obs/metrics.h"
@@ -228,6 +231,75 @@ TEST(CApiTest, DatasetHandleReusedAcrossSessions) {
   }
 }
 
+TEST(CApiTest, AppendRowsMintsNewVersionAndIncrementalMatchesFull) {
+  std::string path = WriteEmployeeCsv("capi_append.csv");
+  fastod_dataset_t* v1 = fastod_dataset_load_csv(path.c_str());
+  std::remove(path.c_str());
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(fastod_dataset_version(v1), 1);
+  EXPECT_EQ(fastod_dataset_base_rows(v1), 6);
+
+  // Prior full run over version 1.
+  fastod_session_t* prior_session = fastod_create("fastod");
+  ASSERT_NE(prior_session, nullptr);
+  ASSERT_EQ(fastod_use_dataset(prior_session, v1), FASTOD_OK);
+  ASSERT_EQ(fastod_execute(prior_session), FASTOD_OK);
+  std::string prior = fastod_result_json(prior_session);
+  fastod_destroy(prior_session);
+
+  // A headerless delta row reusing an existing (ID, yr) key with
+  // conflicting attributes, so some prior ODs must be revoked.
+  fastod_dataset_t* v2 = fastod_dataset_append_rows(
+      v1, "10,16,secr,2,9000,35,4000,B,II\n");
+  ASSERT_NE(v2, nullptr) << fastod_last_error(nullptr);
+  EXPECT_EQ(fastod_dataset_version(v2), 2);
+  EXPECT_EQ(fastod_dataset_base_rows(v2), 6);
+  EXPECT_EQ(fastod_dataset_rows(v2), 7);
+  // The parent handle is untouched and independently destroyable.
+  EXPECT_EQ(fastod_dataset_rows(v1), 6);
+  fastod_dataset_destroy(v1);
+
+  // Incremental over v2 seeded with the v1 report...
+  fastod_session_t* incremental = fastod_create("incremental");
+  ASSERT_NE(incremental, nullptr);
+  ASSERT_EQ(fastod_set_option(incremental, "prior", prior.c_str()),
+            FASTOD_OK);
+  ASSERT_EQ(fastod_use_dataset(incremental, v2), FASTOD_OK);
+  ASSERT_EQ(fastod_execute(incremental), FASTOD_OK);
+  std::string incremental_json = fastod_result_json(incremental);
+  fastod_destroy(incremental);
+  EXPECT_NE(incremental_json.find("\"revoked_constancy_ods\""),
+            std::string::npos);
+
+  // ...must report the same OD sets a fresh full run finds (the arrays
+  // may order ODs differently: survivors first vs. pure level order).
+  fastod_session_t* fresh = fastod_create("fastod");
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_EQ(fastod_use_dataset(fresh, v2), FASTOD_OK);
+  fastod_dataset_destroy(v2);
+  ASSERT_EQ(fastod_execute(fresh), FASTOD_OK);
+  std::string fresh_json = fastod_result_json(fresh);
+  fastod_destroy(fresh);
+  auto od_set = [](const std::string& json, const char* key) {
+    std::vector<std::string> dumps;
+    auto parsed = ParseJson(json);
+    EXPECT_TRUE(parsed.ok());
+    if (!parsed.ok()) return dumps;
+    const JsonValue* array = parsed->Find(key);
+    EXPECT_NE(array, nullptr) << key;
+    if (array == nullptr) return dumps;
+    for (const JsonValue& od : array->array_items()) {
+      dumps.push_back(od.Dump());
+    }
+    std::sort(dumps.begin(), dumps.end());
+    return dumps;
+  };
+  EXPECT_EQ(od_set(incremental_json, "constancy_ods"),
+            od_set(fresh_json, "constancy_ods"));
+  EXPECT_EQ(od_set(incremental_json, "compatibility_ods"),
+            od_set(fresh_json, "compatibility_ods"));
+}
+
 TEST(CApiTest, DatasetErrorsAreReported) {
   EXPECT_EQ(fastod_dataset_load_csv("/nonexistent/file.csv"), nullptr);
   std::string error = fastod_last_error(nullptr);
@@ -235,7 +307,22 @@ TEST(CApiTest, DatasetErrorsAreReported) {
   EXPECT_EQ(fastod_dataset_load_csv(nullptr), nullptr);
   EXPECT_EQ(fastod_dataset_rows(nullptr), -1);
   EXPECT_EQ(fastod_dataset_columns(nullptr), -1);
+  EXPECT_EQ(fastod_dataset_version(nullptr), -1);
+  EXPECT_EQ(fastod_dataset_base_rows(nullptr), -1);
+  EXPECT_EQ(fastod_dataset_append_rows(nullptr, "1\n"), nullptr);
   fastod_dataset_destroy(nullptr);  // safe no-op
+
+  // Appending a delta with the wrong arity fails and names the problem.
+  std::string path = WriteEmployeeCsv("capi_append_err.csv");
+  fastod_dataset_t* dataset = fastod_dataset_load_csv(path.c_str());
+  std::remove(path.c_str());
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_EQ(fastod_dataset_append_rows(dataset, nullptr), nullptr);
+  EXPECT_EQ(fastod_dataset_append_rows(dataset, "1,2\n"), nullptr);
+  std::string append_error = fastod_last_error(nullptr);
+  EXPECT_NE(append_error.find("column"), std::string::npos)
+      << append_error;
+  fastod_dataset_destroy(dataset);
 
   fastod_session_t* session = fastod_create("fastod");
   ASSERT_NE(session, nullptr);

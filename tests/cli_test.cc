@@ -301,6 +301,56 @@ TEST_F(CliTest, BatchSharesNamedDatasetsAcrossJobs) {
   ASSERT_NE(first, last);
 }
 
+TEST_F(CliTest, BatchAppendGrowsNamedDatasetBeforeJobsRun) {
+  // Headerless delta: month 1 re-keyed into quarter 2, so jobs must see
+  // the 5-row grown version, not the 4-row load.
+  std::string delta = WriteFixture("cli_batch_delta.csv", "1,2,500,5\n");
+  std::string manifest = WriteFixture(
+      "cli_batch_append.txt",
+      "dataset months " + path_ + "\n"
+      "append months " + delta + "\n"
+      "@months fastod --max-level=2\n");
+  CliResult r = RunCli({"batch", manifest, "--output=json"});
+  std::remove(manifest.c_str());
+  std::remove(delta.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.error << r.output;
+  EXPECT_NE(r.output.find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"rows\": 5"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, BatchAppendDirectiveErrors) {
+  // Appending to a dataset no directive defined is a manifest error.
+  std::string undefined = WriteFixture(
+      "cli_batch_appundef.txt",
+      "append ghost /no/such/delta.csv\n" + path_ + " fastod\n");
+  CliResult r = RunCli({"batch", undefined});
+  std::remove(undefined.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("undefined dataset 'ghost'"), std::string::npos)
+      << r.error;
+
+  // Malformed directive (missing the delta path).
+  std::string malformed =
+      WriteFixture("cli_batch_appbad.txt", "dataset months " + path_ +
+                                               "\nappend months\n");
+  r = RunCli({"batch", malformed});
+  std::remove(malformed.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("append <name> <delta.csv>"), std::string::npos)
+      << r.error;
+
+  // A delta file that cannot be read fails the whole batch up front.
+  std::string missing = WriteFixture(
+      "cli_batch_appmissing.txt",
+      "dataset months " + path_ + "\nappend months /no/such/delta.csv\n"
+      "@months fastod\n");
+  r = RunCli({"batch", missing});
+  std::remove(missing.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("append to 'months'"), std::string::npos)
+      << r.error;
+}
+
 TEST_F(CliTest, BatchUnknownDatasetReferenceFailsThatJobOnly) {
   std::string manifest = WriteFixture(
       "cli_batch_badref.txt",

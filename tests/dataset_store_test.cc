@@ -285,5 +285,92 @@ TEST(DatasetStoreTest, ConcurrentGetPutEvictIsSafe) {
   EXPECT_EQ(total, store.TotalBytes());
 }
 
+// ---- Versioned datasets (AppendRows and the version chain) ----------
+
+Table DeltaRows() {
+  return EmployeeTaxTable().SelectRows({0, 1});
+}
+
+TEST(DatasetStoreVersionTest, AppendMintsVersionsAndTracksHistory) {
+  DatasetStore store;
+  auto v1 = store.PutTable("emp", SmallTable());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*v1)->version(), 1);
+  // No append block yet: the whole relation is base, the delta empty.
+  EXPECT_EQ((*v1)->base_rows(), (*v1)->NumRows());
+  EXPECT_EQ((*v1)->delta_rows(), 0);
+
+  auto v2 = store.AppendRows("emp", DeltaRows());
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ((*v2)->version(), 2);
+  EXPECT_EQ((*v2)->base_rows(), (*v1)->NumRows());
+  EXPECT_EQ((*v2)->delta_rows(), 2);
+  EXPECT_EQ((*v2)->NumRows(), (*v1)->NumRows() + 2);
+
+  // Get() returns the current version; Get(id, 1) still resolves while
+  // this test pins v1 with its own strong reference.
+  auto current = store.Get("emp");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*current)->version(), 2);
+  auto old_version = store.Get("emp", 1);
+  ASSERT_TRUE(old_version.ok()) << old_version.status().ToString();
+  EXPECT_EQ(old_version->get(), v1->get());
+  EXPECT_EQ(store.Get("emp", 2)->get(), v2->get());
+  EXPECT_EQ(store.Get("emp", 3).status().code(), StatusCode::kNotFound);
+
+  // Info reports the chain: current first, then retained versions.
+  auto info = store.Info("emp");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 2);
+  ASSERT_EQ(info->versions.size(), 2u);
+  EXPECT_TRUE(info->versions[0].current);
+  EXPECT_EQ(info->versions[0].version, 2);
+  EXPECT_EQ(info->versions[1].version, 1);
+  EXPECT_TRUE(info->versions[1].pinned);
+  EXPECT_GT(info->retained_bytes, 0);
+  EXPECT_EQ(store.RetainedBytes(), (*v1)->ApproxBytes());
+}
+
+TEST(DatasetStoreVersionTest, SupersededVersionsDieWithTheirPins) {
+  DatasetStore store;
+  ASSERT_TRUE(store.PutTable("emp", SmallTable()).ok());
+  {
+    auto v1 = store.Get("emp");
+    ASSERT_TRUE(v1.ok());
+    ASSERT_TRUE(store.AppendRows("emp", DeltaRows()).ok());
+    ASSERT_TRUE(store.Get("emp", 1).ok());  // alive while v1 pins it
+  }
+  // The pin is gone: version 1 is no longer resident.
+  auto gone = store.Get("emp", 1);
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.RetainedBytes(), 0);
+  auto info = store.Info("emp");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->versions.size(), 1u);  // only the current version
+
+  // Only current-version bytes count against the store's accounting.
+  auto current = store.Get("emp");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(store.TotalBytes(), (*current)->ApproxBytes());
+}
+
+TEST(DatasetStoreVersionTest, AppendToUnknownIdIsNotFound) {
+  DatasetStore store;
+  auto grown = store.AppendRows("nope", DeltaRows());
+  EXPECT_EQ(grown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetStoreVersionTest, AppendCsvStringGrowsTheDataset) {
+  DatasetStore store;
+  ASSERT_TRUE(store.PutCsvString("t", "a,b\n1,x\n2,y\n").ok());
+  CsvOptions delta_options;
+  delta_options.has_header = false;
+  auto grown = store.AppendCsvString("t", "3,z\n", delta_options);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  EXPECT_EQ((*grown)->version(), 2);
+  EXPECT_EQ((*grown)->NumRows(), 3);
+  EXPECT_EQ((*grown)->delta_rows(), 1);
+}
+
 }  // namespace
 }  // namespace fastod

@@ -1050,6 +1050,208 @@ TEST(DiscoveryServerTest, DatasetValidationAndErrorCodes) {
   EXPECT_NE(opts.body.find("csv_options"), std::string::npos);
 }
 
+// ------------------------------------ versioned datasets / incremental
+
+std::vector<std::string> SortedOdDump(const JsonValue& report,
+                                      const char* key) {
+  std::vector<std::string> dumps;
+  const JsonValue* array = report.Find(key);
+  if (array == nullptr) return dumps;
+  for (const JsonValue& od : array->array_items()) {
+    dumps.push_back(od.Dump());
+  }
+  std::sort(dumps.begin(), dumps.end());
+  return dumps;
+}
+
+// The PR-8 acceptance bar over HTTP: upload → discover → append →
+// incremental session streaming a revocation → result equivalent to a
+// fresh full run on the grown version.
+TEST(DiscoveryServerTest, AppendLifecycleStreamsRevocations) {
+  ServerFixture fixture;
+  int port = fixture.port();
+  // b is constant in the base, so [] -> b holds and the appended row
+  // (b=9) must revoke it.
+  std::string csv = "a,b,c\n1,7,10\n2,7,20\n3,7,30\n4,7,40\n5,7,50\n";
+
+  JsonWriter upload;
+  upload.BeginObject()
+      .Key("id")
+      .String("grow")
+      .Key("csv")
+      .String(csv)
+      .EndObject();
+  ASSERT_EQ(Fetch(port, "POST", "/v1/datasets", upload.str()).status, 201);
+
+  std::string prior =
+      RunSessionToResult(port, "fastod", "dataset_id", "grow");
+  ASSERT_FALSE(prior.empty());
+
+  // Append one headerless delta row → version 2.
+  ClientResponse appended = Fetch(port, "POST", "/v1/datasets/grow/rows",
+                                  "{\"csv\": \"6,9,15\\n\"}");
+  ASSERT_EQ(appended.status, 200) << appended.body;
+  auto append_info = ParseJson(appended.body);
+  ASSERT_TRUE(append_info.ok());
+  EXPECT_EQ(append_info->Find("id")->string_value(), "grow");
+  EXPECT_EQ(append_info->Find("version")->int_value(), 2);
+  EXPECT_EQ(append_info->Find("appended_rows")->int_value(), 1);
+  EXPECT_EQ(append_info->Find("rows")->int_value(), 6);
+
+  // The info row reports the new version and the per-version accounting
+  // (version 1 is still retained: the prior session pins it).
+  ClientResponse info = Fetch(port, "GET", "/v1/datasets/grow");
+  ASSERT_EQ(info.status, 200);
+  auto parsed_info = ParseJson(info.body);
+  ASSERT_TRUE(parsed_info.ok());
+  EXPECT_EQ(parsed_info->Find("version")->int_value(), 2);
+  EXPECT_GT(parsed_info->Find("retained_bytes")->int_value(), 0);
+  const JsonValue* versions = parsed_info->Find("versions");
+  ASSERT_NE(versions, nullptr) << info.body;
+  ASSERT_EQ(versions->array_items().size(), 2u);
+  EXPECT_EQ(versions->array_items()[0].Find("version")->int_value(), 2);
+  EXPECT_TRUE(versions->array_items()[0].Find("current")->bool_value());
+  EXPECT_EQ(versions->array_items()[1].Find("version")->int_value(), 1);
+  EXPECT_FALSE(versions->array_items()[1].Find("current")->bool_value());
+
+  // Incremental session over the grown dataset, streamed: the broken
+  // constancy arrives as a {"type": "revoked"} NDJSON line.
+  JsonWriter post;
+  post.BeginObject()
+      .Key("algorithm")
+      .String("incremental")
+      .Key("dataset_id")
+      .String("grow")
+      .Key("options")
+      .BeginObject()
+      .Key("prior")
+      .String(prior)
+      .EndObject()
+      .Key("stream")
+      .Bool(true)
+      .EndObject();
+  ClientResponse created =
+      Fetch(port, "POST", "/v1/sessions", post.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  ClientResponse stream = Fetch(
+      port, "GET", "/v1/sessions/" + std::to_string(id) + "/stream");
+  EXPECT_EQ(stream.status, 200);
+  EXPECT_NE(stream.body.find("\"type\": \"revoked\""), std::string::npos)
+      << stream.body;
+  EXPECT_NE(stream.body.find("\"od_type\": \"constancy\""),
+            std::string::npos)
+      << stream.body;
+  EXPECT_NE(stream.body.find("\"type\": \"end\""), std::string::npos);
+  WaitTerminal(port, id);
+  EXPECT_EQ(StateOf(port, id), "done");
+
+  ClientResponse result = Fetch(
+      port, "GET", "/v1/sessions/" + std::to_string(id) + "/result");
+  ASSERT_EQ(result.status, 200);
+  auto inc_report = ParseJson(StripTrace(result.body));
+  ASSERT_TRUE(inc_report.ok()) << result.body;
+  const JsonValue* revoked = inc_report->Find("revoked_constancy_ods");
+  ASSERT_NE(revoked, nullptr) << result.body;
+  EXPECT_GE(revoked->array_items().size(), 1u);
+  ASSERT_NE(inc_report->Find("incremental"), nullptr) << result.body;
+
+  // Equivalence oracle through the wire: surviving + new must equal a
+  // fresh full fastod run on version 2, as sets.
+  std::string fresh =
+      RunSessionToResult(port, "fastod", "dataset_id", "grow");
+  auto fresh_report = ParseJson(fresh);
+  ASSERT_TRUE(fresh_report.ok());
+  EXPECT_EQ(SortedOdDump(*inc_report, "constancy_ods"),
+            SortedOdDump(*fresh_report, "constancy_ods"));
+  EXPECT_EQ(SortedOdDump(*inc_report, "compatibility_ods"),
+            SortedOdDump(*fresh_report, "compatibility_ods"));
+}
+
+TEST(DiscoveryServerTest, DatasetVersionPinningAndAppendErrors) {
+  ServerFixture fixture;
+  int port = fixture.port();
+  JsonWriter upload;
+  upload.BeginObject()
+      .Key("id")
+      .String("pin")
+      .Key("csv")
+      .String("a,b\n1,7\n2,7\n3,7\n")
+      .EndObject();
+  ASSERT_EQ(Fetch(port, "POST", "/v1/datasets", upload.str()).status, 201);
+
+  // The finished session keeps version 1 alive after the append.
+  std::string v1_result =
+      RunSessionToResult(port, "fastod", "dataset_id", "pin");
+  ASSERT_EQ(
+      Fetch(port, "POST", "/v1/datasets/pin/rows", "{\"csv\": \"4,9\\n\"}")
+          .status,
+      200);
+
+  // dataset_version pins the superseded version: bit-for-bit the run
+  // that executed before the append.
+  JsonWriter pinned;
+  pinned.BeginObject()
+      .Key("algorithm")
+      .String("fastod")
+      .Key("dataset_id")
+      .String("pin")
+      .Key("dataset_version")
+      .Int(1)
+      .EndObject();
+  ClientResponse created =
+      Fetch(port, "POST", "/v1/sessions", pinned.str());
+  ASSERT_EQ(created.status, 201) << created.body;
+  int64_t id = SessionIdOf(created.body);
+  WaitTerminal(port, id);
+  EXPECT_EQ(StateOf(port, id), "done");
+  ClientResponse result = Fetch(
+      port, "GET", "/v1/sessions/" + std::to_string(id) + "/result");
+  ASSERT_EQ(result.status, 200);
+  EXPECT_EQ(MaskSeconds(StripTrace(result.body)), MaskSeconds(v1_result));
+
+  // A version that never existed (or is gone) → 404.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions",
+                  "{\"algorithm\": \"fastod\", \"dataset_id\": \"pin\", "
+                  "\"dataset_version\": 9}")
+                .status,
+            404);
+  // dataset_version without dataset_id is meaningless → 400.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions",
+                  "{\"algorithm\": \"fastod\", \"csv\": \"a\\n1\\n\", "
+                  "\"dataset_version\": 1}")
+                .status,
+            400);
+  // Fractional or non-positive versions are rejected up front.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions",
+                  "{\"algorithm\": \"fastod\", \"dataset_id\": \"pin\", "
+                  "\"dataset_version\": 0}")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/sessions",
+                  "{\"algorithm\": \"fastod\", \"dataset_id\": \"pin\", "
+                  "\"dataset_version\": 1.5}")
+                .status,
+            400);
+
+  // Append error routes.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets/ghost/rows",
+                  "{\"csv\": \"1,2\\n\"}")
+                .status,
+            404);
+  EXPECT_EQ(Fetch(port, "GET", "/v1/datasets/pin/rows").status, 405);
+  EXPECT_EQ(
+      Fetch(port, "POST", "/v1/datasets/pin/rows", "{}").status, 400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets/pin/rows",
+                  "{\"csv\": \"1,2,3\\n\"}")
+                .status,
+            400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/datasets/pin/rows",
+                  "{\"csv\": \"5,9\\n\", \"nope\": 1}")
+                .status,
+            400);
+}
+
 // --------------------------------------------------- observability
 
 /// Restores the process-wide metrics switch on scope exit: the whole

@@ -111,6 +111,106 @@ TEST(ViolationScannerTest, ViolationToString) {
   EXPECT_EQ(s.ToString(), "split(t0, t1)");
 }
 
+// ---- Delta-limited scans (ScanOptions::delta_start) -----------------
+// The incremental engine's phase 1: only equivalence classes touching a
+// tuple at or past delta_start are scanned, which is exact when the
+// prefix satisfied the dependency.
+
+TEST(ViolationScannerDeltaTest, EmptyDeltaScansNothing) {
+  // delta_start == NumRows: every class lives in the prefix, so even a
+  // dependency the relation violates reports no violations — the caller
+  // vouched for the prefix and there is no delta to blame.
+  auto t = ReadCsvString("a,b\n1,10\n2,90\n3,40\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  ViolationScanner scanner(&rel);
+  ASSERT_FALSE(
+      scanner.ScanCompatibility(AttributeSet::Empty(), 0, 1).empty());
+  ScanOptions options;
+  options.delta_start = rel.NumRows();
+  EXPECT_TRUE(
+      scanner.ScanCompatibility(AttributeSet::Empty(), 0, 1, options)
+          .empty());
+  EXPECT_TRUE(scanner.ScanConstancy(AttributeSet::Single(0), 1, options)
+                  .empty());
+}
+
+TEST(ViolationScannerDeltaTest, SingleRowAppendFindsItsViolation) {
+  // Prefix rows 0..3 satisfy a ~ b; appended row 4 swaps against row 3.
+  auto t = ReadCsvString("a,b\n1,10\n2,20\n3,30\n4,40\n5,35\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  ViolationScanner scanner(&rel);
+  ScanOptions options;
+  options.delta_start = 4;
+  auto violations =
+      scanner.ScanCompatibility(AttributeSet::Empty(), 0, 1, options);
+  ASSERT_FALSE(violations.empty());
+  // Every reported pair implicates the appended tuple's class.
+  for (const Violation& v : violations) {
+    EXPECT_TRUE(v.tuple_s == 4 || v.tuple_t == 4) << v.ToString();
+  }
+}
+
+TEST(ViolationScannerDeltaTest, AppendDuplicatingExistingKeyRow) {
+  // Row 4 duplicates row 1's key (a=2) with a conflicting b: its class
+  // gains a delta tuple, so the delta-limited constancy scan must fire
+  // even though the conflicting partner row is in the prefix.
+  auto t = ReadCsvString("a,b\n1,10\n2,20\n3,30\n4,40\n2,25\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  ViolationScanner scanner(&rel);
+  ScanOptions options;
+  options.delta_start = 4;
+  auto violations =
+      scanner.ScanConstancy(AttributeSet::Single(0), 1, options);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, ViolationKind::kSplit);
+  // An exact duplicate of an existing row, by contrast, breaks nothing.
+  auto dup = ReadCsvString("a,b\n1,10\n2,20\n3,30\n4,40\n2,20\n");
+  ASSERT_TRUE(dup.ok());
+  EncodedRelation dup_rel = Encode(*dup);
+  ViolationScanner dup_scanner(&dup_rel);
+  EXPECT_TRUE(dup_scanner.ScanConstancy(AttributeSet::Single(0), 1, options)
+                  .empty());
+  EXPECT_TRUE(
+      dup_scanner.ScanCompatibility(AttributeSet::Empty(), 0, 1, options)
+          .empty());
+}
+
+TEST(ViolationScannerDeltaTest, AllEqualColumnAppendStaysConstant) {
+  // Appending rows that repeat a constant column's single value keeps
+  // [] -> b violation-free; appending a second value breaks it and the
+  // delta-limited scan sees it (the single class contains delta rows).
+  auto same = ReadCsvString("a,b\n1,7\n2,7\n3,7\n4,7\n");
+  ASSERT_TRUE(same.ok());
+  EncodedRelation same_rel = Encode(*same);
+  ViolationScanner same_scanner(&same_rel);
+  ScanOptions options;
+  options.delta_start = 3;
+  EXPECT_TRUE(same_scanner.ScanConstancy(AttributeSet::Empty(), 1, options)
+                  .empty());
+
+  auto broken = ReadCsvString("a,b\n1,7\n2,7\n3,7\n4,9\n");
+  ASSERT_TRUE(broken.ok());
+  EncodedRelation broken_rel = Encode(*broken);
+  ViolationScanner broken_scanner(&broken_rel);
+  EXPECT_FALSE(
+      broken_scanner.ScanConstancy(AttributeSet::Empty(), 1, options)
+          .empty());
+}
+
+TEST(ViolationScannerDeltaTest, DefaultDisablesTheFilter) {
+  auto t = ReadCsvString("a,b\n1,10\n2,90\n3,40\n");
+  ASSERT_TRUE(t.ok());
+  EncodedRelation rel = Encode(*t);
+  ViolationScanner scanner(&rel);
+  ScanOptions options;  // delta_start = -1
+  EXPECT_FALSE(
+      scanner.ScanCompatibility(AttributeSet::Empty(), 0, 1, options)
+          .empty());
+}
+
 TEST(ViolationScannerTest, InjectedErrorIsLocated) {
   // Clean monotone data plus one corrupted row: the scanner should
   // implicate the corrupted tuple most often.
