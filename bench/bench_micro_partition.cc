@@ -4,7 +4,9 @@
 // strategies, and the O(1)-after-product FD error check.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
@@ -40,8 +42,8 @@ void BM_PartitionForAttribute(benchmark::State& state) {
       EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
           state.range(0)));
   for (auto _ : state) {
-    StrippedPartition p = StrippedPartition::ForAttribute(
-        rel->ranks(3), rel->NumDistinct(3));  // month column
+    StrippedPartition p =
+        StrippedPartition::ForAttribute(rel->codes(3));  // month column
     benchmark::DoNotOptimize(p);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -52,10 +54,9 @@ void BM_PartitionProduct(benchmark::State& state) {
   auto rel =
       EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
           state.range(0)));
-  StrippedPartition month = StrippedPartition::ForAttribute(
-      rel->ranks(3), rel->NumDistinct(3));
-  StrippedPartition carrier = StrippedPartition::ForAttribute(
-      rel->ranks(6), rel->NumDistinct(6));
+  StrippedPartition month = StrippedPartition::ForAttribute(rel->codes(3));
+  StrippedPartition carrier =
+      StrippedPartition::ForAttribute(rel->codes(6));
   for (auto _ : state) {
     StrippedPartition p = month.Product(carrier);
     benchmark::DoNotOptimize(p);
@@ -70,8 +71,8 @@ void BM_SwapCheckSortBased(benchmark::State& state) {
           state.range(0)));
   SortedPartitions sorted(*rel);
   SwapChecker checker(&*rel, &sorted, SwapCheckMethod::kSortBased);
-  StrippedPartition ctx = StrippedPartition::ForAttribute(
-      rel->ranks(6), rel->NumDistinct(6));  // carrier context
+  StrippedPartition ctx =
+      StrippedPartition::ForAttribute(rel->codes(6));  // carrier context
   for (auto _ : state) {
     bool ok = checker.IsOrderCompatible(ctx, 2, 3);  // date_sk ~ month
     benchmark::DoNotOptimize(ok);
@@ -86,8 +87,7 @@ void BM_SwapCheckTauBased(benchmark::State& state) {
           state.range(0)));
   SortedPartitions sorted(*rel);
   SwapChecker checker(&*rel, &sorted, SwapCheckMethod::kTauBased);
-  StrippedPartition ctx = StrippedPartition::ForAttribute(
-      rel->ranks(6), rel->NumDistinct(6));
+  StrippedPartition ctx = StrippedPartition::ForAttribute(rel->codes(6));
   for (auto _ : state) {
     bool ok = checker.IsOrderCompatible(ctx, 2, 3);
     benchmark::DoNotOptimize(ok);
@@ -96,16 +96,85 @@ void BM_SwapCheckTauBased(benchmark::State& state) {
 }
 BENCHMARK(BM_SwapCheckTauBased)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// The pre-columnar FromRankColumns reference: hash-group tuples by their
+// materialized rank vector, then sort the keys. Kept here (only) as the
+// row-oriented baseline the LSD-radix FromCodeColumns is measured against.
+StrippedPartition HashGroupPartition(
+    const std::vector<const CodeColumn*>& columns, int64_t num_rows) {
+  struct VecHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      size_t h = 1469598103934665603ULL;
+      for (int32_t x : v) {
+        h ^= static_cast<size_t>(x) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<int32_t>, std::vector<int32_t>, VecHash>
+      groups;
+  std::vector<int32_t> key(columns.size());
+  for (int64_t t = 0; t < num_rows; ++t) {
+    for (size_t c = 0; c < columns.size(); ++c) key[c] = (*columns[c])[t];
+    groups[key].push_back(static_cast<int32_t>(t));
+  }
+  std::vector<const std::vector<int32_t>*> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, v] : groups) keys.push_back(&k);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::vector<int32_t>* a, const std::vector<int32_t>* b) {
+              return *a < *b;
+            });
+  PartitionBuilder builder(num_rows);
+  for (const std::vector<int32_t>* k : keys) {
+    builder.BeginClass();
+    for (int32_t t : groups[*k]) builder.AddTuple(t);
+    builder.EndClass();
+  }
+  return builder.Build();
+}
+
+std::vector<const CodeColumn*> ThreeColumns(const EncodedRelation& rel) {
+  return {&rel.codes(3), &rel.codes(4), &rel.codes(6)};
+}
+
+void BM_PartitionFromCodeColumnsRadix(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  std::vector<const CodeColumn*> columns = ThreeColumns(*rel);
+  for (auto _ : state) {
+    StrippedPartition p =
+        StrippedPartition::FromCodeColumns(columns, rel->NumRows());
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionFromCodeColumnsRadix)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PartitionHashGroupBaseline(benchmark::State& state) {
+  auto rel =
+      EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
+          state.range(0)));
+  std::vector<const CodeColumn*> columns = ThreeColumns(*rel);
+  for (auto _ : state) {
+    StrippedPartition p = HashGroupPartition(columns, rel->NumRows());
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionHashGroupBaseline)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_FdErrorCheck(benchmark::State& state) {
   // The O(1) constancy test: compare partition errors (after the product
   // has been paid for). Measures the full product+compare path.
   auto rel =
       EncodedRelation::FromTable(FlightTable(state.range(0)).Head(
           state.range(0)));
-  StrippedPartition month = StrippedPartition::ForAttribute(
-      rel->ranks(3), rel->NumDistinct(3));
-  StrippedPartition quarter = StrippedPartition::ForAttribute(
-      rel->ranks(4), rel->NumDistinct(4));
+  StrippedPartition month = StrippedPartition::ForAttribute(rel->codes(3));
+  StrippedPartition quarter =
+      StrippedPartition::ForAttribute(rel->codes(4));
   for (auto _ : state) {
     StrippedPartition mq = month.Product(quarter);
     bool fd = month.Error() == mq.Error();  // month -> quarter
@@ -114,6 +183,57 @@ void BM_FdErrorCheck(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FdErrorCheck)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// The PR's data-plane acceptance figures, reported once per run
+// (independent of --benchmark_filter) so the recorded BENCH_*.json always
+// carries them: bytes/row of the columnar dictionary+code encoding vs the
+// row-oriented Table+ranks layout it replaced, and single-attribute
+// partition build throughput over the contiguous code columns.
+void ReportDataPlaneFootprint() {
+  const int64_t rows = 100000;
+  const Table& table = FlightTable(rows);
+  auto rel = EncodedRelation::FromTable(table);
+  // Row-oriented resident bytes: the Value cells plus their string heap,
+  // plus the per-attribute int32 rank column the old encoding kept.
+  int64_t row_bytes = 0;
+  for (int c = 0; c < table.NumColumns(); ++c) {
+    row_bytes += static_cast<int64_t>(table.NumRows()) *
+                 static_cast<int64_t>(sizeof(Value) + sizeof(int32_t));
+    for (const Value& v : table.column(c)) {
+      if (v.type() == DataType::kString) {
+        row_bytes += static_cast<int64_t>(v.AsString().capacity());
+      }
+    }
+  }
+  const int64_t col_bytes = rel->ByteSize();
+  const double row_bpr = static_cast<double>(row_bytes) / rows;
+  const double col_bpr = static_cast<double>(col_bytes) / rows;
+
+  WallTimer timer;
+  int64_t built_rows = 0;
+  for (int a = 0; a < rel->NumAttributes(); ++a) {
+    StrippedPartition p = StrippedPartition::ForAttribute(rel->codes(a));
+    benchmark::DoNotOptimize(p);
+    built_rows += rows;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  const double rows_per_sec =
+      seconds > 0 ? static_cast<double>(built_rows) / seconds : 0.0;
+
+  std::printf(
+      "data plane (%lld rows x %d cols): %.1f bytes/row columnar vs %.1f "
+      "row-oriented (%.0f%% lower); partition build %.2f Mrows/s\n",
+      static_cast<long long>(rows), rel->NumAttributes(), col_bpr, row_bpr,
+      100.0 * (1.0 - col_bpr / row_bpr), rows_per_sec / 1e6);
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                "\"bytes_per_row_columnar\": %.2f, "
+                "\"bytes_per_row_row_oriented\": %.2f, "
+                "\"partition_build_rows_per_sec\": %.0f",
+                col_bpr, row_bpr, rows_per_sec);
+  fastod::bench::RecordJson("data_plane_footprint/100000x12", seconds,
+                            extra);
+}
 
 // Tees every google-benchmark run into the shared --json recorder as a
 // {bench, params, seconds} record (per-iteration real time), alongside
@@ -153,6 +273,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
     return 1;
   }
+  ReportDataPlaneFootprint();
   JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

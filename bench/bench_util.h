@@ -77,12 +77,18 @@ class BenchJson {
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
 
-  void Record(const std::string& params, double seconds) {
+  /// `extra_fields`, when non-empty, is spliced verbatim into the record
+  /// object after "seconds" — pre-rendered `"key": value` pairs for
+  /// measurements beyond wall clock (bytes/row, rows/sec, ...).
+  void Record(const std::string& params, double seconds,
+              const std::string& extra_fields = "") {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6f", seconds);
-    records_.push_back("  {\"bench\": \"" + JsonEscape(bench_) +
-                       "\", \"params\": \"" + JsonEscape(params) +
-                       "\", \"seconds\": " + buf + "}");
+    std::string record = "  {\"bench\": \"" + JsonEscape(bench_) +
+                         "\", \"params\": \"" + JsonEscape(params) +
+                         "\", \"seconds\": " + buf;
+    if (!extra_fields.empty()) record += ", " + extra_fields;
+    records_.push_back(record + "}");
   }
 
   /// The instance the free RecordJson() helper reports to (one per bench
@@ -100,9 +106,10 @@ class BenchJson {
 
 /// Records into the active BenchJson, if any — lets deeply nested bench
 /// helpers report without threading the recorder through.
-inline void RecordJson(const std::string& params, double seconds) {
+inline void RecordJson(const std::string& params, double seconds,
+                       const std::string& extra_fields = "") {
   if (BenchJson::Active() != nullptr) {
-    BenchJson::Active()->Record(params, seconds);
+    BenchJson::Active()->Record(params, seconds, extra_fields);
   }
 }
 

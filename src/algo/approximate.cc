@@ -9,7 +9,7 @@ namespace fastod {
 int64_t ConstancyRemovals(const EncodedRelation& relation,
                           const StrippedPartition& context_partition,
                           int attribute) {
-  const std::vector<int32_t>& ranks = relation.ranks(attribute);
+  const CodeColumn& ranks = relation.codes(attribute);
   int64_t removals = 0;
   std::unordered_map<int32_t, int32_t> freq;
   for (int32_t c = 0; c < context_partition.NumClasses(); ++c) {
@@ -28,8 +28,8 @@ int64_t ConstancyRemovals(const EncodedRelation& relation,
 int64_t CompatibilityRemovals(const EncodedRelation& relation,
                               const StrippedPartition& context_partition,
                               int a, int b, bool opposite) {
-  const std::vector<int32_t>& ranks_a = relation.ranks(a);
-  const std::vector<int32_t>& ranks_b = relation.ranks(b);
+  const CodeColumn& ranks_a = relation.codes(a);
+  const CodeColumn& ranks_b = relation.codes(b);
   // For the descending (opposite) polarity, reflect B-ranks: descending
   // compatibility of (A, B) is ascending compatibility of (A, B-reflected).
   const int32_t flip_base = opposite ? relation.NumDistinct(b) - 1 : -1;
@@ -92,12 +92,12 @@ double CanonicalOdError(const EncodedRelation& relation,
   if (context.IsEmpty()) {
     partition = StrippedPartition::Universe(relation.NumRows());
   } else {
-    std::vector<const std::vector<int32_t>*> columns;
+    std::vector<const CodeColumn*> columns;
     for (int a = context.First(); a >= 0; a = context.Next(a)) {
-      columns.push_back(&relation.ranks(a));
+      columns.push_back(&relation.codes(a));
     }
     partition =
-        StrippedPartition::FromRankColumns(columns, relation.NumRows());
+        StrippedPartition::FromCodeColumns(columns, relation.NumRows());
   }
   if (std::holds_alternative<ConstancyOd>(od)) {
     return ConstancyError(relation, partition,

@@ -21,7 +21,8 @@ size_t PairIndex(uint64_t mask, int a, int b, int m) {
 
 BruteForceDiscoveryResult BruteForceDiscoverOds(
     const EncodedRelation& relation, double max_error,
-    bool discover_bidirectional) {
+    bool discover_bidirectional,
+    const std::vector<StrippedPartition>* singletons) {
   const int m = relation.NumAttributes();
   FASTOD_CHECK(m <= 16);
   // The bidirectional oracle is implemented for exact validity only.
@@ -38,13 +39,15 @@ BruteForceDiscoveryResult BruteForceDiscoverOds(
     if (max_error > 0.0) {
       if (context.IsEmpty()) {
         partition = StrippedPartition::Universe(relation.NumRows());
+      } else if (context.Count() == 1 && singletons != nullptr) {
+        partition = (*singletons)[context.First()];
       } else {
-        std::vector<const std::vector<int32_t>*> columns;
+        std::vector<const CodeColumn*> columns;
         for (int a = context.First(); a >= 0; a = context.Next(a)) {
-          columns.push_back(&relation.ranks(a));
+          columns.push_back(&relation.codes(a));
         }
         partition =
-            StrippedPartition::FromRankColumns(columns, relation.NumRows());
+            StrippedPartition::FromCodeColumns(columns, relation.NumRows());
       }
     }
     for (int a = 0; a < m; ++a) {

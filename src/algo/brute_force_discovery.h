@@ -22,6 +22,7 @@
 #include "data/encode.h"
 #include "od/bidirectional.h"
 #include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -47,9 +48,12 @@ struct BruteForceDiscoveryResult {
 /// for FastodOptions::discover_bidirectional. (Note: enabling the flag can
 /// *shrink* the ascending compatibility set: a pair resolved descending at
 /// a small context is never re-reported ascending at a larger one.)
+/// `singletons`, when given, are prebuilt level-1 partitions used for
+/// single-attribute contexts in approximate mode (see Fastod::Discover).
 BruteForceDiscoveryResult BruteForceDiscoverOds(
     const EncodedRelation& relation, double max_error = 0.0,
-    bool discover_bidirectional = false);
+    bool discover_bidirectional = false,
+    const std::vector<StrippedPartition>* singletons = nullptr);
 
 }  // namespace fastod
 

@@ -33,16 +33,16 @@ bool ClassSatisfies(const EncodedRelation& rel, const CanonicalOd& od,
                     std::span<const int32_t> cls,
                     std::vector<int32_t>* scratch) {
   if (std::holds_alternative<ConstancyOd>(od)) {
-    const std::vector<int32_t>& ranks =
-        rel.ranks(std::get<ConstancyOd>(od).attribute);
+    const CodeColumn& ranks =
+        rel.codes(std::get<ConstancyOd>(od).attribute);
     for (int32_t t : cls) {
       if (ranks[t] != ranks[cls[0]]) return false;
     }
     return true;
   }
   const CompatibilityOd& c = std::get<CompatibilityOd>(od);
-  const std::vector<int32_t>& ranks_a = rel.ranks(c.a);
-  const std::vector<int32_t>& ranks_b = rel.ranks(c.b);
+  const CodeColumn& ranks_a = rel.codes(c.a);
+  const CodeColumn& ranks_b = rel.codes(c.b);
   scratch->assign(cls.begin(), cls.end());
   std::sort(scratch->begin(), scratch->end(),
             [&ranks_a](int32_t s, int32_t t) {
@@ -89,8 +89,10 @@ std::string ConditionalOd::ToString(const Schema& schema) const {
   return out;
 }
 
-ConditionalOdFinder::ConditionalOdFinder(const EncodedRelation* relation)
-    : relation_(relation) {
+ConditionalOdFinder::ConditionalOdFinder(
+    const EncodedRelation* relation,
+    const std::vector<StrippedPartition>* singletons)
+    : relation_(relation), singletons_(singletons) {
   FASTOD_CHECK(relation_ != nullptr);
 }
 
@@ -104,15 +106,15 @@ std::optional<ConditionalOd> ConditionalOdFinder::Refine(
   // Build Π over context ∪ {C}. Class order does not matter; we tally a
   // verdict and a tuple count per C-binding.
   AttributeSet refined_context = OdContext(od).With(condition_attribute);
-  std::vector<const std::vector<int32_t>*> columns;
+  std::vector<const CodeColumn*> columns;
   for (int a = refined_context.First(); a >= 0;
        a = refined_context.Next(a)) {
-    columns.push_back(&rel.ranks(a));
+    columns.push_back(&rel.codes(a));
   }
   StrippedPartition partition =
-      StrippedPartition::FromRankColumns(columns, rel.NumRows());
+      StrippedPartition::FromCodeColumns(columns, rel.NumRows());
 
-  const std::vector<int32_t>& cond_ranks = rel.ranks(condition_attribute);
+  const CodeColumn& cond_ranks = rel.codes(condition_attribute);
   const int32_t num_bindings = rel.NumDistinct(condition_attribute);
   std::vector<uint8_t> binding_ok(num_bindings, 1);
   std::vector<int32_t> scratch;
@@ -125,7 +127,7 @@ std::optional<ConditionalOd> ConditionalOdFinder::Refine(
 
   // Support = covered tuples / all tuples.
   std::vector<int64_t> binding_count(num_bindings, 0);
-  for (int32_t r : cond_ranks) ++binding_count[r];
+  for (int64_t t = 0; t < rel.NumRows(); ++t) ++binding_count[cond_ranks[t]];
   ConditionalOd result;
   result.condition_attribute = condition_attribute;
   result.od = od;
@@ -146,7 +148,7 @@ std::vector<ConditionalOd> ConditionalOdFinder::DiscoverConditional(
     const ConditionalOdOptions& options) {
   const EncodedRelation& rel = *relation_;
   const int m = rel.NumAttributes();
-  OdValidator validator(relation_);
+  OdValidator validator(relation_, singletons_);
   std::vector<ConditionalOd> results;
 
   auto consider = [&](const CanonicalOd& od) {

@@ -27,6 +27,7 @@
 
 #include "data/encode.h"
 #include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -56,8 +57,12 @@ struct ConditionalOdOptions {
 
 class ConditionalOdFinder {
  public:
-  /// The relation must outlive the finder.
-  explicit ConditionalOdFinder(const EncodedRelation* relation);
+  /// The relation must outlive the finder. `singletons`, when given,
+  /// seed the validator's context cache with prebuilt level-1 partitions
+  /// (see Fastod::Discover); borrowed, must outlive the finder.
+  explicit ConditionalOdFinder(
+      const EncodedRelation* relation,
+      const std::vector<StrippedPartition>* singletons = nullptr);
 
   /// The exact binding set of `condition_attribute` under which `od`
   /// holds, or nullopt if support falls below options.min_support or the
@@ -76,6 +81,7 @@ class ConditionalOdFinder {
 
  private:
   const EncodedRelation* relation_;
+  const std::vector<StrippedPartition>* singletons_;
 };
 
 }  // namespace fastod

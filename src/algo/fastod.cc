@@ -73,9 +73,11 @@ struct NodeOutcome {
 // re-entrant on the Fastod object.
 class Run {
  public:
-  Run(const EncodedRelation& relation, const FastodOptions& options)
+  Run(const EncodedRelation& relation, const FastodOptions& options,
+      const std::vector<StrippedPartition>* singletons)
       : relation_(relation),
         options_(options),
+        singletons_(singletons),
         full_set_(AttributeSet::FullSet(relation.NumAttributes())),
         sorted_(relation),
         serial_checker_(&relation, &sorted_, options.swap_method),
@@ -160,8 +162,7 @@ class Run {
     cache_.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(n));
     // L1 = singletons: copied from the dataset's prebuilt partitions when
     // available (load-once/discover-many), computed otherwise.
-    const std::vector<StrippedPartition>* prebuilt =
-        options_.singleton_partitions;
+    const std::vector<StrippedPartition>* prebuilt = singletons_;
     FASTOD_DCHECK(prebuilt == nullptr ||
                   static_cast<int>(prebuilt->size()) == m);
     for (int a = 0; a < m; ++a) {
@@ -171,8 +172,7 @@ class Run {
       cache_.Put(1, AttributeSet::Single(a),
                  prebuilt != nullptr
                      ? (*prebuilt)[a]
-                     : StrippedPartition::ForAttribute(
-                           relation_.ranks(a), relation_.NumDistinct(a)));
+                     : StrippedPartition::ForAttribute(relation_.codes(a)));
     }
   }
 
@@ -552,6 +552,7 @@ class Run {
 
   const EncodedRelation& relation_;
   const FastodOptions& options_;
+  const std::vector<StrippedPartition>* singletons_;
   AttributeSet full_set_;
   SortedPartitions sorted_;
   SwapChecker serial_checker_;
@@ -576,8 +577,10 @@ std::string FastodResult::CountsToString() const {
 
 Fastod::Fastod(FastodOptions options) : options_(options) {}
 
-FastodResult Fastod::Discover(const EncodedRelation& relation) const {
-  Run run(relation, options_);
+FastodResult Fastod::Discover(
+    const EncodedRelation& relation,
+    const std::vector<StrippedPartition>* singletons) const {
+  Run run(relation, options_, singletons);
   return run.Execute();
 }
 

@@ -102,13 +102,6 @@ struct FastodOptions {
   /// at the same cadence as the timeout deadline. Must outlive the run.
   ExecutionControl* control = nullptr;
 
-  /// Prebuilt level-1 partitions Π*_{A}, one per attribute of the
-  /// relation being discovered (data/dataset_store.h builds them once per
-  /// dataset). When set, level initialization copies these instead of
-  /// recomputing ForAttribute per attribute — the partition half of the
-  /// load-once/discover-many amortization. Borrowed; must outlive the
-  /// run and match the relation exactly.
-  const std::vector<StrippedPartition>* singleton_partitions = nullptr;
 };
 
 /// Telemetry for one lattice level (drives Figure 7).
@@ -166,7 +159,15 @@ class Fastod {
   explicit Fastod(FastodOptions options = FastodOptions());
 
   /// Discovers the complete, minimal set of canonical ODs of `relation`.
-  FastodResult Discover(const EncodedRelation& relation) const;
+  /// `singletons`, when given, are prebuilt level-1 partitions Π*_{A},
+  /// one per attribute (data/dataset_store.h builds them once per
+  /// dataset; Algorithm::BindDataset passes them here). Level
+  /// initialization copies these instead of recomputing ForAttribute —
+  /// the partition half of load-once/discover-many. Borrowed; must match
+  /// the relation exactly and outlive the call.
+  FastodResult Discover(
+      const EncodedRelation& relation,
+      const std::vector<StrippedPartition>* singletons = nullptr) const;
 
   /// Convenience: encodes the table first (fails if > 64 attributes).
   Result<FastodResult> Discover(const Table& table) const;

@@ -27,10 +27,11 @@ struct ListNode {
 
 class Run {
  public:
-  Run(const EncodedRelation& relation, const OrderOptions& options)
+  Run(const EncodedRelation& relation, const OrderOptions& options,
+      const std::vector<StrippedPartition>* singletons)
       : relation_(relation),
         options_(options),
-        validator_(&relation),
+        validator_(&relation, singletons),
         deadline_(options.timeout_seconds > 0.0
                       ? Deadline::After(options.timeout_seconds)
                       : Deadline::Infinite()) {}
@@ -243,8 +244,10 @@ MappedCounts MapToCanonicalCounts(const std::vector<ListOd>& ods) {
 
 OrderBaseline::OrderBaseline(OrderOptions options) : options_(options) {}
 
-OrderResult OrderBaseline::Discover(const EncodedRelation& relation) const {
-  Run run(relation, options_);
+OrderResult OrderBaseline::Discover(
+    const EncodedRelation& relation,
+    const std::vector<StrippedPartition>* singletons) const {
+  Run run(relation, options_, singletons);
   return run.Execute();
 }
 

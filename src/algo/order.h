@@ -30,6 +30,7 @@
 #include "data/encode.h"
 #include "data/table.h"
 #include "od/list_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -81,7 +82,11 @@ class OrderBaseline {
  public:
   explicit OrderBaseline(OrderOptions options = OrderOptions());
 
-  OrderResult Discover(const EncodedRelation& relation) const;
+  /// `singletons`, when given, seed the validator's context cache with
+  /// prebuilt level-1 partitions (see Fastod::Discover).
+  OrderResult Discover(
+      const EncodedRelation& relation,
+      const std::vector<StrippedPartition>* singletons = nullptr) const;
   Result<OrderResult> Discover(const Table& table) const;
 
  private:

@@ -33,9 +33,11 @@ struct Level {
 
 class Run {
  public:
-  Run(const EncodedRelation& relation, const TaneOptions& options)
+  Run(const EncodedRelation& relation, const TaneOptions& options,
+      const std::vector<StrippedPartition>* singletons)
       : relation_(relation),
         options_(options),
+        singletons_(singletons),
         full_set_(AttributeSet::FullSet(relation.NumAttributes())),
         deadline_(options.timeout_seconds > 0.0
                       ? Deadline::After(options.timeout_seconds)
@@ -89,8 +91,7 @@ class Run {
     root.cc = full_set_;
     previous_.Add(std::move(root));
     cache_.Put(0, AttributeSet::Empty(), StrippedPartition::Universe(n));
-    const std::vector<StrippedPartition>* prebuilt =
-        options_.singleton_partitions;
+    const std::vector<StrippedPartition>* prebuilt = singletons_;
     FASTOD_DCHECK(prebuilt == nullptr ||
                   static_cast<int>(prebuilt->size()) ==
                       relation_.NumAttributes());
@@ -101,8 +102,7 @@ class Run {
       cache_.Put(1, AttributeSet::Single(a),
                  prebuilt != nullptr
                      ? (*prebuilt)[a]
-                     : StrippedPartition::ForAttribute(
-                           relation_.ranks(a), relation_.NumDistinct(a)));
+                     : StrippedPartition::ForAttribute(relation_.codes(a)));
     }
   }
 
@@ -218,6 +218,7 @@ class Run {
 
   const EncodedRelation& relation_;
   const TaneOptions& options_;
+  const std::vector<StrippedPartition>* singletons_;
   AttributeSet full_set_;
   Deadline deadline_;
   PartitionCache cache_;
@@ -230,8 +231,10 @@ class Run {
 
 Tane::Tane(TaneOptions options) : options_(options) {}
 
-TaneResult Tane::Discover(const EncodedRelation& relation) const {
-  Run run(relation, options_);
+TaneResult Tane::Discover(
+    const EncodedRelation& relation,
+    const std::vector<StrippedPartition>* singletons) const {
+  Run run(relation, options_, singletons);
   return run.Execute();
 }
 

@@ -41,10 +41,6 @@ struct TaneOptions {
   OdSink* sink = nullptr;
   /// Cooperative cancellation + progress, polled at level boundaries.
   ExecutionControl* control = nullptr;
-  /// Prebuilt level-1 partitions Π*_{A}, one per attribute (see
-  /// FastodOptions::singleton_partitions). Borrowed; must outlive the
-  /// run and match the relation exactly.
-  const std::vector<StrippedPartition>* singleton_partitions = nullptr;
 };
 
 struct TaneResult {
@@ -68,7 +64,12 @@ class Tane {
  public:
   explicit Tane(TaneOptions options = TaneOptions());
 
-  TaneResult Discover(const EncodedRelation& relation) const;
+  /// `singletons`, when given, are prebuilt level-1 partitions Π*_{A}
+  /// (one per attribute; see Fastod::Discover). Borrowed; must match the
+  /// relation exactly and outlive the call.
+  TaneResult Discover(
+      const EncodedRelation& relation,
+      const std::vector<StrippedPartition>* singletons = nullptr) const;
   Result<TaneResult> Discover(const Table& table) const;
 
  private:

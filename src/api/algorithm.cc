@@ -25,7 +25,6 @@ Status Algorithm::LoadData(Table table) {
   Result<EncodedRelation> encoded = EncodedRelation::FromTable(table);
   if (!encoded.ok()) return encoded.status();
   dataset_.reset();
-  table_ = std::move(table);
   relation_ = *std::move(encoded);
   executed_ = false;
   load_seconds_ = timer.ElapsedSeconds();
@@ -35,21 +34,19 @@ Status Algorithm::LoadData(Table table) {
 Status Algorithm::LoadData(EncodedRelation relation) {
   WallTimer timer;
   dataset_.reset();
-  table_.reset();
   relation_ = std::move(relation);
   executed_ = false;
   load_seconds_ = timer.ElapsedSeconds();
   return Status::Ok();
 }
 
-Status Algorithm::LoadData(std::shared_ptr<const LoadedDataset> dataset) {
+Status Algorithm::BindDataset(std::shared_ptr<const LoadedDataset> dataset) {
   if (dataset == nullptr) {
     return Status::InvalidArgument("dataset must be non-null");
   }
   // Near-zero by design: the parse/encode/partition work happened once,
   // in LoadedDataset::Build, and is shared by reference here.
   WallTimer timer;
-  table_.reset();
   relation_.reset();
   dataset_ = std::move(dataset);
   executed_ = false;

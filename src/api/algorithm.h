@@ -67,17 +67,23 @@ class Algorithm {
   }
 
   // ---- Lifecycle ----------------------------------------------------
-  /// Binds a table: takes ownership (move in to avoid the copy) and keeps
-  /// its dictionary encoding alongside the raw values. Fails on relations
-  /// the engines cannot represent (> 64 attributes).
+  /// Binds a table: dictionary-encodes it into the columnar
+  /// EncodedRelation and discards the raw values (they survive interned
+  /// in the per-column dictionaries). Fails on relations the engines
+  /// cannot represent (> 64 attributes).
   Status LoadData(Table table);
-  /// Binds an already-encoded relation (no raw values retained).
+  /// Binds an already-encoded relation.
   Status LoadData(EncodedRelation relation);
   /// Binds a shared, already-preprocessed dataset (data/dataset_store.h):
-  /// no copy of the table, encoding, or level-1 partitions is made, and
-  /// holding the pointer pins the dataset for the algorithm's lifetime —
-  /// the load-once/discover-many path.
-  Status LoadData(std::shared_ptr<const LoadedDataset> dataset);
+  /// no copy of the encoding or level-1 partitions is made, and holding
+  /// the pointer pins the dataset for the algorithm's lifetime — the
+  /// load-once/discover-many path. Every engine seeds its level-1
+  /// partitions from the dataset's prebuilt ones (see
+  /// prebuilt_singletons()). LoadData(dataset) is an alias.
+  Status BindDataset(std::shared_ptr<const LoadedDataset> dataset);
+  Status LoadData(std::shared_ptr<const LoadedDataset> dataset) {
+    return BindDataset(std::move(dataset));
+  }
   bool has_data() const {
     return relation_.has_value() || dataset_ != nullptr;
   }
@@ -133,16 +139,14 @@ class Algorithm {
   const EncodedRelation& relation() const {
     return dataset_ != nullptr ? dataset_->relation() : *relation_;
   }
-  /// The raw table, when LoadData(Table) or a shared dataset was used;
-  /// nullptr otherwise.
-  const Table* table() const {
-    if (dataset_ != nullptr) return &dataset_->table();
-    return table_.has_value() ? &*table_ : nullptr;
-  }
-  /// The shared dataset, when LoadData(shared_ptr) was used; nullptr
-  /// otherwise. Engines read prebuilt artifacts (level-1 partitions)
-  /// from here instead of recomputing them.
+  /// The shared dataset, when BindDataset was used; nullptr otherwise.
   const LoadedDataset* dataset() const { return dataset_.get(); }
+  /// The bound dataset's prebuilt level-1 partitions, or nullptr when no
+  /// dataset is bound. Adapters pass this straight into their engine so
+  /// every engine seeds Π*_{A} uniformly instead of rebuilding.
+  const std::vector<StrippedPartition>* prebuilt_singletons() const {
+    return dataset_ != nullptr ? &dataset_->singleton_partitions() : nullptr;
+  }
   OdSink* sink() const { return sink_; }
   ExecutionControl* control() const { return control_; }
 
@@ -154,7 +158,6 @@ class Algorithm {
   std::string name_;
   std::string description_;
   OptionRegistry options_;
-  std::optional<Table> table_;
   std::optional<EncodedRelation> relation_;
   std::shared_ptr<const LoadedDataset> dataset_;
   OdSink* sink_ = nullptr;

@@ -73,6 +73,7 @@ FastodAlgorithm::FastodAlgorithm(std::string name, std::string description,
       swap_method_choice_(static_cast<int>(defaults.swap_method)) {
   options().AddInt("threads", &opts_.num_threads,
                    "worker threads for intra-level parallelism", 1, 1024);
+  options().AddAlias("threads", "num-threads");
   options().AddDouble("timeout", &opts_.timeout_seconds,
                       "abort after this many seconds (0 = none)", 0.0,
                       kNoLimit);
@@ -106,10 +107,7 @@ Status FastodAlgorithm::ExecuteInternal() {
   run.swap_method = static_cast<SwapCheckMethod>(swap_method_choice_);
   run.sink = sink();
   run.control = control();
-  if (dataset() != nullptr) {
-    run.singleton_partitions = &dataset()->singleton_partitions();
-  }
-  result_ = Fastod(run).Discover(relation());
+  result_ = Fastod(run).Discover(relation(), prebuilt_singletons());
   mutable_stats() = StatsOf(result_);
   return Status::Ok();
 }
@@ -149,18 +147,18 @@ TaneAlgorithm::TaneAlgorithm()
                       kNoLimit);
   options().AddInt("max-level", &opts_.max_level,
                    "stop after lattice level L (0 = none)", 0, 64);
-  options().AddBool("emit-fds", &opts_.emit_fds,
+  // Canonical name matches fastod's "emit-ods"; the historical
+  // "emit-fds" spelling survives as a deprecated alias.
+  options().AddBool("emit-ods", &opts_.emit_fds,
                     "materialize FDs (false = count only)");
+  options().AddAlias("emit-ods", "emit-fds");
 }
 
 Status TaneAlgorithm::ExecuteInternal() {
   TaneOptions run = opts_;
   run.sink = sink();
   run.control = control();
-  if (dataset() != nullptr) {
-    run.singleton_partitions = &dataset()->singleton_partitions();
-  }
-  result_ = Tane(run).Discover(relation());
+  result_ = Tane(run).Discover(relation(), prebuilt_singletons());
   obs::EngineStats& stats = mutable_stats();
   stats.levels_processed = result_.levels_processed;
   stats.nodes_visited = result_.total_nodes;
@@ -197,7 +195,7 @@ Status OrderAlgorithm::ExecuteInternal() {
   OrderOptions run = opts_;
   run.sink = sink();
   run.control = control();
-  result_ = OrderBaseline(run).Discover(relation());
+  result_ = OrderBaseline(run).Discover(relation(), prebuilt_singletons());
   obs::EngineStats& stats = mutable_stats();
   stats.levels_processed = result_.levels_processed;
   stats.nodes_visited = result_.total_nodes;
@@ -234,7 +232,8 @@ Status BruteForceAlgorithm::ExecuteInternal() {
         std::to_string(relation().NumAttributes()));
   }
   WallTimer timer;
-  result_ = BruteForceDiscoverOds(relation(), max_error_, bidirectional_);
+  result_ = BruteForceDiscoverOds(relation(), max_error_, bidirectional_,
+                                  prebuilt_singletons());
   seconds_ = timer.ElapsedSeconds();
   mutable_stats().ods_emitted =
       static_cast<int64_t>(result_.constancy_ods.size() +
@@ -303,7 +302,7 @@ Status ConditionalAlgorithm::ExecuteInternal() {
   ConditionalOdOptions run = opts_;
   run.max_condition_cardinality =
       static_cast<int32_t>(max_condition_cardinality_);
-  ConditionalOdFinder finder(&relation());
+  ConditionalOdFinder finder(&relation(), prebuilt_singletons());
   result_ = finder.DiscoverConditional(run);
   seconds_ = timer.ElapsedSeconds();
   mutable_stats().ods_emitted = static_cast<int64_t>(result_.size());
@@ -315,14 +314,10 @@ Status ConditionalAlgorithm::ExecuteInternal() {
 
 std::string ConditionalAlgorithm::BindingValue(int attr,
                                                int32_t rank) const {
-  if (table() != nullptr) {
-    // Find a witness row carrying this rank and show its original value.
-    for (int64_t r = 0; r < table()->NumRows(); ++r) {
-      if (relation().rank(r, attr) == rank) {
-        return table()->at(r, attr).ToString();
-      }
-    }
-  }
+  // The interned dictionary entry for this code *is* the original value
+  // (FromTable interns the first-occurrence representative).
+  const ValueDictionary& dict = relation().dictionary(attr);
+  if (rank >= 0 && rank < dict.size()) return dict.ToString(rank);
   return "#" + std::to_string(rank);
 }
 

@@ -12,23 +12,21 @@ namespace fastod {
 
 namespace {
 
-/// Resident bytes of one column of raw cells: the Value footprint plus
-/// string heap allocations (small strings may actually live inline, so
-/// this over- rather than under-counts — the safe direction for a cap).
-int64_t ColumnBytes(const std::vector<Value>& column) {
-  int64_t bytes = static_cast<int64_t>(column.size() * sizeof(Value));
-  for (const Value& value : column) {
-    if (value.type() == DataType::kString) {
-      bytes += static_cast<int64_t>(value.AsString().capacity());
-    }
-  }
-  return bytes;
-}
-
 int64_t PartitionBytes(const StrippedPartition& partition) {
   return static_cast<int64_t>(
       (partition.NumElements() + partition.NumClasses() + 1) *
       sizeof(int32_t));
+}
+
+/// Exact resident bytes of a dataset: the relation's contiguous code
+/// columns and dictionary allocations plus the level-1 partitions.
+int64_t DatasetBytes(const EncodedRelation& relation,
+                     const std::vector<StrippedPartition>& singletons) {
+  int64_t bytes = relation.ByteSize();
+  for (const StrippedPartition& partition : singletons) {
+    bytes += PartitionBytes(partition);
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -43,22 +41,18 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Build(
   std::shared_ptr<LoadedDataset> dataset(new LoadedDataset());
   dataset->id_ = std::move(id);
   dataset->source_ = std::move(source);
-  dataset->table_ = std::move(table);
   dataset->relation_ = *std::move(encoded);
-  // Version 1 has no append block: the whole relation is "base".
+  // Version 1 has no append block: the whole relation is "base". The raw
+  // table dies here — its values live on interned in the dictionaries.
   dataset->base_rows_ = dataset->relation_.NumRows();
 
   const EncodedRelation& relation = dataset->relation_;
   dataset->singletons_.reserve(relation.NumAttributes());
-  int64_t bytes = 0;
   for (int a = 0; a < relation.NumAttributes(); ++a) {
-    dataset->singletons_.push_back(StrippedPartition::ForAttribute(
-        relation.ranks(a), relation.NumDistinct(a)));
-    bytes += static_cast<int64_t>(relation.ranks(a).size() * sizeof(int32_t));
-    bytes += PartitionBytes(dataset->singletons_.back());
-    bytes += ColumnBytes(dataset->table_.column(a));
+    dataset->singletons_.push_back(
+        StrippedPartition::ForAttribute(relation.codes(a)));
   }
-  dataset->approx_bytes_ = bytes;
+  dataset->approx_bytes_ = DatasetBytes(relation, dataset->singletons_);
   dataset->load_seconds_ = timer.ElapsedSeconds();
   return std::shared_ptr<const LoadedDataset>(std::move(dataset));
 }
@@ -83,28 +77,17 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Append(
   grown->version_ = base->version_ + 1;
   grown->base_rows_ = n;
 
-  // Raw cells are concatenated; the base schema wins (delta column names,
-  // if the block came with a header, are positional).
-  std::vector<std::vector<Value>> columns(cols);
-  std::vector<std::vector<int32_t>> ranks(cols);
-  std::vector<int32_t> num_distinct(cols, 0);
+  // The base schema wins (delta column names, if the block came with a
+  // header, are positional).
+  std::vector<CodeColumn> merged_codes;
+  std::vector<ValueDictionary> merged_dicts;
+  merged_codes.reserve(cols);
+  merged_dicts.reserve(cols);
   for (int c = 0; c < cols; ++c) {
-    const std::vector<Value>& old_col = base->table_.column(c);
     const std::vector<Value>& delta_col = delta.column(c);
-    columns[c].reserve(static_cast<size_t>(n + d));
-    columns[c].insert(columns[c].end(), old_col.begin(), old_col.end());
-    columns[c].insert(columns[c].end(), delta_col.begin(), delta_col.end());
-
-    const std::vector<int32_t>& old_ranks = base->relation_.ranks(c);
-    const int32_t old_distinct = base->relation_.NumDistinct(c);
-
-    // The parent's sorted dictionary, reconstructed as one representative
-    // cell per existing rank — O(n), no comparisons.
-    std::vector<const Value*> dict(old_distinct, nullptr);
-    for (int64_t i = 0; i < n; ++i) {
-      const Value*& slot = dict[old_ranks[i]];
-      if (slot == nullptr) slot = &old_col[i];
-    }
+    const CodeColumn& old_codes = base->relation_.codes(c);
+    const ValueDictionary& old_dict = base->relation_.dictionary(c);
+    const int32_t old_distinct = old_dict.size();
 
     // Delta rows in value order, stable tiebreak like FromTable.
     std::vector<int32_t> order(d);
@@ -116,14 +99,18 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Append(
                 return x < y;
               });
 
-    // Merge the two sorted dictionaries: every old rank shifts up by the
-    // count of unseen delta values ordered before it, and each delta row
-    // reads its merged rank straight off the walk. The result is dense
-    // and order-preserving — bit-for-bit what FromTable assigns on the
-    // concatenated column.
+    // Merge the parent's dictionary with the delta's sorted values:
+    // every old code shifts up by the count of unseen delta values
+    // ordered before it, each delta row reads its merged code straight
+    // off the walk, and the merged dictionary is built in the same pass
+    // (parent representatives win ties, exactly like FromTable's
+    // smallest-row-id interning on the concatenated column). The result
+    // is dense and order-preserving — bit-for-bit what FromTable
+    // produces on the concatenated table.
+    ValueDictionary::Builder dict_builder;
     std::vector<int32_t> shift(old_distinct, 0);
-    std::vector<int32_t> delta_rank(d, 0);
-    int32_t next_rank = 0;
+    std::vector<uint32_t> delta_code(d, 0);
+    int32_t next_code = 0;
     int32_t oi = 0;
     int64_t di = 0;
     while (oi < old_distinct || di < d) {
@@ -133,52 +120,50 @@ Result<std::shared_ptr<const LoadedDataset>> LoadedDataset::Append(
       } else if (di >= d) {
         cmp = -1;
       } else {
-        cmp = Value::Compare(*dict[oi], delta_col[order[di]]);
+        cmp = old_dict.Compare(oi, delta_col[order[di]]);
       }
       if (cmp <= 0) {
-        shift[oi] = next_rank - oi;
+        dict_builder.Add(old_dict.At(oi));
+        shift[oi] = next_code - oi;
         if (cmp == 0) {
-          while (di < d &&
-                 Value::Compare(*dict[oi], delta_col[order[di]]) == 0) {
-            delta_rank[order[di]] = next_rank;
+          while (di < d && old_dict.Compare(oi, delta_col[order[di]]) == 0) {
+            delta_code[order[di]] = static_cast<uint32_t>(next_code);
             ++di;
           }
         }
         ++oi;
       } else {
         const Value& value = delta_col[order[di]];
+        dict_builder.Add(value);
         while (di < d && Value::Compare(value, delta_col[order[di]]) == 0) {
-          delta_rank[order[di]] = next_rank;
+          delta_code[order[di]] = static_cast<uint32_t>(next_code);
           ++di;
         }
       }
-      ++next_rank;
+      ++next_code;
     }
-    num_distinct[c] = next_rank;
 
-    std::vector<int32_t>& merged = ranks[c];
-    merged.resize(static_cast<size_t>(n + d));
+    std::vector<uint32_t> merged(static_cast<size_t>(n + d));
     for (int64_t i = 0; i < n; ++i) {
-      merged[i] = old_ranks[i] + shift[old_ranks[i]];
+      int32_t old_code = old_codes[i];
+      merged[i] = static_cast<uint32_t>(old_code + shift[old_code]);
     }
-    for (int64_t j = 0; j < d; ++j) merged[n + j] = delta_rank[j];
+    for (int64_t j = 0; j < d; ++j) merged[n + j] = delta_code[j];
+    merged_codes.emplace_back(std::move(merged), next_code);
+    merged_dicts.push_back(dict_builder.Build());
   }
 
-  grown->table_ = Table(base->table_.schema(), std::move(columns));
-  grown->relation_ = EncodedRelation::FromRanks(
-      base->table_.schema(), std::move(ranks), std::move(num_distinct));
+  grown->relation_ = EncodedRelation::FromColumns(
+      base->relation_.schema(), std::move(merged_codes),
+      std::move(merged_dicts));
 
   const EncodedRelation& relation = grown->relation_;
   grown->singletons_.reserve(cols);
-  int64_t bytes = 0;
   for (int a = 0; a < cols; ++a) {
-    grown->singletons_.push_back(StrippedPartition::ForAttribute(
-        relation.ranks(a), relation.NumDistinct(a)));
-    bytes += static_cast<int64_t>(relation.ranks(a).size() * sizeof(int32_t));
-    bytes += PartitionBytes(grown->singletons_.back());
-    bytes += ColumnBytes(grown->table_.column(a));
+    grown->singletons_.push_back(
+        StrippedPartition::ForAttribute(relation.codes(a)));
   }
-  grown->approx_bytes_ = bytes;
+  grown->approx_bytes_ = DatasetBytes(relation, grown->singletons_);
   grown->load_seconds_ = timer.ElapsedSeconds();
   return std::shared_ptr<const LoadedDataset>(std::move(grown));
 }

@@ -5,11 +5,12 @@
 // its own CSV; a server answering repeated discoveries over the same
 // relation paid that preprocessing per request. TANE-style systems show
 // input preparation and partition construction dominating at scale, so a
-// LoadedDataset captures the whole pipeline once — the raw Table, its
-// order-preserving EncodedRelation, and the level-1 single-attribute
-// stripped partitions Π*_{A} every level-wise engine builds first — and
-// any number of sessions (concurrent, mixed-algorithm) run over the same
-// instance by shared_ptr.
+// LoadedDataset captures the whole pipeline once — the columnar
+// EncodedRelation (per-column interned value dictionary plus contiguous
+// uint32 code column; the raw Table is *not* retained) and the level-1
+// single-attribute stripped partitions Π*_{A} every level-wise engine
+// builds first — and any number of sessions (concurrent, mixed-algorithm)
+// run over the same instance by shared_ptr.
 //
 // The DatasetStore is the registry: datasets are keyed by caller-chosen
 // id, the store holds one reference each, and sessions pin entries simply
@@ -43,16 +44,19 @@
 
 namespace fastod {
 
-/// One fully preprocessed relation: raw values, encoding, and the level-1
-/// partitions. Construction does all the work; the object never changes.
+/// One fully preprocessed relation: dictionary-interned columnar encoding
+/// plus the level-1 partitions. Construction does all the work; the
+/// object never changes. The raw Table is consumed, not kept — values
+/// survive only interned in the per-column dictionaries.
 ///
 /// Datasets are *versioned*: Build() produces version 1, and Append()
 /// derives version k+1 from version k plus a block of delta rows. Each
 /// version is itself deeply immutable — an append never mutates its
-/// parent, it merge-encodes only the delta rows into the parent's rank
-/// dictionaries (shifting existing ranks where new values interleave) and
-/// rebuilds the level-1 partitions linearly, so sessions running over the
-/// parent are undisturbed and a new session sees the grown relation.
+/// parent, it merge-encodes only the delta rows against the parent's
+/// value dictionaries (shifting existing codes where new values
+/// interleave) and rebuilds the level-1 partitions linearly, so sessions
+/// running over the parent are undisturbed and a new session sees the
+/// grown relation.
 class LoadedDataset {
  public:
   /// Encodes `table` and prebuilds Π*_{A} for every attribute A. Fails on
@@ -63,17 +67,16 @@ class LoadedDataset {
 
   /// Version base->version()+1: `base`'s rows followed by `delta`'s rows
   /// (column count must match; `base`'s schema wins). Delta rows are
-  /// merge-encoded against the parent's dictionaries — O(rows) integer
-  /// work plus O(delta log delta) value comparisons — and the resulting
-  /// ranks are bit-for-bit what FromTable would assign the concatenated
-  /// table. An empty delta yields a new (identical but renumbered)
-  /// version.
+  /// merge-encoded against the parent's value dictionaries — O(rows)
+  /// integer work plus O(delta log delta) value comparisons — and the
+  /// resulting codes and merged dictionaries are bit-for-bit what
+  /// FromTable would produce on the concatenated table. An empty delta
+  /// yields a new (identical but renumbered) version.
   static Result<std::shared_ptr<const LoadedDataset>> Append(
       const std::shared_ptr<const LoadedDataset>& base, Table delta);
 
   const std::string& id() const { return id_; }
   const std::string& source() const { return source_; }
-  const Table& table() const { return table_; }
   const EncodedRelation& relation() const { return relation_; }
   const Schema& schema() const { return relation_.schema(); }
 
@@ -96,8 +99,9 @@ class LoadedDataset {
   int64_t NumRows() const { return relation_.NumRows(); }
   int NumAttributes() const { return relation_.NumAttributes(); }
 
-  /// Estimated resident footprint (table cells + ranks + partitions),
-  /// the unit the store's memory budget is accounted in.
+  /// Exact resident footprint — code columns + value dictionaries +
+  /// level-1 partitions, summed from the contiguous allocations — the
+  /// unit the store's memory budget is accounted in.
   int64_t ApproxBytes() const { return approx_bytes_; }
 
   /// Wall-clock of the one-time preprocessing (parse excluded).
@@ -108,7 +112,6 @@ class LoadedDataset {
 
   std::string id_;
   std::string source_;
-  Table table_;
   EncodedRelation relation_;
   std::vector<StrippedPartition> singletons_;
   int64_t version_ = 1;

@@ -17,8 +17,8 @@ Result<EncodedRelation> EncodedRelation::FromTable(const Table& table) {
   EncodedRelation rel;
   rel.schema_ = table.schema();
   rel.num_rows_ = table.NumRows();
-  rel.ranks_.resize(table.NumColumns());
-  rel.num_distinct_.resize(table.NumColumns(), 0);
+  rel.codes_.resize(table.NumColumns());
+  rel.dicts_.resize(table.NumColumns());
 
   const int64_t n = table.NumRows();
   std::vector<int32_t> order(n);
@@ -30,30 +30,41 @@ Result<EncodedRelation> EncodedRelation::FromTable(const Table& table) {
       if (cmp != 0) return cmp < 0;
       return a < b;  // stable tiebreak for determinism
     });
-    std::vector<int32_t>& ranks = rel.ranks_[c];
-    ranks.assign(n, 0);
-    int32_t next_rank = -1;
+    std::vector<uint32_t> codes(n, 0);
+    ValueDictionary::Builder dict;
+    int32_t next_code = -1;
     for (int64_t i = 0; i < n; ++i) {
       if (i == 0 || Value::Compare(col[order[i - 1]], col[order[i]]) != 0) {
-        ++next_rank;
+        ++next_code;
+        // The group's first tuple has the smallest row id carrying this
+        // value (the sort tiebreak), so it is the interned representative.
+        dict.Add(col[order[i]]);
       }
-      ranks[order[i]] = next_rank;
+      codes[order[i]] = static_cast<uint32_t>(next_code);
     }
-    rel.num_distinct_[c] = n == 0 ? 0 : next_rank + 1;
+    rel.codes_[c] = CodeColumn(std::move(codes), n == 0 ? 0 : next_code + 1);
+    rel.dicts_[c] = dict.Build();
   }
   return rel;
 }
 
-EncodedRelation EncodedRelation::FromRanks(
-    Schema schema, std::vector<std::vector<int32_t>> ranks,
-    std::vector<int32_t> num_distinct) {
-  FASTOD_CHECK(ranks.size() == num_distinct.size());
+EncodedRelation EncodedRelation::FromColumns(
+    Schema schema, std::vector<CodeColumn> codes,
+    std::vector<ValueDictionary> dicts) {
+  FASTOD_CHECK(codes.size() == dicts.size());
   EncodedRelation rel;
-  rel.num_rows_ = ranks.empty() ? 0 : static_cast<int64_t>(ranks[0].size());
+  rel.num_rows_ = codes.empty() ? 0 : codes[0].size();
   rel.schema_ = std::move(schema);
-  rel.ranks_ = std::move(ranks);
-  rel.num_distinct_ = std::move(num_distinct);
+  rel.codes_ = std::move(codes);
+  rel.dicts_ = std::move(dicts);
   return rel;
+}
+
+int64_t EncodedRelation::ByteSize() const {
+  int64_t bytes = 0;
+  for (const CodeColumn& col : codes_) bytes += col.ByteSize();
+  for (const ValueDictionary& dict : dicts_) bytes += dict.ByteSize();
+  return bytes;
 }
 
 }  // namespace fastod

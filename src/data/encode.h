@@ -3,9 +3,14 @@
 // Section 4.6 of the paper: "The values of the columns are replaced with
 // integers 1, 2, ..., n, in a way that the equivalence classes do not change
 // and the ordering is preserved." All discovery algorithms run over this
-// encoded form: equal values share a rank, and rank order equals value
+// encoded form: equal values share a code, and code order equals value
 // order, so both split detection (equality) and swap detection (ordering)
 // reduce to integer comparisons.
+//
+// The encoded image is columnar: one contiguous CodeColumn per attribute
+// (4 bytes/row) plus the column's interned ValueDictionary (code ->
+// value), which replaces retaining the raw Value table for rendering and
+// for merge-encoding appended deltas.
 #ifndef FASTOD_DATA_ENCODE_H_
 #define FASTOD_DATA_ENCODE_H_
 
@@ -13,13 +18,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/column.h"
 #include "data/table.h"
 
 namespace fastod {
 
-/// The integer-encoded image of a Table: per column, a dense rank in
-/// [0, NumDistinct) for every tuple. Ranks are assigned in ascending value
-/// order (ties = equal values share a rank), under the Value total order
+/// The integer-encoded image of a Table: per column, a dense code in
+/// [0, NumDistinct) for every tuple. Codes are assigned in ascending value
+/// order (ties = equal values share a code), under the Value total order
 /// (NULLs first).
 class EncodedRelation {
  public:
@@ -29,38 +35,44 @@ class EncodedRelation {
   /// AttributeSet::kMaxAttributes columns.
   static Result<EncodedRelation> FromTable(const Table& table);
 
-  /// Wraps precomputed rank columns. The append path in
-  /// data/dataset_store.cc merge-encodes delta rows into the parent
-  /// version's dictionaries instead of re-sorting the whole table; the
-  /// caller guarantees the ranks are dense and order-preserving, exactly
-  /// as FromTable would have assigned them.
-  static EncodedRelation FromRanks(Schema schema,
-                                   std::vector<std::vector<int32_t>> ranks,
-                                   std::vector<int32_t> num_distinct);
+  /// Wraps precomputed code columns and their dictionaries. The append
+  /// path in data/dataset_store.cc merge-encodes delta rows into the
+  /// parent version's dictionaries instead of re-sorting the whole
+  /// table; the caller guarantees codes are dense and order-preserving,
+  /// exactly as FromTable would have assigned them.
+  static EncodedRelation FromColumns(Schema schema,
+                                     std::vector<CodeColumn> codes,
+                                     std::vector<ValueDictionary> dicts);
 
-  int NumAttributes() const { return static_cast<int>(ranks_.size()); }
+  int NumAttributes() const { return static_cast<int>(codes_.size()); }
   int64_t NumRows() const { return num_rows_; }
   const Schema& schema() const { return schema_; }
 
-  /// Rank of every tuple on attribute `attr` (size NumRows()).
-  const std::vector<int32_t>& ranks(int attr) const {
+  /// Code of every tuple on attribute `attr` (size NumRows()).
+  const CodeColumn& codes(int attr) const {
     FASTOD_DCHECK(attr >= 0 && attr < NumAttributes());
-    return ranks_[attr];
+    return codes_[attr];
   }
 
-  int32_t rank(int64_t row, int attr) const { return ranks(attr)[row]; }
+  int32_t rank(int64_t row, int attr) const { return codes(attr)[row]; }
 
   /// Number of distinct values in column `attr`.
-  int32_t NumDistinct(int attr) const {
+  int32_t NumDistinct(int attr) const { return codes(attr).num_distinct(); }
+
+  /// Interned distinct values of column `attr`, code -> value.
+  const ValueDictionary& dictionary(int attr) const {
     FASTOD_DCHECK(attr >= 0 && attr < NumAttributes());
-    return num_distinct_[attr];
+    return dicts_[attr];
   }
+
+  /// Exact bytes across every code column and dictionary.
+  int64_t ByteSize() const;
 
  private:
   Schema schema_;
   int64_t num_rows_ = 0;
-  std::vector<std::vector<int32_t>> ranks_;
-  std::vector<int32_t> num_distinct_;
+  std::vector<CodeColumn> codes_;
+  std::vector<ValueDictionary> dicts_;
 };
 
 }  // namespace fastod

@@ -28,8 +28,9 @@ namespace {
 /// scan verdict *is* an exact validity verdict, given prefix validity.
 class ValidityOracle {
  public:
-  explicit ValidityOracle(const EncodedRelation* relation)
-      : validator_(relation) {}
+  explicit ValidityOracle(const EncodedRelation* relation,
+                          const std::vector<StrippedPartition>* singletons)
+      : validator_(relation, singletons) {}
 
   void Seed(const ConstancyOd& od, bool valid) {
     constancy_.emplace(od, valid);
@@ -88,9 +89,11 @@ struct Candidate {
 /// class are genuine Π*_X pairs, so verdicts are exact.
 class DeltaPartitions {
  public:
-  DeltaPartitions(const EncodedRelation* relation, int64_t delta_start)
+  DeltaPartitions(const EncodedRelation* relation, int64_t delta_start,
+                  const std::vector<StrippedPartition>* singletons)
       : relation_(relation),
         delta_start_(delta_start),
+        singletons_(singletons),
         domains_(relation->NumAttributes()) {}
 
   const StrippedPartition& Restricted(AttributeSet context) {
@@ -103,8 +106,11 @@ class DeltaPartitions {
   /// Ascending row ids of Π*_{a}'s delta-touching classes (lazy).
   const std::vector<int32_t>& Domain(int a) {
     if (!domains_[a].computed) {
-      StrippedPartition singleton = StrippedPartition::ForAttribute(
-          relation_->ranks(a), relation_->NumDistinct(a));
+      StrippedPartition local;
+      const StrippedPartition& singleton =
+          singletons_ != nullptr
+              ? (*singletons_)[a]
+              : (local = StrippedPartition::ForAttribute(relation_->codes(a)));
       std::vector<int32_t>& rows = domains_[a].rows;
       for (int32_t c = 0; c < singleton.NumClasses(); ++c) {
         auto cls = singleton.Class(c);
@@ -129,21 +135,21 @@ class DeltaPartitions {
       if (Domain(a).size() < Domain(best).size()) best = a;
     }
     std::vector<int32_t> rows = Domain(best);
-    std::vector<const std::vector<int32_t>*> ranks;
+    std::vector<const CodeColumn*> ranks;
     for (int a = context.First(); a >= 0; a = context.Next(a)) {
-      ranks.push_back(&relation_->ranks(a));
+      ranks.push_back(&relation_->codes(a));
     }
     // Sort by the X-rank tuple (row id as tiebreak keeps class members
     // ascending, which the scanner's delta skip relies on), then emit
     // adjacent equal-key runs as classes.
     std::sort(rows.begin(), rows.end(), [&](int32_t s, int32_t t) {
-      for (const std::vector<int32_t>* column : ranks) {
+      for (const CodeColumn* column : ranks) {
         if ((*column)[s] != (*column)[t]) return (*column)[s] < (*column)[t];
       }
       return s < t;
     });
     auto same_class = [&](int32_t s, int32_t t) {
-      for (const std::vector<int32_t>* column : ranks) {
+      for (const CodeColumn* column : ranks) {
         if ((*column)[s] != (*column)[t]) return false;
       }
       return true;
@@ -171,6 +177,7 @@ class DeltaPartitions {
 
   const EncodedRelation* relation_;
   int64_t delta_start_;
+  const std::vector<StrippedPartition>* singletons_;
   std::vector<AttrDomain> domains_;
   std::unordered_map<uint64_t, StrippedPartition> cache_;
 };
@@ -195,8 +202,9 @@ IncrementalResult IncrementalDiscovery::Run(const PriorOds& prior) {
   // only ever looks at classes containing appended tuples — so each
   // context's partition is built once, restricted to the rows that can
   // share such a class (see DeltaPartitions).
-  ValidityOracle oracle(relation_);
-  DeltaPartitions delta_partitions(relation_, options_.base_rows);
+  ValidityOracle oracle(relation_, options_.singletons);
+  DeltaPartitions delta_partitions(relation_, options_.base_rows,
+                                   options_.singletons);
   auto context_partition =
       [&](AttributeSet context) -> const StrippedPartition& {
     return delta_partitions.Restricted(context);

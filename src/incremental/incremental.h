@@ -45,6 +45,7 @@
 #include "common/cancellation.h"
 #include "data/encode.h"
 #include "od/canonical_od.h"
+#include "partition/stripped_partition.h"
 
 namespace fastod {
 
@@ -74,6 +75,12 @@ struct IncrementalOptions {
   /// Cooperative cancellation/deadline, polled per re-validation and per
   /// escalation node. Must outlive Run().
   ExecutionControl* control = nullptr;
+
+  /// Prebuilt level-1 partitions of the *grown* relation, one per
+  /// attribute (a bound LoadedDataset's; see Fastod::Discover). Seeds the
+  /// escalation validator and the delta-partition domains. Borrowed; must
+  /// outlive Run().
+  const std::vector<StrippedPartition>* singletons = nullptr;
 };
 
 struct IncrementalResult {

@@ -139,6 +139,7 @@ Status IncrementalAlgorithm::ExecuteInternal() {
   WallTimer timer;
   IncrementalOptions run;
   run.base_rows = base_rows;
+  run.singletons = prebuilt_singletons();
   run.sink = sink();
   run.control = control();
   result_ = IncrementalDiscovery(&relation(), run).Run(*prior);

@@ -9,15 +9,16 @@ SortedPartitions::SortedPartitions(const EncodedRelation& relation) {
   const int64_t n = relation.NumRows();
   orders_.resize(relation.NumAttributes());
   for (int a = 0; a < relation.NumAttributes(); ++a) {
-    const std::vector<int32_t>& ranks = relation.ranks(a);
+    const CodeColumn& codes = relation.codes(a);
     const int32_t num_distinct = relation.NumDistinct(a);
+    const uint32_t* data = codes.data();
     // Counting sort: stable, so ties stay in ascending tuple order.
     std::vector<int32_t> counts(num_distinct + 1, 0);
-    for (int32_t r : ranks) ++counts[r + 1];
+    for (int64_t t = 0; t < n; ++t) ++counts[data[t] + 1];
     for (int32_t v = 0; v < num_distinct; ++v) counts[v + 1] += counts[v];
     orders_[a].resize(n);
     for (int64_t t = 0; t < n; ++t) {
-      orders_[a][counts[ranks[t]]++] = static_cast<int32_t>(t);
+      orders_[a][counts[data[t]]++] = static_cast<int32_t>(t);
     }
   }
 }
@@ -58,8 +59,8 @@ bool SwapChecker::IsOrderCompatibleDirected(const StrippedPartition& context,
 bool SwapChecker::CheckSortBased(const StrippedPartition& context, int a,
                                  int b, int32_t flip_base) {
   ++num_sort_checks_;
-  const std::vector<int32_t>& ranks_a = relation_->ranks(a);
-  const std::vector<int32_t>& ranks_b = relation_->ranks(b);
+  const CodeColumn& ranks_a = relation_->codes(a);
+  const CodeColumn& ranks_b = relation_->codes(b);
   for (int32_t c = 0; c < context.NumClasses(); ++c) {
     auto cls = context.Class(c);
     class_buffer_.assign(cls.begin(), cls.end());
@@ -97,8 +98,8 @@ bool SwapChecker::CheckSortBased(const StrippedPartition& context, int a,
 bool SwapChecker::CheckTauBased(const StrippedPartition& context, int a,
                                 int b, int32_t flip_base) {
   ++num_tau_checks_;
-  const std::vector<int32_t>& ranks_a = relation_->ranks(a);
-  const std::vector<int32_t>& ranks_b = relation_->ranks(b);
+  const CodeColumn& ranks_a = relation_->codes(a);
+  const CodeColumn& ranks_b = relation_->codes(b);
   context.FillClassIndex(&class_of_);
   tau_states_.assign(context.NumClasses(), TauState{});
   // One scan over τ_a: tuples arrive in global ascending A order, hence in

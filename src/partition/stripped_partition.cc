@@ -3,7 +3,7 @@
 #include "common/fault.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
 
 namespace fastod {
 
@@ -17,71 +17,119 @@ StrippedPartition StrippedPartition::Universe(int64_t num_rows) {
   return builder.Build();
 }
 
-StrippedPartition StrippedPartition::ForAttribute(
-    const std::vector<int32_t>& ranks, int32_t num_distinct) {
+StrippedPartition StrippedPartition::ForAttribute(const CodeColumn& codes) {
   // No coded-failure path out of a partition build: only "throw"
   // schedules apply (contained at the session worker boundary).
   (void)FASTOD_FAULT_POINT("partition.build");
-  const int64_t n = static_cast<int64_t>(ranks.size());
-  // Counting sort by rank keeps classes in ascending value order.
+  const int64_t n = codes.size();
+  const int32_t num_distinct = codes.num_distinct();
+  const uint32_t* data = codes.data();
+  // Counting sort by code keeps classes in ascending value order.
   std::vector<int32_t> counts(num_distinct + 1, 0);
-  for (int32_t r : ranks) {
-    FASTOD_DCHECK(r >= 0 && r < num_distinct);
-    ++counts[r + 1];
+  for (int64_t t = 0; t < n; ++t) {
+    FASTOD_DCHECK(data[t] < static_cast<uint32_t>(num_distinct));
+    ++counts[data[t] + 1];
   }
   for (int32_t v = 0; v < num_distinct; ++v) counts[v + 1] += counts[v];
-  std::vector<int32_t> by_rank(n);
+  std::vector<int32_t> by_code(n);
   std::vector<int32_t> cursor(counts.begin(), counts.end() - 1);
   for (int64_t t = 0; t < n; ++t) {
-    by_rank[cursor[ranks[t]]++] = static_cast<int32_t>(t);
+    by_code[cursor[data[t]]++] = static_cast<int32_t>(t);
   }
   PartitionBuilder builder(n);
   for (int32_t v = 0; v < num_distinct; ++v) {
     builder.BeginClass();
     for (int32_t i = counts[v]; i < counts[v + 1]; ++i) {
-      builder.AddTuple(by_rank[i]);
+      builder.AddTuple(by_code[i]);
     }
     builder.EndClass();
   }
   return builder.Build();
 }
 
-StrippedPartition StrippedPartition::FromRankColumns(
-    const std::vector<const std::vector<int32_t>*>& columns,
-    int64_t num_rows) {
+StrippedPartition StrippedPartition::ForAttribute(
+    const std::vector<int32_t>& ranks, int32_t num_distinct) {
+  return ForAttribute(CodeColumn::FromRanks(ranks, num_distinct));
+}
+
+StrippedPartition StrippedPartition::FromCodeColumns(
+    const std::vector<const CodeColumn*>& columns, int64_t num_rows) {
   if (columns.empty()) return Universe(num_rows);
-  // Group tuples by their full rank vector via a hash of composed keys.
-  // Reference implementation only; quadratic-ish memory is fine at test
-  // scales.
-  struct VecHash {
-    size_t operator()(const std::vector<int32_t>& v) const {
-      size_t h = 1469598103934665603ULL;
-      for (int32_t x : v) {
-        h ^= static_cast<size_t>(x) + 0x9e3779b9 + (h << 6) + (h >> 2);
-      }
-      return h;
+  // LSD radix sort over *batches* of columns: consecutive columns fuse
+  // into one composite key while the product of their distinct counts
+  // stays within ~the row count, so low-cardinality column sets collapse
+  // into a single counting pass (the common case). Each pass is a stable
+  // counting sort, last batch first, starting from ascending row order,
+  // so the final order is lexicographic by code vector with row-id
+  // tiebreak — classes in ascending key order, members ascending.
+  const int64_t budget = std::min<int64_t>(
+      std::max<int64_t>(num_rows, int64_t{1} << 16), int64_t{1} << 30);
+  std::vector<int32_t> order(num_rows);
+  std::vector<int32_t> next(num_rows);
+  std::vector<uint32_t> fused;
+  std::vector<int32_t> counts;
+  bool first_pass = true;
+  size_t hi = columns.size();
+  while (hi > 0) {
+    // Greedily extend the batch [lo, hi) while the key space fits.
+    size_t lo = hi;
+    int64_t k = 1;
+    while (lo > 0 &&
+           k * std::max<int64_t>(columns[lo - 1]->num_distinct(), 1) <=
+               budget) {
+      k *= std::max<int64_t>(columns[--lo]->num_distinct(), 1);
     }
-  };
-  std::unordered_map<std::vector<int32_t>, std::vector<int32_t>, VecHash>
-      groups;
-  std::vector<int32_t> key(columns.size());
-  for (int64_t t = 0; t < num_rows; ++t) {
-    for (size_t c = 0; c < columns.size(); ++c) key[c] = (*columns[c])[t];
-    groups[key].push_back(static_cast<int32_t>(t));
+    if (lo == hi) k = columns[--lo]->num_distinct();  // oversized, alone
+    const uint32_t* key;
+    if (hi - lo == 1) {
+      key = columns[lo]->data();
+    } else {
+      fused.resize(num_rows);
+      for (int64_t t = 0; t < num_rows; ++t) {
+        uint32_t v = 0;
+        for (size_t ci = lo; ci < hi; ++ci) {
+          v = v * static_cast<uint32_t>(columns[ci]->num_distinct()) +
+              static_cast<uint32_t>(columns[ci]->data()[t]);
+        }
+        fused[t] = v;
+      }
+      key = fused.data();
+    }
+    counts.assign(static_cast<size_t>(k) + 1, 0);
+    for (int64_t t = 0; t < num_rows; ++t) ++counts[key[t] + 1];
+    for (int64_t v = 0; v < k; ++v) counts[v + 1] += counts[v];
+    if (first_pass) {
+      // Identity start: scatter row ids directly, no order[] indirection.
+      for (int64_t t = 0; t < num_rows; ++t) {
+        next[counts[key[t]]++] = static_cast<int32_t>(t);
+      }
+      first_pass = false;
+    } else {
+      for (int64_t i = 0; i < num_rows; ++i) {
+        next[counts[key[order[i]]]++] = order[i];
+      }
+    }
+    order.swap(next);
+    hi = lo;
   }
-  // Deterministic class order: sort group keys.
-  std::vector<const std::vector<int32_t>*> keys;
-  keys.reserve(groups.size());
-  for (const auto& [k, v] : groups) keys.push_back(&k);
-  std::sort(keys.begin(), keys.end(),
-            [](const std::vector<int32_t>* a, const std::vector<int32_t>* b) {
-              return *a < *b;
-            });
+  auto same_key = [&columns](int32_t a, int32_t b) {
+    for (const CodeColumn* col : columns) {
+      if ((*col)[a] != (*col)[b]) return false;
+    }
+    return true;
+  };
   PartitionBuilder builder(num_rows);
-  for (const std::vector<int32_t>* k : keys) {
+  int64_t i = 0;
+  while (i < num_rows) {
     builder.BeginClass();
-    for (int32_t t : groups[*k]) builder.AddTuple(t);
+    builder.AddTuple(order[i]);
+    int64_t j = i + 1;
+    while (j < num_rows && same_key(order[i], order[j])) {
+      builder.AddTuple(order[j]);
+      ++j;
+    }
     builder.EndClass();
+    i = j;
   }
   return builder.Build();
 }
@@ -90,31 +138,48 @@ StrippedPartition StrippedPartition::Product(
     const StrippedPartition& other) const {
   FASTOD_DCHECK(num_rows_ == other.num_rows_);
   // TANE-style linear product. Mark membership of `*this` classes in a
-  // probe array, then split each class of `other` by probe value.
+  // probe array, then split each class of `other` by probe value — two
+  // flat passes per class (count, then scatter into one buffer), no
+  // per-class vectors.
   std::vector<int32_t> probe(num_rows_, -1);
   for (int32_t c = 0; c < NumClasses(); ++c) {
     for (int32_t t : Class(c)) probe[t] = c;
   }
-  // scratch[i] accumulates the intersection of the current `other` class
-  // with this->Class(i).
-  std::vector<std::vector<int32_t>> scratch(NumClasses());
+  std::vector<int32_t> counts(NumClasses(), 0);
+  std::vector<int32_t> starts(NumClasses(), 0);
+  std::vector<int32_t> buffer;
   std::vector<int32_t> touched;
   PartitionBuilder builder(num_rows_);
   for (int32_t oc = 0; oc < other.NumClasses(); ++oc) {
+    auto other_class = other.Class(oc);
     touched.clear();
-    for (int32_t t : other.Class(oc)) {
+    for (int32_t t : other_class) {
       int32_t pc = probe[t];
       if (pc < 0) continue;  // singleton in *this: cannot form a pair
-      if (scratch[pc].empty()) touched.push_back(pc);
-      scratch[pc].push_back(t);
+      if (counts[pc]++ == 0) touched.push_back(pc);
     }
     // Emit classes in ascending first-class index for determinism.
     std::sort(touched.begin(), touched.end());
+    int32_t total = 0;
+    for (int32_t pc : touched) {
+      starts[pc] = total;
+      total += counts[pc];
+    }
+    buffer.resize(total);
+    for (int32_t t : other_class) {
+      int32_t pc = probe[t];
+      if (pc < 0) continue;
+      buffer[starts[pc]++] = t;  // members stay ascending (class order)
+    }
+    int32_t begin = 0;
     for (int32_t pc : touched) {
       builder.BeginClass();
-      for (int32_t t : scratch[pc]) builder.AddTuple(t);
+      for (int32_t i = begin; i < begin + counts[pc]; ++i) {
+        builder.AddTuple(buffer[i]);
+      }
       builder.EndClass();
-      scratch[pc].clear();
+      begin += counts[pc];
+      counts[pc] = 0;
     }
   }
   return builder.Build();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "data/column.h"
 
 namespace fastod {
 
@@ -30,17 +31,23 @@ class StrippedPartition {
   /// tuples (empty if num_rows < 2, i.e. the empty set is already a key).
   static StrippedPartition Universe(int64_t num_rows);
 
-  /// Π*_{A} from the dense order-preserving ranks of attribute A.
-  /// Classes are emitted in ascending rank (= value) order.
+  /// Π*_{A} from the dense order-preserving code column of attribute A —
+  /// a counting sort over the contiguous codes. Classes are emitted in
+  /// ascending code (= value) order.
+  static StrippedPartition ForAttribute(const CodeColumn& codes);
+
+  /// Convenience overload over a hand-assembled rank vector (tests).
   static StrippedPartition ForAttribute(const std::vector<int32_t>& ranks,
                                         int32_t num_distinct);
 
-  /// Builds Π*_X directly from per-tuple ranks of the attributes of X —
-  /// a reference path used by tests and one-off validations; the level-wise
-  /// algorithms use Product() instead.
-  static StrippedPartition FromRankColumns(
-      const std::vector<const std::vector<int32_t>*>& columns,
-      int64_t num_rows);
+  /// Builds Π*_X directly from the code columns of the attributes of X:
+  /// an LSD radix sort (one stable counting pass per column, last to
+  /// first) followed by adjacent-run grouping, so classes appear in
+  /// ascending lexicographic key order with ascending members. Used by
+  /// validators and one-off constructions; the level-wise algorithms use
+  /// Product() instead.
+  static StrippedPartition FromCodeColumns(
+      const std::vector<const CodeColumn*>& columns, int64_t num_rows);
 
   /// The partition product Π*_{X∪Y} = Π*_X · Π*_Y (linear time, the TANE
   /// product): intersects classes of `*this` with classes of `other`.

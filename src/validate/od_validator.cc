@@ -36,11 +36,21 @@ int CompareLexDirected(const EncodedRelation& rel, const DirectedSpec& spec,
 
 }  // namespace
 
-OdValidator::OdValidator(const EncodedRelation* relation)
+OdValidator::OdValidator(const EncodedRelation* relation,
+                         const std::vector<StrippedPartition>* singletons)
     : relation_(relation),
       sorted_(*relation),
       swap_checker_(relation, &sorted_) {
   FASTOD_CHECK(relation_ != nullptr);
+  if (singletons != nullptr) {
+    // Prebuilt level-1 partitions (a bound LoadedDataset): seed the
+    // context cache so every singleton context is a lookup, not a build.
+    FASTOD_CHECK(static_cast<int>(singletons->size()) ==
+                 relation_->NumAttributes());
+    for (int a = 0; a < relation_->NumAttributes(); ++a) {
+      context_cache_.emplace(AttributeSet::Single(a), (*singletons)[a]);
+    }
+  }
 }
 
 const StrippedPartition& OdValidator::ContextPartition(AttributeSet context) {
@@ -68,14 +78,13 @@ const StrippedPartition& OdValidator::ContextPartition(AttributeSet context) {
       partition = *seed;
     } else {
       int first = context.First();
-      partition = StrippedPartition::ForAttribute(
-          relation_->ranks(first), relation_->NumDistinct(first));
+      partition = StrippedPartition::ForAttribute(relation_->codes(first));
       covered = AttributeSet::Single(first);
     }
     for (int a = context.First(); a >= 0; a = context.Next(a)) {
       if (covered.Contains(a)) continue;
-      partition = partition.Product(StrippedPartition::ForAttribute(
-          relation_->ranks(a), relation_->NumDistinct(a)));
+      partition = partition.Product(
+          StrippedPartition::ForAttribute(relation_->codes(a)));
     }
   }
   auto [pos, inserted] = context_cache_.emplace(context, std::move(partition));
@@ -84,7 +93,7 @@ const StrippedPartition& OdValidator::ContextPartition(AttributeSet context) {
 
 bool OdValidator::IsConstant(AttributeSet context, int attribute) {
   const StrippedPartition& partition = ContextPartition(context);
-  const std::vector<int32_t>& ranks = relation_->ranks(attribute);
+  const CodeColumn& ranks = relation_->codes(attribute);
   for (int32_t c = 0; c < partition.NumClasses(); ++c) {
     auto cls = partition.Class(c);
     int32_t first_rank = ranks[cls[0]];

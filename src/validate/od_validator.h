@@ -23,8 +23,13 @@ namespace fastod {
 
 class OdValidator {
  public:
-  /// The relation must outlive the validator.
-  explicit OdValidator(const EncodedRelation* relation);
+  /// The relation must outlive the validator. `singletons`, when given,
+  /// are prebuilt level-1 partitions (one per attribute, e.g. a
+  /// LoadedDataset's) used to seed the context cache; borrowed contents
+  /// are copied, so the pointer itself need not outlive the call.
+  explicit OdValidator(
+      const EncodedRelation* relation,
+      const std::vector<StrippedPartition>* singletons = nullptr);
 
   /// X: [] -> A — A constant within every equivalence class of Π_X
   /// (equivalently, the FD X -> A holds).

@@ -24,14 +24,13 @@ StrippedPartition ViolationScanner::BuildContextPartition(
   const EncodedRelation& rel = *relation_;
   if (context.IsEmpty()) return StrippedPartition::Universe(rel.NumRows());
   if (context.Count() == 1) {
-    const int a = context.First();
-    return StrippedPartition::ForAttribute(rel.ranks(a), rel.NumDistinct(a));
+    return StrippedPartition::ForAttribute(rel.codes(context.First()));
   }
-  std::vector<const std::vector<int32_t>*> columns;
+  std::vector<const CodeColumn*> columns;
   for (int a = context.First(); a >= 0; a = context.Next(a)) {
-    columns.push_back(&rel.ranks(a));
+    columns.push_back(&rel.codes(a));
   }
-  return StrippedPartition::FromRankColumns(columns, rel.NumRows());
+  return StrippedPartition::FromCodeColumns(columns, rel.NumRows());
 }
 
 namespace {
@@ -60,7 +59,7 @@ std::vector<Violation> ViolationScanner::ScanConstancy(
     const StrippedPartition& partition, int attribute,
     const ScanOptions& options) {
   std::vector<Violation> out;
-  const std::vector<int32_t>& ranks = relation_->ranks(attribute);
+  const CodeColumn& ranks = relation_->codes(attribute);
   for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
        ++c) {
     auto cls = partition.Class(c);
@@ -86,8 +85,8 @@ std::vector<Violation> ViolationScanner::ScanCompatibility(
     const StrippedPartition& partition, int a, int b,
     const ScanOptions& options) {
   std::vector<Violation> out;
-  const std::vector<int32_t>& ranks_a = relation_->ranks(a);
-  const std::vector<int32_t>& ranks_b = relation_->ranks(b);
+  const CodeColumn& ranks_a = relation_->codes(a);
+  const CodeColumn& ranks_b = relation_->codes(b);
   std::vector<int32_t> buffer;
   for (int32_t c = 0; c < partition.NumClasses() && !Full(out, options);
        ++c) {

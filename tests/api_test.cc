@@ -114,8 +114,25 @@ TEST(OptionRegistryTest, DescribeOptionsSnapshot) {
             "seconds (0 = none) (default: 0)\n"
             "  --max-level=<int>                stop after lattice level L "
             "(0 = none) (default: 0)\n"
-            "  --emit-fds=<bool>                materialize FDs (false = "
-            "count only) (default: true)\n");
+            "  --emit-ods=<bool>                materialize FDs (false = "
+            "count only) (default: true) [alias: --emit-fds]\n");
+}
+
+TEST(OptionRegistryTest, DeprecatedSpellingsStillResolve) {
+  // "emit-fds" survives as an alias of the canonical "emit-ods", and the
+  // historical underscore spellings resolve by hyphen normalization.
+  TaneAlgorithm tane;
+  ASSERT_TRUE(tane.SetOption("emit-fds", "false").ok());
+  ASSERT_TRUE(tane.SetOption("emit_ods", "true").ok());
+  FastodAlgorithm fastod;
+  ASSERT_TRUE(fastod.SetOption("num-threads", "2").ok());
+  ASSERT_TRUE(fastod.SetOption("num_threads", "3").ok());
+  ASSERT_TRUE(fastod.SetOption("threads", "4").ok());
+  EXPECT_FALSE(fastod.SetOption("nope-threads", "4").ok());
+  const OptionInfo* info = fastod.FindOption("threads");
+  ASSERT_NE(info, nullptr);
+  ASSERT_EQ(info->aliases.size(), 1u);
+  EXPECT_EQ(info->aliases[0], "num-threads");
 }
 
 TEST(OptionRegistryTest, ApproximateSurfacesItsOwnDefault) {

@@ -21,11 +21,11 @@ EncodedRelation Encode(const Table& t) {
 
 StrippedPartition ContextOf(const EncodedRelation& rel, AttributeSet ctx) {
   if (ctx.IsEmpty()) return StrippedPartition::Universe(rel.NumRows());
-  std::vector<const std::vector<int32_t>*> columns;
+  std::vector<const CodeColumn*> columns;
   for (int a = ctx.First(); a >= 0; a = ctx.Next(a)) {
-    columns.push_back(&rel.ranks(a));
+    columns.push_back(&rel.codes(a));
   }
-  return StrippedPartition::FromRankColumns(columns, rel.NumRows());
+  return StrippedPartition::FromCodeColumns(columns, rel.NumRows());
 }
 
 TEST(ApproximateTest, ConstancyRemovalsCountMinorityValues) {

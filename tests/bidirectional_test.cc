@@ -233,12 +233,12 @@ TEST_P(BidiPropertyTest, DirectedCheckerMatchesBruteForce) {
       if (context.IsEmpty()) {
         partition = StrippedPartition::Universe(rel.NumRows());
       } else {
-        std::vector<const std::vector<int32_t>*> columns;
+        std::vector<const CodeColumn*> columns;
         for (int a = context.First(); a >= 0; a = context.Next(a)) {
-          columns.push_back(&rel.ranks(a));
+          columns.push_back(&rel.codes(a));
         }
         partition =
-            StrippedPartition::FromRankColumns(columns, rel.NumRows());
+            StrippedPartition::FromCodeColumns(columns, rel.NumRows());
       }
       for (int a = 2; a < 4; ++a) {
         for (int b = 2; b < 4; ++b) {

@@ -41,16 +41,26 @@ TEST(LoadedDatasetTest, BuildCapturesEncodingAndSingletons) {
   EXPECT_EQ((*dataset)->NumAttributes(), table.NumColumns());
   EXPECT_GT((*dataset)->ApproxBytes(), 0);
 
+  // The footprint is exact, not estimated: the relation's contiguous
+  // code-column + dictionary allocations plus the flattened level-1
+  // partitions (elements + offsets + 1 sentinel, in int32s each).
+  int64_t exact = (*dataset)->relation().ByteSize();
+  for (const StrippedPartition& p : (*dataset)->singleton_partitions()) {
+    exact += static_cast<int64_t>(
+        (p.NumElements() + p.NumClasses() + 1) * sizeof(int32_t));
+  }
+  EXPECT_EQ((*dataset)->ApproxBytes(), exact);
+
   const EncodedRelation& relation = (*dataset)->relation();
   ASSERT_EQ(relation.NumAttributes(), expected->NumAttributes());
   const std::vector<StrippedPartition>& singletons =
       (*dataset)->singleton_partitions();
   ASSERT_EQ(static_cast<int>(singletons.size()), relation.NumAttributes());
   for (int a = 0; a < relation.NumAttributes(); ++a) {
-    EXPECT_EQ(relation.ranks(a), expected->ranks(a)) << "attribute " << a;
+    EXPECT_TRUE(relation.codes(a) == expected->codes(a))
+        << "attribute " << a;
     EXPECT_EQ(singletons[a],
-              StrippedPartition::ForAttribute(expected->ranks(a),
-                                              expected->NumDistinct(a)))
+              StrippedPartition::ForAttribute(expected->codes(a)))
         << "attribute " << a;
   }
 }

@@ -1,0 +1,268 @@
+// Pre-refactor golden ResultJson fixtures: the six engines run on
+// GenFlightLike(200, 8, 42) (order capped at max-level=3). Captured
+// from the row-oriented data plane; the columnar pipeline must
+// reproduce every non-timing field bit-for-bit.
+#ifndef FASTOD_TESTS_GOLDEN_PR9_DATA_H_
+#define FASTOD_TESTS_GOLDEN_PR9_DATA_H_
+
+namespace fastod {
+
+inline const char kGoldenFastod[] = R"gold9({
+  "algorithm": "fastod",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 0.000489, "timed_out": false},
+  "constancy_ods": [
+    {"context": [], "attribute": "year"},
+    {"context": ["date_sk"], "attribute": "flight_id"},
+    {"context": ["flight_id"], "attribute": "date_sk"},
+    {"context": ["flight_id"], "attribute": "month"},
+    {"context": ["flight_id"], "attribute": "quarter"},
+    {"context": ["flight_id"], "attribute": "day"},
+    {"context": ["flight_id"], "attribute": "carrier"},
+    {"context": ["flight_id"], "attribute": "origin"},
+    {"context": ["date_sk"], "attribute": "month"},
+    {"context": ["date_sk"], "attribute": "quarter"},
+    {"context": ["date_sk"], "attribute": "day"},
+    {"context": ["date_sk"], "attribute": "carrier"},
+    {"context": ["date_sk"], "attribute": "origin"},
+    {"context": ["month"], "attribute": "quarter"},
+    {"context": ["month","day"], "attribute": "flight_id"},
+    {"context": ["month","day"], "attribute": "date_sk"},
+    {"context": ["month","day"], "attribute": "carrier"},
+    {"context": ["month","day"], "attribute": "origin"},
+    {"context": ["quarter","day","origin"], "attribute": "flight_id"},
+    {"context": ["quarter","day","origin"], "attribute": "date_sk"},
+    {"context": ["quarter","day","origin"], "attribute": "month"},
+    {"context": ["quarter","day","origin"], "attribute": "carrier"}
+  ],
+  "compatibility_ods": [
+    {"context": [], "a": "flight_id", "b": "date_sk"},
+    {"context": [], "a": "flight_id", "b": "month"},
+    {"context": [], "a": "flight_id", "b": "quarter"},
+    {"context": [], "a": "date_sk", "b": "month"},
+    {"context": [], "a": "date_sk", "b": "quarter"},
+    {"context": [], "a": "month", "b": "quarter"},
+    {"context": ["month","carrier","origin"], "a": "flight_id", "b": "day"},
+    {"context": ["month","carrier","origin"], "a": "date_sk", "b": "day"}
+  ],
+  "bidirectional_ods": [
+  ]
+}
+)gold9";
+
+inline const char kGoldenTane[] = R"gold9({
+  "algorithm": "tane",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 0.000185, "timed_out": false},
+  "fds": [
+    {"lhs": [], "rhs": "year"},
+    {"lhs": ["flight_id"], "rhs": "date_sk"},
+    {"lhs": ["flight_id"], "rhs": "month"},
+    {"lhs": ["flight_id"], "rhs": "quarter"},
+    {"lhs": ["flight_id"], "rhs": "day"},
+    {"lhs": ["flight_id"], "rhs": "carrier"},
+    {"lhs": ["flight_id"], "rhs": "origin"},
+    {"lhs": ["date_sk"], "rhs": "flight_id"},
+    {"lhs": ["date_sk"], "rhs": "month"},
+    {"lhs": ["date_sk"], "rhs": "quarter"},
+    {"lhs": ["date_sk"], "rhs": "day"},
+    {"lhs": ["date_sk"], "rhs": "carrier"},
+    {"lhs": ["date_sk"], "rhs": "origin"},
+    {"lhs": ["month"], "rhs": "quarter"},
+    {"lhs": ["month","day"], "rhs": "carrier"},
+    {"lhs": ["month","day"], "rhs": "origin"},
+    {"lhs": ["quarter","day","origin"], "rhs": "carrier"}
+  ]
+}
+)gold9";
+
+inline const char kGoldenOrder[] = R"gold9({
+  "algorithm": "order",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 0.003530, "timed_out": false},
+  "ods": [
+    {"lhs": ["flight_id"], "rhs": ["year"]},
+    {"lhs": ["date_sk"], "rhs": ["year"]},
+    {"lhs": ["month"], "rhs": ["year"]},
+    {"lhs": ["quarter"], "rhs": ["year"]},
+    {"lhs": ["day"], "rhs": ["year"]},
+    {"lhs": ["carrier"], "rhs": ["year"]},
+    {"lhs": ["origin"], "rhs": ["year"]},
+    {"lhs": ["date_sk"], "rhs": ["flight_id"]},
+    {"lhs": ["flight_id"], "rhs": ["date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["month"]},
+    {"lhs": ["date_sk"], "rhs": ["month"]},
+    {"lhs": ["flight_id"], "rhs": ["quarter"]},
+    {"lhs": ["date_sk"], "rhs": ["quarter"]},
+    {"lhs": ["month"], "rhs": ["quarter"]},
+    {"lhs": ["date_sk"], "rhs": ["year","flight_id"]},
+    {"lhs": ["flight_id"], "rhs": ["year","date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["year","month"]},
+    {"lhs": ["date_sk"], "rhs": ["year","month"]},
+    {"lhs": ["flight_id"], "rhs": ["year","quarter"]},
+    {"lhs": ["date_sk"], "rhs": ["year","quarter"]},
+    {"lhs": ["month"], "rhs": ["year","quarter"]},
+    {"lhs": ["year","date_sk"], "rhs": ["flight_id"]},
+    {"lhs": ["date_sk"], "rhs": ["flight_id","year"]},
+    {"lhs": ["month","date_sk"], "rhs": ["flight_id"]},
+    {"lhs": ["date_sk"], "rhs": ["flight_id","month"]},
+    {"lhs": ["quarter","date_sk"], "rhs": ["flight_id"]},
+    {"lhs": ["date_sk"], "rhs": ["flight_id","quarter"]},
+    {"lhs": ["year","flight_id"], "rhs": ["date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["date_sk","year"]},
+    {"lhs": ["month","flight_id"], "rhs": ["date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["date_sk","month"]},
+    {"lhs": ["quarter","flight_id"], "rhs": ["date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["date_sk","quarter"]},
+    {"lhs": ["year","flight_id"], "rhs": ["month"]},
+    {"lhs": ["flight_id"], "rhs": ["month","year"]},
+    {"lhs": ["year","date_sk"], "rhs": ["month"]},
+    {"lhs": ["date_sk"], "rhs": ["month","year"]},
+    {"lhs": ["date_sk"], "rhs": ["month","flight_id"]},
+    {"lhs": ["flight_id"], "rhs": ["month","date_sk"]},
+    {"lhs": ["quarter","flight_id"], "rhs": ["month"]},
+    {"lhs": ["flight_id"], "rhs": ["month","quarter"]},
+    {"lhs": ["quarter","date_sk"], "rhs": ["month"]},
+    {"lhs": ["date_sk"], "rhs": ["month","quarter"]},
+    {"lhs": ["year","flight_id"], "rhs": ["quarter"]},
+    {"lhs": ["flight_id"], "rhs": ["quarter","year"]},
+    {"lhs": ["year","date_sk"], "rhs": ["quarter"]},
+    {"lhs": ["date_sk"], "rhs": ["quarter","year"]},
+    {"lhs": ["year","month"], "rhs": ["quarter"]},
+    {"lhs": ["month"], "rhs": ["quarter","year"]},
+    {"lhs": ["date_sk"], "rhs": ["quarter","flight_id"]},
+    {"lhs": ["flight_id"], "rhs": ["quarter","date_sk"]},
+    {"lhs": ["flight_id"], "rhs": ["quarter","month"]},
+    {"lhs": ["date_sk"], "rhs": ["quarter","month"]}
+  ]
+}
+)gold9";
+
+inline const char kGoldenBruteForce[] = R"gold9({
+  "algorithm": "brute-force",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 1.021601, "timed_out": false},
+  "constancy_ods": [
+    {"context": [], "attribute": "year"},
+    {"context": ["flight_id"], "attribute": "date_sk"},
+    {"context": ["flight_id"], "attribute": "month"},
+    {"context": ["flight_id"], "attribute": "quarter"},
+    {"context": ["flight_id"], "attribute": "day"},
+    {"context": ["flight_id"], "attribute": "carrier"},
+    {"context": ["flight_id"], "attribute": "origin"},
+    {"context": ["date_sk"], "attribute": "flight_id"},
+    {"context": ["date_sk"], "attribute": "month"},
+    {"context": ["date_sk"], "attribute": "quarter"},
+    {"context": ["date_sk"], "attribute": "day"},
+    {"context": ["date_sk"], "attribute": "carrier"},
+    {"context": ["date_sk"], "attribute": "origin"},
+    {"context": ["month"], "attribute": "quarter"},
+    {"context": ["month","day"], "attribute": "flight_id"},
+    {"context": ["month","day"], "attribute": "date_sk"},
+    {"context": ["month","day"], "attribute": "carrier"},
+    {"context": ["month","day"], "attribute": "origin"},
+    {"context": ["quarter","day","origin"], "attribute": "flight_id"},
+    {"context": ["quarter","day","origin"], "attribute": "date_sk"},
+    {"context": ["quarter","day","origin"], "attribute": "month"},
+    {"context": ["quarter","day","origin"], "attribute": "carrier"}
+  ],
+  "compatibility_ods": [
+    {"context": [], "a": "flight_id", "b": "date_sk"},
+    {"context": [], "a": "flight_id", "b": "month"},
+    {"context": [], "a": "flight_id", "b": "quarter"},
+    {"context": [], "a": "date_sk", "b": "month"},
+    {"context": [], "a": "date_sk", "b": "quarter"},
+    {"context": [], "a": "month", "b": "quarter"},
+    {"context": ["month","carrier","origin"], "a": "flight_id", "b": "day"},
+    {"context": ["month","carrier","origin"], "a": "date_sk", "b": "day"}
+  ],
+  "bidirectional_ods": [
+  ]
+}
+)gold9";
+
+inline const char kGoldenApproximate[] = R"gold9({
+  "algorithm": "approximate",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 0.002613, "timed_out": false},
+  "constancy_ods": [
+    {"context": [], "attribute": "year"},
+    {"context": ["date_sk"], "attribute": "flight_id"},
+    {"context": ["flight_id"], "attribute": "date_sk"},
+    {"context": ["flight_id"], "attribute": "month"},
+    {"context": ["flight_id"], "attribute": "quarter"},
+    {"context": ["flight_id"], "attribute": "day"},
+    {"context": ["flight_id"], "attribute": "carrier"},
+    {"context": ["flight_id"], "attribute": "origin"},
+    {"context": ["date_sk"], "attribute": "month"},
+    {"context": ["date_sk"], "attribute": "quarter"},
+    {"context": ["date_sk"], "attribute": "day"},
+    {"context": ["date_sk"], "attribute": "carrier"},
+    {"context": ["date_sk"], "attribute": "origin"},
+    {"context": ["month"], "attribute": "quarter"},
+    {"context": ["month","day"], "attribute": "flight_id"},
+    {"context": ["month","day"], "attribute": "date_sk"},
+    {"context": ["month","day"], "attribute": "carrier"},
+    {"context": ["month","day"], "attribute": "origin"},
+    {"context": ["quarter","day","origin"], "attribute": "flight_id"},
+    {"context": ["quarter","day","origin"], "attribute": "date_sk"},
+    {"context": ["quarter","day","origin"], "attribute": "month"},
+    {"context": ["day","carrier","origin"], "attribute": "flight_id"},
+    {"context": ["day","carrier","origin"], "attribute": "date_sk"},
+    {"context": ["day","carrier","origin"], "attribute": "month"},
+    {"context": ["day","carrier","origin"], "attribute": "quarter"},
+    {"context": ["quarter","day","origin"], "attribute": "carrier"}
+  ],
+  "compatibility_ods": [
+    {"context": [], "a": "flight_id", "b": "date_sk"},
+    {"context": [], "a": "flight_id", "b": "month"},
+    {"context": [], "a": "flight_id", "b": "quarter"},
+    {"context": [], "a": "date_sk", "b": "month"},
+    {"context": [], "a": "date_sk", "b": "quarter"},
+    {"context": [], "a": "month", "b": "quarter"},
+    {"context": ["day","origin"], "a": "flight_id", "b": "carrier"},
+    {"context": ["day","origin"], "a": "date_sk", "b": "carrier"},
+    {"context": ["day","origin"], "a": "month", "b": "carrier"},
+    {"context": ["day","origin"], "a": "quarter", "b": "carrier"},
+    {"context": ["month","carrier","origin"], "a": "flight_id", "b": "day"},
+    {"context": ["month","carrier","origin"], "a": "date_sk", "b": "day"}
+  ],
+  "bidirectional_ods": [
+  ]
+}
+)gold9";
+
+inline const char kGoldenConditional[] = R"gold9({
+  "algorithm": "conditional",
+  "relation": {"rows": 200, "attributes": ["year","flight_id","date_sk","month","quarter","day","carrier","origin"]},
+  "stats": {"seconds": 0.003565, "timed_out": false},
+  "conditional_ods": [
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000007","AP000008","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000016","AP000017","AP000018","AP000019","AP000020","AP000021","AP000022","AP000023","AP000024","AP000025","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000032","AP000033","AP000034","AP000035","AP000037","AP000038","AP000039","AP000041","AP000042","AP000045","AP000048","AP000049"], "od": "{day}: [] -> carrier", "support": 0.725000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000007","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000016","AP000017","AP000018","AP000019","AP000020","AP000021","AP000022","AP000023","AP000024","AP000025","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000032","AP000033","AP000034","AP000035","AP000037","AP000038","AP000039","AP000041","AP000042","AP000045","AP000048","AP000049"], "od": "{day}: [] -> flight_id", "support": 0.695000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000007","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000016","AP000017","AP000018","AP000019","AP000020","AP000021","AP000022","AP000023","AP000024","AP000025","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000032","AP000033","AP000034","AP000035","AP000037","AP000038","AP000039","AP000041","AP000042","AP000045","AP000048","AP000049"], "od": "{day}: [] -> date_sk", "support": 0.695000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000007","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000016","AP000017","AP000018","AP000019","AP000020","AP000021","AP000022","AP000023","AP000024","AP000025","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000032","AP000033","AP000034","AP000035","AP000037","AP000038","AP000039","AP000041","AP000042","AP000045","AP000048","AP000049"], "od": "{day}: [] -> month", "support": 0.695000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000007","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000016","AP000017","AP000018","AP000019","AP000020","AP000021","AP000022","AP000023","AP000024","AP000025","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000032","AP000033","AP000034","AP000035","AP000037","AP000038","AP000039","AP000041","AP000042","AP000045","AP000048","AP000049"], "od": "{day}: [] -> quarter", "support": 0.695000},
+    {"condition": "day", "bindings": ["1","2","3","4","5","6","10","11","13","16","17","18","19","22","23","24","25","27","28","29"], "od": "{origin}: [] -> flight_id", "support": 0.665000},
+    {"condition": "day", "bindings": ["1","2","3","4","5","6","10","11","13","16","17","18","19","22","23","24","25","27","28","29"], "od": "{origin}: [] -> date_sk", "support": 0.665000},
+    {"condition": "day", "bindings": ["1","2","3","4","5","6","10","11","13","16","17","18","19","22","23","24","25","27","28","29"], "od": "{origin}: [] -> month", "support": 0.665000},
+    {"condition": "day", "bindings": ["1","2","3","4","5","6","10","11","13","16","17","18","19","22","23","24","25","27","28","29"], "od": "{origin}: [] -> quarter", "support": 0.665000},
+    {"condition": "day", "bindings": ["1","2","3","4","5","6","10","11","13","16","17","18","19","22","23","24","25","27","28","29"], "od": "{origin}: [] -> carrier", "support": 0.665000},
+    {"condition": "month", "bindings": ["1","3","5","7","9","10","12"], "od": "{}: flight_id ~ day", "support": 0.580000},
+    {"condition": "month", "bindings": ["1","3","5","7","9","10","12"], "od": "{}: date_sk ~ day", "support": 0.580000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000008","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000015","AP000016","AP000017","AP000018","AP000019","AP000020","AP000023","AP000024","AP000026","AP000027","AP000028","AP000029","AP000030","AP000031","AP000033","AP000035","AP000036","AP000038","AP000040","AP000042","AP000045","AP000048"], "od": "{month}: [] -> carrier", "support": 0.575000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000008","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000018","AP000019","AP000020","AP000023","AP000024","AP000026","AP000027","AP000028","AP000030","AP000031","AP000033","AP000035","AP000036","AP000038","AP000040","AP000042","AP000045","AP000048"], "od": "{month}: [] -> flight_id", "support": 0.530000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000008","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000018","AP000019","AP000020","AP000023","AP000024","AP000026","AP000027","AP000028","AP000030","AP000031","AP000033","AP000035","AP000036","AP000038","AP000040","AP000042","AP000045","AP000048"], "od": "{month}: [] -> date_sk", "support": 0.530000},
+    {"condition": "origin", "bindings": ["AP000000","AP000001","AP000003","AP000004","AP000005","AP000006","AP000008","AP000009","AP000010","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000018","AP000019","AP000020","AP000023","AP000024","AP000026","AP000027","AP000028","AP000030","AP000031","AP000033","AP000035","AP000036","AP000038","AP000040","AP000042","AP000045","AP000048"], "od": "{month}: [] -> day", "support": 0.530000},
+    {"condition": "origin", "bindings": ["AP000003","AP000004","AP000007","AP000009","AP000011","AP000012","AP000013","AP000014","AP000015","AP000016","AP000017","AP000020","AP000022","AP000024","AP000026","AP000027","AP000028","AP000029","AP000031","AP000033","AP000035","AP000037","AP000038","AP000041","AP000042","AP000044","AP000049"], "od": "{carrier}: [] -> quarter", "support": 0.395000},
+    {"condition": "origin", "bindings": ["AP000003","AP000004","AP000009","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000020","AP000022","AP000024","AP000026","AP000027","AP000028","AP000029","AP000031","AP000033","AP000035","AP000037","AP000038","AP000041","AP000042","AP000044","AP000049"], "od": "{carrier}: [] -> month", "support": 0.340000},
+    {"condition": "origin", "bindings": ["AP000003","AP000004","AP000009","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000020","AP000022","AP000024","AP000026","AP000027","AP000028","AP000031","AP000033","AP000035","AP000037","AP000038","AP000041","AP000042","AP000044","AP000049"], "od": "{carrier}: [] -> flight_id", "support": 0.325000},
+    {"condition": "origin", "bindings": ["AP000003","AP000004","AP000009","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000020","AP000022","AP000024","AP000026","AP000027","AP000028","AP000031","AP000033","AP000035","AP000037","AP000038","AP000041","AP000042","AP000044","AP000049"], "od": "{carrier}: [] -> date_sk", "support": 0.325000},
+    {"condition": "origin", "bindings": ["AP000003","AP000004","AP000009","AP000011","AP000012","AP000013","AP000014","AP000015","AP000017","AP000020","AP000022","AP000024","AP000026","AP000027","AP000028","AP000031","AP000033","AP000035","AP000037","AP000038","AP000041","AP000042","AP000044","AP000049"], "od": "{carrier}: [] -> day", "support": 0.325000},
+    {"condition": "origin", "bindings": ["AP000001","AP000003","AP000004","AP000009","AP000012","AP000013","AP000014","AP000015","AP000017","AP000018","AP000020","AP000022","AP000024","AP000026","AP000027","AP000029","AP000035","AP000037","AP000039","AP000041","AP000044","AP000048"], "od": "{quarter}: [] -> month", "support": 0.265000}
+  ]
+}
+)gold9";
+
+}  // namespace fastod
+
+#endif

@@ -111,13 +111,12 @@ TEST(IncrementalMergeEncodeTest, AppendMatchesFromTableBitForBit) {
     ASSERT_EQ(relation.NumRows(), expected->NumRows());
     ASSERT_EQ(relation.NumAttributes(), expected->NumAttributes());
     for (int a = 0; a < relation.NumAttributes(); ++a) {
-      EXPECT_EQ(relation.ranks(a), expected->ranks(a))
+      EXPECT_TRUE(relation.codes(a) == expected->codes(a))
           << "seed " << seed << " attribute " << a;
       EXPECT_EQ(relation.NumDistinct(a), expected->NumDistinct(a))
           << "seed " << seed << " attribute " << a;
       EXPECT_EQ((*grown)->singleton_partitions()[a],
-                StrippedPartition::ForAttribute(expected->ranks(a),
-                                                expected->NumDistinct(a)))
+                StrippedPartition::ForAttribute(expected->codes(a)))
           << "seed " << seed << " attribute " << a;
     }
     // The base version is untouched by the append.
@@ -422,7 +421,7 @@ TEST(IncrementalConcurrencyTest, AppendWhileDiscovering) {
   Result<EncodedRelation> expected = EncodedRelation::FromTable(table);
   ASSERT_TRUE(expected.ok());
   for (int a = 0; a < expected->NumAttributes(); ++a) {
-    EXPECT_EQ((*current)->relation().ranks(a), expected->ranks(a));
+    EXPECT_TRUE((*current)->relation().codes(a) == expected->codes(a));
   }
 }
 

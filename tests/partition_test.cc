@@ -119,17 +119,17 @@ TEST_P(PartitionProductPropertyTest, ProductMatchesDirectConstruction) {
   for (uint64_t mask = 1; mask < 32; ++mask) {
     StrippedPartition via_product;
     bool first = true;
-    std::vector<const std::vector<int32_t>*> columns;
+    std::vector<const CodeColumn*> columns;
     for (int a = 0; a < 5; ++a) {
       if (!(mask & (uint64_t{1} << a))) continue;
       StrippedPartition single =
-          StrippedPartition::ForAttribute(rel.ranks(a), rel.NumDistinct(a));
+          StrippedPartition::ForAttribute(rel.codes(a));
       via_product = first ? single : via_product.Product(single);
       first = false;
-      columns.push_back(&rel.ranks(a));
+      columns.push_back(&rel.codes(a));
     }
     StrippedPartition direct =
-        StrippedPartition::FromRankColumns(columns, rel.NumRows());
+        StrippedPartition::FromCodeColumns(columns, rel.NumRows());
     EXPECT_EQ(via_product, direct) << "mask=" << mask;
   }
 }
@@ -137,12 +137,11 @@ TEST_P(PartitionProductPropertyTest, ProductMatchesDirectConstruction) {
 TEST_P(PartitionProductPropertyTest, ErrorIsMonotoneUnderRefinement) {
   Table t = GenRandomTable(60, 4, 5, GetParam());
   EncodedRelation rel = Encode(t);
-  StrippedPartition a =
-      StrippedPartition::ForAttribute(rel.ranks(0), rel.NumDistinct(0));
+  StrippedPartition a = StrippedPartition::ForAttribute(rel.codes(0));
   StrippedPartition prev = a;
   for (int c = 1; c < 4; ++c) {
-    StrippedPartition next = prev.Product(
-        StrippedPartition::ForAttribute(rel.ranks(c), rel.NumDistinct(c)));
+    StrippedPartition next =
+        prev.Product(StrippedPartition::ForAttribute(rel.codes(c)));
     EXPECT_LE(next.Error(), prev.Error());
     prev = next;
   }

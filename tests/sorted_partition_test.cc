@@ -65,8 +65,7 @@ TEST(SwapCheckerTest, ContextSeparatesClasses) {
   EncodedRelation rel = Encode(*t);
   SortedPartitions sorted(rel);
   SwapChecker checker(&rel, &sorted, SwapCheckMethod::kSortBased);
-  StrippedPartition ctx =
-      StrippedPartition::ForAttribute(rel.ranks(0), rel.NumDistinct(0));
+  StrippedPartition ctx = StrippedPartition::ForAttribute(rel.codes(0));
   EXPECT_TRUE(checker.IsOrderCompatible(ctx, 1, 2));
 }
 
@@ -116,12 +115,12 @@ TEST_P(SwapCheckerPropertyTest, AgreesWithBruteForce) {
     if (context.IsEmpty()) {
       partition = StrippedPartition::Universe(rel.NumRows());
     } else {
-      std::vector<const std::vector<int32_t>*> columns;
+      std::vector<const CodeColumn*> columns;
       for (int a = context.First(); a >= 0; a = context.Next(a)) {
-        columns.push_back(&rel.ranks(a));
+        columns.push_back(&rel.codes(a));
       }
       partition =
-          StrippedPartition::FromRankColumns(columns, rel.NumRows());
+          StrippedPartition::FromCodeColumns(columns, rel.NumRows());
     }
     for (int a = 3; a < 5; ++a) {
       for (int b = 3; b < 5; ++b) {
