@@ -81,11 +81,14 @@ struct FastodOptions {
   /// Record per-level statistics (Exp-7).
   bool collect_level_stats = true;
 
-  /// Number of worker threads for intra-level parallelism (candidate-set
-  /// derivation, node validation, and partition products are each
-  /// embarrassingly parallel within a level). 1 = serial. Output is
-  /// bit-identical across thread counts: per-node results are merged in
-  /// node order.
+  /// Number of worker threads. 1 = serial level-wise walk. With more
+  /// threads the run switches to the dependency-tracking task graph
+  /// (common/task_graph.h): one task per lattice node, runnable the
+  /// moment all of the node's (l-1)-subsets have finished alive — its
+  /// parents' stripped partitions then exist — scheduled work-stealing
+  /// with no barrier between levels. Output is bit-identical across all
+  /// thread counts: per-node outcomes are buffered and emitted by the
+  /// level cascade in canonical (sequential) node order.
   int num_threads = 1;
 
   /// Streaming emission target (api/od_sink.h). When set, every
@@ -116,6 +119,12 @@ struct FastodLevelStats {
   int64_t compatibility_found = 0;
   int64_t bidirectional_found = 0;
   double seconds = 0.0;
+  /// Task-graph runs only: fraction [0,1] of the worker-party's wall
+  /// time spent executing this level's node tasks during the level's
+  /// span. Because levels pipeline (a child may start before its
+  /// parents' level finishes emitting), per-level occupancies can sum
+  /// past what a barriered schedule could reach. 0 in serial runs.
+  double occupancy = 0.0;
 };
 
 struct FastodResult {
@@ -147,6 +156,15 @@ struct FastodResult {
   /// observability layer reports per session.
   int64_t partition_cache_gets = 0;
   int64_t partition_cache_puts = 0;
+  /// Task-graph scheduling telemetry (num_threads > 1; all 0 when the
+  /// serial path ran). ready counts lattice nodes whose dependencies
+  /// resolved (all (l-1)-subsets finished alive), spawned counts tasks
+  /// enqueued on the graph, stolen counts tasks a worker took from
+  /// another worker's deque. Published to the obs registry as
+  /// fastod_tasks_{ready,spawned,stolen}_total by the engine adapter.
+  int64_t tasks_ready = 0;
+  int64_t tasks_spawned = 0;
+  int64_t tasks_stolen = 0;
   double seconds = 0.0;
   std::vector<FastodLevelStats> level_stats;
 

@@ -1,10 +1,13 @@
 #include "algo/tane.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "api/od_sink.h"
+#include "common/task_graph.h"
+#include "common/thread_pool.h"
 #include "od/attribute_set.h"
 #include "partition/partition_cache.h"
 
@@ -41,7 +44,12 @@ class Run {
         full_set_(AttributeSet::FullSet(relation.NumAttributes())),
         deadline_(options.timeout_seconds > 0.0
                       ? Deadline::After(options.timeout_seconds)
-                      : Deadline::Infinite()) {}
+                      : Deadline::Infinite()) {
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1,
+                                           "fastod-fd");
+    }
+  }
 
   TaneResult Execute() {
     WallTimer timer;
@@ -53,7 +61,11 @@ class Run {
       result_.total_nodes += static_cast<int64_t>(current_.nodes.size());
       ComputeDependencies(l);
       Prune();
-      Level next = CalculateNextLevel(l);
+      // Skip the join for a level the max_level cap would refuse anyway.
+      Level next;
+      if (options_.max_level == 0 || l < options_.max_level) {
+        next = CalculateNextLevel(l);
+      }
       result_.levels_processed = l;
       if (options_.control != nullptr && m > 0) {
         options_.control->ReportProgress(static_cast<double>(l) / m);
@@ -106,29 +118,57 @@ class Run {
     }
   }
 
-  void ComputeDependencies(int l) {
-    for (Node& node : current_.nodes) {
-      AttributeSet cc = full_set_;
-      for (int a = node.set.First(); a >= 0; a = node.set.Next(a)) {
-        Node* parent = previous_.Find(node.set.Without(a));
-        FASTOD_DCHECK(parent != nullptr);
-        cc = cc.Intersect(parent->cc);
-      }
-      node.cc = cc;
+  // Derives Cc+(X) from the previous level and validates the candidate
+  // FDs of one node. Reads only the immutable previous level and the
+  // partition cache; writes only its own node and `found` slot — safe to
+  // run for all nodes concurrently.
+  void ProcessNode(Node* node, std::vector<ConstancyOd>* found) {
+    AttributeSet cc = full_set_;
+    for (int a = node->set.First(); a >= 0; a = node->set.Next(a)) {
+      Node* parent = previous_.Find(node->set.Without(a));
+      FASTOD_DCHECK(parent != nullptr);
+      cc = cc.Intersect(parent->cc);
     }
-    (void)l;
-    for (Node& node : current_.nodes) {
-      const StrippedPartition& node_partition = cache_.Get(node.set);
-      AttributeSet candidates = node.set.Intersect(node.cc);
-      for (int a = candidates.First(); a >= 0; a = candidates.Next(a)) {
-        const AttributeSet context = node.set.Without(a);
-        const StrippedPartition& context_partition = cache_.Get(context);
-        if (context_partition.Error() == node_partition.Error()) {
-          EmitFd(ConstancyOd{context, a});
-          node.cc = node.cc.Without(a);
-          node.cc = node.cc.Intersect(node.set);
-        }
+    node->cc = cc;
+    const StrippedPartition& node_partition = cache_.Get(node->set);
+    AttributeSet candidates = node->set.Intersect(node->cc);
+    for (int a = candidates.First(); a >= 0; a = candidates.Next(a)) {
+      const AttributeSet context = node->set.Without(a);
+      const StrippedPartition& context_partition = cache_.Get(context);
+      if (context_partition.Error() == node_partition.Error()) {
+        found->push_back(ConstancyOd{context, a});
+        node->cc = node->cc.Without(a);
+        node->cc = node->cc.Intersect(node->set);
       }
+    }
+  }
+
+  void ComputeDependencies(int l) {
+    (void)l;
+    const size_t n = current_.nodes.size();
+    std::vector<std::vector<ConstancyOd>> found(n);
+    if (pool_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        ProcessNode(&current_.nodes[i], &found[i]);
+      }
+    } else {
+      // One task per node on the work-stealing scheduler; intra-level
+      // only — Prune() below is a genuine barrier (see tane.h).
+      TaskGraph graph(pool_.get());
+      for (size_t i = 0; i < n; ++i) {
+        graph.Spawn([this, i, &found] {
+          ProcessNode(&current_.nodes[i], &found[i]);
+        });
+      }
+      graph.Run();
+      result_.tasks_ready += static_cast<int64_t>(n);
+      result_.tasks_spawned += graph.spawned();
+      result_.tasks_stolen += graph.stolen();
+    }
+    // Merge in node order: deterministic FD emission for any thread
+    // count (the same discipline as FASTOD's level cascade).
+    for (const std::vector<ConstancyOd>& f : found) {
+      for (const ConstancyOd& fd : f) EmitFd(fd);
     }
   }
 
@@ -164,6 +204,13 @@ class Run {
 
   Level CalculateNextLevel(int l) {
     Level next;
+    struct Pending {
+      AttributeSet set;
+      AttributeSet parent_a;
+      AttributeSet parent_b;
+      StrippedPartition product;
+    };
+    std::vector<Pending> pending;
     std::unordered_map<AttributeSet, std::vector<int32_t>, AttributeSetHash>
         blocks;
     for (int32_t i = 0; i < static_cast<int32_t>(current_.nodes.size());
@@ -199,9 +246,32 @@ class Run {
           Node node;
           node.set = candidate;
           next.Add(std::move(node));
-          cache_.Put(l + 1, candidate, cache_.Get(a).Product(cache_.Get(b)));
+          pending.push_back(Pending{candidate, a, b, {}});
         }
       }
+    }
+    // The products — the bulk of the join's cost at scale — run as tasks;
+    // puts happen afterwards in join order so cache traffic stays
+    // identical to the serial walk.
+    if (pool_ == nullptr) {
+      for (Pending& p : pending) {
+        p.product = cache_.Get(p.parent_a).Product(cache_.Get(p.parent_b));
+      }
+    } else {
+      TaskGraph graph(pool_.get());
+      for (Pending& p : pending) {
+        graph.Spawn([this, &p] {
+          p.product =
+              cache_.Get(p.parent_a).Product(cache_.Get(p.parent_b));
+        });
+      }
+      graph.Run();
+      result_.tasks_ready += static_cast<int64_t>(pending.size());
+      result_.tasks_spawned += graph.spawned();
+      result_.tasks_stolen += graph.stolen();
+    }
+    for (Pending& p : pending) {
+      cache_.Put(l + 1, p.set, std::move(p.product));
     }
     return next;
   }
@@ -221,6 +291,7 @@ class Run {
   const std::vector<StrippedPartition>* singletons_;
   AttributeSet full_set_;
   Deadline deadline_;
+  std::unique_ptr<ThreadPool> pool_;
   PartitionCache cache_;
   Level previous_;
   Level current_;

@@ -41,6 +41,15 @@ struct TaneOptions {
   OdSink* sink = nullptr;
   /// Cooperative cancellation + progress, polled at level boundaries.
   ExecutionControl* control = nullptr;
+  /// Worker threads. 1 = serial. With more threads, each level's node
+  /// validations and partition products run as tasks on the shared
+  /// work-stealing scheduler (common/task_graph.h); per-node FD lists
+  /// are merged in node order, so output is bit-identical across thread
+  /// counts. Unlike FASTOD, TANE keeps a barrier at its pruning step:
+  /// key-node minimality (X -> A minimal iff A survives in every
+  /// same-level sibling's Cc+) reads sibling state that is only final
+  /// once the whole level validated.
+  int num_threads = 1;
 };
 
 struct TaneResult {
@@ -57,6 +66,10 @@ struct TaneResult {
   /// PartitionCache traffic (see FastodResult).
   int64_t partition_cache_gets = 0;
   int64_t partition_cache_puts = 0;
+  /// Task-graph scheduling telemetry (num_threads > 1; see FastodResult).
+  int64_t tasks_ready = 0;
+  int64_t tasks_spawned = 0;
+  int64_t tasks_stolen = 0;
   double seconds = 0.0;
 };
 

@@ -16,6 +16,16 @@
 // can be cancelled and report coarse progress through an ExecutionControl.
 // Wall-clock time of both lifecycle phases is accounted on the object.
 //
+// Threading: an Algorithm object is single-driver — exactly one thread
+// may move it through the lifecycle (SetOption → LoadData → Execute →
+// Result*), though different phases may run on different threads as long
+// as they do not overlap (the service layer configures on API threads
+// and executes on a pool worker). Engines configured with threads > 1
+// create internal workers for the duration of Execute(); those never
+// touch the Algorithm object itself, and every cross-thread contract the
+// caller can observe (sink emission order, stats) is documented on the
+// member it applies to. See docs/CONCURRENCY.md for the full contract.
+//
 // Adapters for the concrete engines live in api/engines.h; the string-keyed
 // factory in api/registry.h.
 #ifndef FASTOD_API_ALGORITHM_H_
@@ -109,8 +119,20 @@ class Algorithm {
   /// Attaches a streaming consumer for discovered dependencies. Must
   /// outlive Execute(). Engines that can avoid materializing their result
   /// vectors do so when a sink is attached (see api/od_sink.h).
+  ///
+  /// Thread affinity: sink callbacks are always SERIALIZED — the sink
+  /// never sees two concurrent calls from one run — but in multi-threaded
+  /// runs (threads > 1) they are issued from whichever internal worker
+  /// performs the deterministic level merge, which varies per level and
+  /// per run and is generally NOT the thread that called Execute(). A
+  /// sink must therefore not assume thread identity (thread-locals,
+  /// GUI-thread-only APIs); plain non-reentrant state needs no locking.
+  /// Emission order is canonical and thread-count-independent.
   void SetSink(OdSink* sink) { sink_ = sink; }
   /// Attaches a cancellation/progress channel. Must outlive Execute().
+  /// RequestCancel/StopRequested are safe from any thread at any time;
+  /// multi-threaded engines poll it at task boundaries, so observance
+  /// latency is one lattice-node task, same as the serial safepoints.
   void SetControl(ExecutionControl* control) { control_ = control; }
 
   // ---- Results ------------------------------------------------------

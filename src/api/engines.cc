@@ -35,6 +35,9 @@ obs::EngineStats StatsOf(const FastodResult& result) {
   stats.ods_emitted = result.NumOds();
   stats.partition_cache_gets = result.partition_cache_gets;
   stats.partition_cache_puts = result.partition_cache_puts;
+  stats.tasks_ready = result.tasks_ready;
+  stats.tasks_spawned = result.tasks_spawned;
+  stats.tasks_stolen = result.tasks_stolen;
   stats.levels.reserve(result.level_stats.size());
   for (const FastodLevelStats& level : result.level_stats) {
     obs::LevelStats l;
@@ -47,6 +50,7 @@ obs::EngineStats StatsOf(const FastodResult& result) {
     l.ods_found = level.constancy_found + level.compatibility_found +
                   level.bidirectional_found;
     l.seconds = level.seconds;
+    l.occupancy = level.occupancy;
     stats.nodes_pruned += level.nodes_pruned;
     stats.constancy_checks += level.constancy_checks;
     stats.swap_checks += level.swap_checks;
@@ -142,6 +146,9 @@ TaneAlgorithm::TaneAlgorithm()
     : Algorithm("tane",
                 "TANE: minimal functional dependencies only (the Exp-4 "
                 "comparator)") {
+  options().AddInt("threads", &opts_.num_threads,
+                   "worker threads for intra-level parallelism", 1, 1024);
+  options().AddAlias("threads", "num-threads");
   options().AddDouble("timeout", &opts_.timeout_seconds,
                       "abort after this many seconds (0 = none)", 0.0,
                       kNoLimit);
@@ -165,6 +172,9 @@ Status TaneAlgorithm::ExecuteInternal() {
   stats.ods_emitted = result_.num_fds;
   stats.partition_cache_gets = result_.partition_cache_gets;
   stats.partition_cache_puts = result_.partition_cache_puts;
+  stats.tasks_ready = result_.tasks_ready;
+  stats.tasks_spawned = result_.tasks_spawned;
+  stats.tasks_stolen = result_.tasks_stolen;
   return Status::Ok();
 }
 

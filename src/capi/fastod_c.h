@@ -27,10 +27,21 @@
  * except fastod_poll/fastod_cancel/fastod_last_error, which are safe
  * concurrently with an asynchronous run. Distinct sessions are fully
  * independent; they share only the scheduler's worker pool.
+ *
+ * Thread affinity: the "threads" option parallelizes the engine
+ * internally (a work-stealing task graph over the lattice search); it
+ * never changes this API's contract. Results are byte-identical across
+ * thread counts, callbacks do not exist at this layer, and the internal
+ * workers (named "fastod-od-N" / "fastod-fd-N" in debuggers and
+ * profilers) live only for the duration of one execution. Session-less
+ * functions (fastod_version_string, registry introspection) are safe
+ * from any thread concurrently.
  */
 #ifndef FASTOD_CAPI_FASTOD_C_H_
 #define FASTOD_CAPI_FASTOD_C_H_
 
+/* Library version this header was generated with; compare against
+ * fastod_version_string() to detect header/library skew. */
 #define FASTOD_VERSION_MAJOR 0
 #define FASTOD_VERSION_MINOR 7
 #define FASTOD_VERSION_PATCH 0

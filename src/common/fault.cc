@@ -1,8 +1,10 @@
 #include "common/fault.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -12,14 +14,26 @@ namespace fault {
 
 namespace {
 
-enum class Action { kThrow, kFail };
+enum class Action { kThrow, kFail, kSleep };
 
 struct PointSchedule {
   Action action = Action::kFail;
   int64_t trip_on_hit = 1;  // 1-based hit number that trips
   int64_t hits = 0;
-  bool tripped = false;  // each schedule entry fires exactly once
+  // throw/fail fire exactly once; sleep fires on every hit >= trip_on_hit
+  // (tripped then only dedups the observability counter).
+  bool tripped = false;
 };
+
+// Deterministic sub-millisecond latency for hit number `hit` of a
+// "sleep" schedule: a Weyl-style hash of the hit index spread over
+// [0, 800) microseconds. Long enough to reorder racing scheduler tasks,
+// short enough that a 50-seed stress run stays fast under TSan.
+std::chrono::microseconds SleepFor(int64_t hit) {
+  uint64_t x = static_cast<uint64_t>(hit) * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  return std::chrono::microseconds((x >> 16) % 800);
+}
 
 struct Registry {
   std::mutex mutex;
@@ -46,6 +60,8 @@ bool ParseEntry(const std::string& entry,
     schedule.action = Action::kThrow;
   } else if (action == "fail") {
     schedule.action = Action::kFail;
+  } else if (action == "sleep") {
+    schedule.action = Action::kSleep;
   } else {
     return false;
   }
@@ -64,6 +80,8 @@ std::atomic<bool> g_faults_active{false};
 
 bool CheckSlow(const char* point) {
   Action action;
+  int64_t hit = 0;
+  bool count_observed;
   {
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
@@ -71,19 +89,32 @@ bool CheckSlow(const char* point) {
     if (it == r.points.end()) return false;
     PointSchedule& schedule = it->second;
     ++schedule.hits;
-    if (schedule.tripped || schedule.hits != schedule.trip_on_hit) {
-      return false;
+    hit = schedule.hits;
+    if (schedule.action == Action::kSleep) {
+      // Latency faults recur: every hit from trip_on_hit onward stalls.
+      if (hit < schedule.trip_on_hit) return false;
+      count_observed = !schedule.tripped;  // counter counts points, not naps
+      schedule.tripped = true;
+    } else {
+      if (schedule.tripped || hit != schedule.trip_on_hit) {
+        return false;
+      }
+      schedule.tripped = true;
+      count_observed = true;
     }
-    schedule.tripped = true;
     action = schedule.action;
   }
   // Outside the registry lock: the metrics registry takes its own.
-  if (obs::Enabled()) {
+  if (count_observed && obs::Enabled()) {
     obs::Registry::Global()
         .GetCounter("fastod_fault_observed_total",
                     "Scheduled faults that tripped at their fault point",
                     {{"point", point}})
         ->Inc();
+  }
+  if (action == Action::kSleep) {
+    std::this_thread::sleep_for(SleepFor(hit));
+    return false;  // a latency fault never takes the failure path
   }
   if (action == Action::kThrow) throw FaultInjected(point);
   return true;

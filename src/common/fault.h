@@ -12,12 +12,18 @@
 //
 //   FASTOD_FAULTS="csv.read:throw:3,httpd.write:fail:1"
 //
-// Two actions exist. "throw" raises fault::FaultInjected from inside the
-// fault point (exercising the exception containment at worker and
+// Three actions exist. "throw" raises fault::FaultInjected from inside
+// the fault point (exercising the exception containment at worker and
 // handler boundaries); "fail" makes FASTOD_FAULT_POINT return true, and
 // the site degrades through its own coded-error path (a Status, a false
 // write, a refused insert). Sites with no coded failure path may ignore
-// the return value and are then only reachable via "throw".
+// the return value and are then only reachable via "throw". "sleep" is
+// a latency fault: from the Nth hit onward, every hit stalls the calling
+// thread for a short pseudo-random duration derived deterministically
+// from the hit index — it never trips the site's failure path. The
+// scheduler stress tests use it to randomize task completion order at
+// "task_graph.task" and then assert output is order-independent
+// (tests/task_graph_test.cc).
 //
 // With no schedule installed — every production run — a fault point is
 // one relaxed atomic load and a never-taken branch. The registry itself
@@ -59,10 +65,12 @@ inline bool Check(const char* point) {
 }
 
 /// Installs a schedule from `spec` ("point:action:N" comma-separated;
-/// action is "throw" or "fail", N is the 1-based hit that trips — the
-/// FASTOD_FAULTS syntax). Replaces any previous schedule and resets all
-/// hit counters. Returns false (and installs nothing) on a malformed
-/// spec. An empty spec clears the schedule.
+/// action is "throw", "fail", or "sleep"; N is the 1-based hit that
+/// trips — the FASTOD_FAULTS syntax). "throw"/"fail" fire exactly once,
+/// on hit N; "sleep" fires on every hit from N onward. Replaces any
+/// previous schedule and resets all hit counters. Returns false (and
+/// installs nothing) on a malformed spec. An empty spec clears the
+/// schedule.
 bool SetSchedule(const std::string& spec);
 
 /// Removes the active schedule and resets hit counters.

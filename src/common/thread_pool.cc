@@ -1,16 +1,42 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/macros.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace fastod {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+
+// Best effort: thread names are observability, never correctness.
+void NameCurrentThread(const std::string& name) {
+#if defined(__linux__)
+  char truncated[16];  // pthread_setname_np limit, including the NUL
+  std::snprintf(truncated, sizeof(truncated), "%s", name.c_str());
+  (void)pthread_setname_np(pthread_self(), truncated);
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, const char* name_prefix) {
   num_threads = std::max(1, num_threads);
   workers_.reserve(num_threads);
+  const std::string prefix(name_prefix == nullptr ? "fastod-wkr"
+                                                  : name_prefix);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, prefix, i] {
+      NameCurrentThread(prefix + "-" + std::to_string(i));
+      WorkerMain();
+    });
   }
 }
 

@@ -1,12 +1,15 @@
-// A minimal fixed-size thread pool for intra-level parallelism in the
-// discovery algorithms and for session scheduling in the service layer.
+// A minimal fixed-size thread pool for the discovery algorithms and for
+// session scheduling in the service layer.
 //
-// The level-wise structure of FASTOD makes parallelism easy to reason
-// about: within one level, node validations only read immutable state
-// (the partition cache and the previous level's candidate sets) and write
-// their own node, so ParallelFor over the node vector is safe. Results
-// are merged in node order, keeping output deterministic regardless of
-// thread count (verified by tests/parallel_test.cc).
+// Two execution shapes are built on these workers. ParallelFor covers
+// fixed iteration spaces (batch partition products, per-node loops in
+// the serial engines). For the dependency-driven lattice search — where
+// a node becomes runnable the moment its parents' partitions exist —
+// common/task_graph.h layers a work-stealing dynamic task scheduler on
+// top of the same pool; see docs/CONCURRENCY.md for the combined
+// thread-safety contract. Results are merged in canonical node order by
+// the engines, keeping output deterministic regardless of thread count
+// (verified by tests/parallel_test.cc).
 //
 // Submit() adds fire-and-forget task scheduling on the same workers: the
 // DiscoveryService (service/discovery_service.h) queues whole discovery
@@ -30,8 +33,14 @@ namespace fastod {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(int num_threads);
+  /// Spawns `num_threads` workers (at least 1). Workers are named
+  /// "<name_prefix>-<i>" where the platform supports thread names
+  /// (pthread_setname_np truncates to 15 characters), so pool threads
+  /// are attributable in gdb/top/TSan reports. The default prefix marks
+  /// the shared service pool; engine-private pools pass their own (see
+  /// algo/fastod.cc).
+  explicit ThreadPool(int num_threads,
+                      const char* name_prefix = "fastod-wkr");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -57,7 +57,10 @@ std::string TraceRecorder::ToJson() const {
         .Key("candidates_pruned").Int(s.candidates_pruned)
         .Key("ods_emitted").Int(s.ods_emitted)
         .Key("partition_cache_gets").Int(s.partition_cache_gets)
-        .Key("partition_cache_puts").Int(s.partition_cache_puts);
+        .Key("partition_cache_puts").Int(s.partition_cache_puts)
+        .Key("tasks_ready").Int(s.tasks_ready)
+        .Key("tasks_spawned").Int(s.tasks_spawned)
+        .Key("tasks_stolen").Int(s.tasks_stolen);
     w.Key("levels").BeginArray();
     for (const LevelStats& level : s.levels) {
       w.BeginObject()
@@ -69,6 +72,7 @@ std::string TraceRecorder::ToJson() const {
           .Key("key_prune_hits").Int(level.key_prune_hits)
           .Key("ods_found").Int(level.ods_found)
           .Key("seconds").Double(level.seconds)
+          .Key("occupancy").Double(level.occupancy)
           .EndObject();
     }
     w.EndArray();

@@ -1,5 +1,6 @@
 #include "partition/partition_cache.h"
 
+#include <mutex>
 #include <utility>
 
 namespace fastod {
@@ -7,17 +8,20 @@ namespace fastod {
 void PartitionCache::Put(int level, AttributeSet set,
                          StrippedPartition partition) {
   puts_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   partitions_[set] = Entry{level, std::move(partition)};
 }
 
 const StrippedPartition& PartitionCache::Get(AttributeSet set) const {
   gets_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = partitions_.find(set);
   FASTOD_CHECK(it != partitions_.end());
   return it->second.partition;
 }
 
 void PartitionCache::EvictBelow(int level) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   for (auto it = partitions_.begin(); it != partitions_.end();) {
     if (it->second.level < level) {
       it = partitions_.erase(it);
@@ -28,6 +32,7 @@ void PartitionCache::EvictBelow(int level) {
 }
 
 int64_t PartitionCache::TotalElements() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   int64_t total = 0;
   for (const auto& [set, entry] : partitions_) {
     total += entry.partition.NumElements();

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "od/attribute_set.h"
@@ -18,6 +19,16 @@
 
 namespace fastod {
 
+// Thread-safety: reads (Get/Contains/NumCached/TotalElements) take a
+// shared lock, writes (Put/EvictBelow) an exclusive one, so the
+// task-graph search can insert a node's partition while sibling tasks
+// look parents up. References returned by Get stay valid under
+// concurrent Put (std::unordered_map never invalidates references on
+// insert) and under the engines' eviction discipline: EvictBelow(v-1)
+// is only called once every task that could read a level < v-1
+// partition has finished (see docs/CONCURRENCY.md). Overwriting an
+// existing key while a reader holds its reference is NOT safe — the
+// level-wise engines never do (each Π*_X is put exactly once).
 class PartitionCache {
  public:
   PartitionCache() = default;
@@ -33,6 +44,7 @@ class PartitionCache {
 
   /// True iff Π*_X is cached.
   bool Contains(AttributeSet set) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return partitions_.find(set) != partitions_.end();
   }
 
@@ -40,6 +52,7 @@ class PartitionCache {
   void EvictBelow(int level);
 
   int64_t NumCached() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return static_cast<int64_t>(partitions_.size());
   }
 
@@ -58,6 +71,7 @@ class PartitionCache {
     int level;
     StrippedPartition partition;
   };
+  mutable std::shared_mutex mutex_;
   std::unordered_map<AttributeSet, Entry, AttributeSetHash> partitions_;
   mutable std::atomic<int64_t> gets_{0};
   std::atomic<int64_t> puts_{0};

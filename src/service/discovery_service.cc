@@ -38,6 +38,8 @@ DiscoveryService::~DiscoveryService() {
   // runs stop at their next check point.
 }
 
+void DiscoveryService::Shutdown() { pool_.Stop(); }
+
 Result<SessionId> DiscoveryService::Create(const std::string& algorithm) {
   Result<std::unique_ptr<Algorithm>> algo = registry_.Create(algorithm);
   if (!algo.ok()) return algo.status();

@@ -153,6 +153,16 @@ class DiscoveryService {
   /// keeps the session object alive until its run finishes.
   Status Destroy(SessionId id);
 
+  /// Stops the worker pool: runs every already-accepted session to
+  /// completion, then returns. Running engines (including multi-threaded
+  /// task-graph runs on their private pools) finish normally; they are
+  /// NOT cancelled — pair with CancelAll() for a fast drain. From the
+  /// moment Shutdown() begins, Submit() of further sessions fails them
+  /// with kUnavailable instead of queueing work no worker will take
+  /// (tests/robustness_test.cc pins the no-deadlock guarantee).
+  /// Idempotent; also performed by the destructor.
+  void Shutdown();
+
   int64_t num_sessions() const;
 
   // ---- Shared streaming ---------------------------------------------

@@ -258,6 +258,35 @@ void DiscoverySession::RecordObservability(SessionState terminal) {
                   "Partitions built or copied into the PartitionCache",
                   by_algorithm)
       ->Inc(stats.partition_cache_puts);
+  registry
+      .GetCounter("fastod_tasks_ready_total",
+                  "Lattice nodes whose dependencies completed and that "
+                  "became runnable on the task graph",
+                  by_algorithm)
+      ->Inc(stats.tasks_ready);
+  registry
+      .GetCounter("fastod_tasks_spawned_total",
+                  "Tasks handed to the work-stealing scheduler",
+                  by_algorithm)
+      ->Inc(stats.tasks_spawned);
+  registry
+      .GetCounter("fastod_tasks_stolen_total",
+                  "Tasks executed by a worker other than the one whose "
+                  "deque received them",
+                  by_algorithm)
+      ->Inc(stats.tasks_stolen);
+  // Worker-busy fraction per lattice level, from the most recent
+  // task-graph run of this algorithm (gauge semantics: last run wins).
+  for (const obs::LevelStats& level : stats.levels) {
+    if (level.occupancy <= 0.0) continue;
+    registry
+        .GetGauge("fastod_task_graph_level_occupancy_permille",
+                  "Worker-busy fraction (in 1/1000ths) while the task "
+                  "graph processed one lattice level (most recent run)",
+                  {{"algorithm", algorithm},
+                   {"level", std::to_string(level.level)}})
+        ->Set(static_cast<int64_t>(level.occupancy * 1000.0));
+  }
 }
 
 SessionState DiscoverySession::state() const {

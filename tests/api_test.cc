@@ -73,9 +73,10 @@ TEST(OptionRegistryTest, ErrorsNameTheOption) {
 
 TEST(OptionRegistryTest, UnknownOptionListsAvailable) {
   TaneAlgorithm algo;
-  Status s = algo.SetOption("threads", "4");
+  Status s = algo.SetOption("swap-method", "sort");
   EXPECT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("unknown option 'threads'"), std::string::npos);
+  EXPECT_NE(s.message().find("unknown option 'swap-method'"),
+            std::string::npos);
   EXPECT_NE(s.message().find("timeout"), std::string::npos);
   EXPECT_NE(s.message().find("max-level"), std::string::npos);
 }
@@ -110,6 +111,8 @@ TEST(OptionRegistryTest, DescribeOptionsSnapshot) {
             "  --timeout-ms=<int>               hard deadline in "
             "milliseconds; exceeding it fails the run with DeadlineExceeded "
             "(0 = none) (default: 0)\n"
+            "  --threads=<int>                  worker threads for "
+            "intra-level parallelism (default: 1) [alias: --num-threads]\n"
             "  --timeout=<double>               abort after this many "
             "seconds (0 = none) (default: 0)\n"
             "  --max-level=<int>                stop after lattice level L "

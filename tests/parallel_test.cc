@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algo/fastod.h"
+#include "algo/tane.h"
 #include "common/thread_pool.h"
 #include "data/encode.h"
 #include "gen/generators.h"
@@ -158,6 +159,38 @@ TEST(ParallelFastodTest, BidirectionalAndApproximateModesParallelize) {
   EXPECT_EQ(serial.constancy_ods, parallel.constancy_ods);
   EXPECT_EQ(serial.compatibility_ods, parallel.compatibility_ods);
   EXPECT_EQ(serial.bidirectional_ods, parallel.bidirectional_ods);
+}
+
+TEST(ParallelTaneTest, OutputIdenticalToSerialAcrossThreadCounts) {
+  Table t = GenFlightLike(800, 10, 11);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  TaneResult serial = Tane().Discover(*rel);
+  for (int threads : {2, 4, 8}) {
+    TaneOptions opt;
+    opt.num_threads = threads;
+    TaneResult parallel = Tane(opt).Discover(*rel);
+    EXPECT_EQ(serial.fds, parallel.fds) << threads << " threads";
+    EXPECT_EQ(serial.num_fds, parallel.num_fds);
+    EXPECT_EQ(serial.total_nodes, parallel.total_nodes);
+    EXPECT_EQ(serial.levels_processed, parallel.levels_processed);
+    EXPECT_GT(parallel.tasks_spawned, 0);
+  }
+}
+
+TEST(ParallelFastodTest, TaskCountersPopulatedInParallelRuns) {
+  Table t = GenRandomTable(80, 6, 4, 3);
+  auto rel = EncodedRelation::FromTable(t);
+  ASSERT_TRUE(rel.ok());
+  FastodOptions opt;
+  opt.num_threads = 4;
+  FastodResult r = Fastod(opt).Discover(*rel);
+  // Every lattice node became ready exactly once and ran as a task.
+  EXPECT_EQ(r.tasks_ready, r.total_nodes);
+  EXPECT_EQ(r.tasks_spawned, r.total_nodes);
+  FastodResult serial = Fastod().Discover(*rel);
+  EXPECT_EQ(serial.tasks_spawned, 0);
+  EXPECT_EQ(serial.tasks_ready, 0);
 }
 
 TEST(ParallelFastodTest, LevelStatsConsistent) {

@@ -414,8 +414,8 @@ TEST(DiscoveryServerTest, OptionsForwardToEngineAndRejectUnknown) {
       .String("tane")
       .Key("options")
       .BeginObject()
-      .Key("threads")  // not a TANE option
-      .Int(2)
+      .Key("swap-method")  // not a TANE option
+      .String("sort")
       .EndObject()
       .Key("csv")
       .String(EmployeeCsv())
@@ -424,7 +424,7 @@ TEST(DiscoveryServerTest, OptionsForwardToEngineAndRejectUnknown) {
       Fetch(fixture.port(), "POST", "/v1/sessions", bad.str());
   // Unknown option names are NotFound in the option registry → 404.
   EXPECT_EQ(rejected.status, 404) << rejected.body;
-  EXPECT_NE(rejected.body.find("threads"), std::string::npos);
+  EXPECT_NE(rejected.body.find("swap-method"), std::string::npos);
 }
 
 TEST(DiscoveryServerTest, ErrorRoutesAndCodes) {
